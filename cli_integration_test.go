@@ -1,0 +1,66 @@
+package skymr
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIToolsEndToEnd drives the single-machine CLI tools as real
+// processes: generate a dataset with qwsgen, describe it, compute its
+// skyline with skyline (MapReduce and sequential paths), and run a quick
+// skybench figure. Skipped with -short.
+func TestCLIToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	goRun := func(args ...string) string {
+		t.Helper()
+		cmd := exec.CommandContext(ctx, "go", append([]string{"run"}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	csv := filepath.Join(dir, "qws.csv")
+	goRun("./cmd/qwsgen", "-n", "800", "-d", "4", "-seed", "5", "-o", csv)
+	if info, err := os.Stat(csv); err != nil || info.Size() == 0 {
+		t.Fatalf("qwsgen produced nothing: %v", err)
+	}
+
+	describe := goRun("./cmd/qwsgen", "-n", "500", "-d", "3", "-describe")
+	if !strings.Contains(describe, "ResponseTime") || !strings.Contains(describe, "pairwise correlation") {
+		t.Errorf("describe output missing sections:\n%s", describe)
+	}
+
+	mrOut := goRun("./cmd/skyline", "-method", "angle", "-header", csv)
+	seqOut := goRun("./cmd/skyline", "-method", "seq", "-header", csv)
+	mrLines := strings.Count(strings.TrimSpace(mrOut), "\n") + 1
+	seqLines := strings.Count(strings.TrimSpace(seqOut), "\n") + 1
+	if mrLines != seqLines {
+		t.Errorf("MapReduce skyline has %d rows, sequential %d", mrLines, seqLines)
+	}
+	if mrLines < 3 {
+		t.Errorf("implausibly small skyline: %d rows", mrLines)
+	}
+
+	repOut := goRun("./cmd/skyline", "-method", "angle", "-header", "-rep", "3", csv)
+	if got := strings.Count(strings.TrimSpace(repOut), "\n") + 1; got != 4 { // header + 3 rows
+		t.Errorf("representative output has %d lines, want 4", got)
+	}
+
+	bench := goRun("./cmd/skybench", "-figure", "thm")
+	if !strings.Contains(bench, "D_angle") || !strings.Contains(bench, "completed in") {
+		t.Errorf("skybench thm output unexpected:\n%s", bench)
+	}
+}

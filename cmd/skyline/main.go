@@ -1,0 +1,147 @@
+// Command skyline computes the skyline of a CSV dataset with a chosen
+// MapReduce method, printing the skyline rows (and optionally statistics).
+//
+// Usage:
+//
+//	skyline [-method angle|grid|dim|random|seq] [-nodes N] [-header]
+//	        [-stats] [-out file.csv] input.csv
+//
+// The input must be numeric CSV, one service per row, attributes oriented
+// so lower is better. With -method seq the skyline is computed with plain
+// sequential BNL.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	skymr "repro"
+)
+
+func main() {
+	method := flag.String("method", "angle", "partitioning method: angle, grid, dim, random, or seq")
+	nodes := flag.Int("nodes", 4, "modelled cluster nodes (partitions = 2*nodes)")
+	header := flag.Bool("header", false, "input has a header row")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	out := flag.String("out", "", "write skyline CSV to this file instead of stdout")
+	k := flag.Int("k", 1, "compute the k-skyband instead of the skyline (k=1)")
+	rep := flag.Int("rep", 0, "reduce the result to this many representative points (0 = all)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skyline [flags] input.csv")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep); err != nil {
+		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, method string, nodes int, header, stats bool, out string, k, rep int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data, cols, err := skymr.ReadCSV(f, header)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("no data rows in %s", path)
+	}
+
+	if k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", k)
+	}
+	var sky skymr.Set
+	start := time.Now()
+	switch {
+	case method == "seq" && k == 1:
+		sky = skymr.Skyline(data)
+		if stats {
+			fmt.Fprintf(os.Stderr, "sequential BNL: %d of %d points in %s\n",
+				len(sky), len(data), time.Since(start).Round(time.Microsecond))
+		}
+	case method == "seq":
+		var err error
+		sky, err = skymr.Skyband(data, k)
+		if err != nil {
+			return err
+		}
+		if stats {
+			fmt.Fprintf(os.Stderr, "sequential %d-skyband: %d of %d points in %s\n",
+				k, len(sky), len(data), time.Since(start).Round(time.Microsecond))
+		}
+	case k > 1:
+		m, err := parseMethod(method)
+		if err != nil {
+			return err
+		}
+		sky, err = skymr.ComputeSkyband(context.Background(), data, k, skymr.Options{Method: m, Nodes: nodes})
+		if err != nil {
+			return err
+		}
+		if stats {
+			fmt.Fprintf(os.Stderr, "%s %d-skyband: %d of %d points in %s\n",
+				m, k, len(sky), len(data), time.Since(start).Round(time.Microsecond))
+		}
+	default:
+		m, err := parseMethod(method)
+		if err != nil {
+			return err
+		}
+		res, err := skymr.Compute(context.Background(), data, skymr.Options{Method: m, Nodes: nodes})
+		if err != nil {
+			return err
+		}
+		sky = res.Skyline
+		if stats {
+			fmt.Fprintf(os.Stderr,
+				"%s: %d of %d points | partitions=%d pruned=%d localSky=%d | map=%s shuffle=%s reduce=%s total=%s | optimality=%.3f\n",
+				res.Method, len(sky), len(data), res.Partitions, res.PrunedPartitions,
+				res.LocalSkylineTotal(),
+				res.Timing.Map.Round(time.Microsecond), res.Timing.Shuffle.Round(time.Microsecond),
+				res.Timing.Reduce.Round(time.Microsecond), res.Timing.Total.Round(time.Microsecond),
+				res.Optimality())
+		}
+	}
+
+	if rep > 0 && rep < len(sky) {
+		sky = skymr.RepresentativeSkyline(sky, rep)
+		if stats {
+			fmt.Fprintf(os.Stderr, "reduced to %d representatives\n", len(sky))
+		}
+	}
+
+	w := os.Stdout
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		w = g
+	}
+	return skymr.WriteCSV(w, sky, cols)
+}
+
+func parseMethod(s string) (skymr.Method, error) {
+	switch s {
+	case "angle":
+		return skymr.Angle, nil
+	case "grid":
+		return skymr.Grid, nil
+	case "dim":
+		return skymr.Dim, nil
+	case "random":
+		return skymr.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want angle, grid, dim, random, or seq)", s)
+	}
+}

@@ -1,0 +1,162 @@
+// Command skyload drives a skyline registry (skyserve) with a mixed
+// publish/query workload and reports latency percentiles — the capacity
+// check an operator runs before putting the registry in front of clients.
+//
+// Usage:
+//
+//	skyload [-url http://host:8080] [-publishes 1000] [-queries 1000]
+//	        [-concurrency 8] [-d 4] [-seed 1]
+//
+// With no -url, skyload boots an in-process registry (1,000 synthetic
+// seed services) and load-tests that, so the tool works out of the box.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	skymr "repro"
+	"repro/internal/driver"
+	"repro/internal/latency"
+	"repro/internal/partition"
+	"repro/internal/registry"
+)
+
+func main() {
+	url := flag.String("url", "", "registry base URL (empty: boot an in-process registry)")
+	publishes := flag.Int("publishes", 1000, "number of POST /services requests")
+	queries := flag.Int("queries", 1000, "number of GET /skyline requests")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	dim := flag.Int("d", 4, "QoS attributes of generated services (in-process mode and publish bodies)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseURL string, publishes, queries, concurrency, dim int, seed int64) error {
+	if concurrency < 1 {
+		return fmt.Errorf("concurrency %d, need >= 1", concurrency)
+	}
+	if baseURL == "" {
+		data := skymr.GenerateQWS(seed, 1000, dim)
+		seeds := make([]registry.Service, len(data))
+		for i, p := range data {
+			seeds[i] = registry.Service{Name: fmt.Sprintf("seed-%06d", i), QoS: p}
+		}
+		reg, err := registry.New(context.Background(), seeds, driver.Options{Scheme: partition.Angular})
+		if err != nil {
+			return err
+		}
+		srv := httptest.NewServer(reg.Handler())
+		defer srv.Close()
+		baseURL = srv.URL
+		fmt.Fprintf(os.Stderr, "skyload: in-process registry with %d seed services at %s\n", reg.Len(), baseURL)
+	}
+
+	// Build the operation mix up front: publishes then queries, shuffled.
+	type op struct {
+		publish bool
+		body    []byte
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	newcomers := skymr.GenerateQWS(seed+2, publishes, dim)
+	ops := make([]op, 0, publishes+queries)
+	for i := 0; i < publishes; i++ {
+		body, err := json.Marshal(registry.Service{
+			Name: fmt.Sprintf("load-%d-%06d", seed, i),
+			QoS:  newcomers[i],
+		})
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op{publish: true, body: body})
+	}
+	for i := 0; i < queries; i++ {
+		ops = append(ops, op{})
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+
+	var pubLat, queryLat latency.Tracker
+	var failures int64
+	client := &http.Client{Timeout: 30 * time.Second}
+	work := make(chan op)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range work {
+				start := time.Now()
+				var err error
+				if o.publish {
+					err = doPublish(client, baseURL, o.body)
+					pubLat.Observe(time.Since(start))
+				} else {
+					err = doQuery(client, baseURL)
+					queryLat.Observe(time.Since(start))
+				}
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	for _, o := range ops {
+		work <- o
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("workload: %d publishes + %d queries, %d workers, %s total (%.0f ops/s)\n\n",
+		publishes, queries, concurrency, elapsed.Round(time.Millisecond),
+		float64(publishes+queries)/elapsed.Seconds())
+	pubLat.Summary().Write(os.Stdout, "publish")
+	queryLat.Summary().Write(os.Stdout, "skyline")
+	if failures > 0 {
+		return fmt.Errorf("%d requests failed", failures)
+	}
+	return nil
+}
+
+func doPublish(client *http.Client, base string, body []byte) error {
+	resp, err := client.Post(base+"/services", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("publish status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func doQuery(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/skyline")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command skymaster runs the distributed skyline master: it listens for
+// skyworker connections, then executes the two-job MapReduce skyline
+// pipeline over the cluster and prints the skyline.
+//
+// Usage:
+//
+//	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
+//	          [-partitions 8] [-reducers 4] [-min-workers 1]
+//	          [-header] input.csv
+//
+// Start workers with: skyworker -master <addr>.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	skymr "repro"
+	"repro/internal/partition"
+	"repro/internal/rpcmr"
+	"repro/internal/skyjob"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
+	method := flag.String("method", "angle", "partitioning method: angle, grid, dim, random")
+	partitions := flag.Int("partitions", 8, "number of data-space partitions")
+	reducers := flag.Int("reducers", 4, "number of reduce tasks for the partitioning job")
+	minWorkers := flag.Int("min-workers", 1, "wait for at least this many workers before starting")
+	header := flag.Bool("header", false, "input has a header row")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall job timeout")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skymaster [flags] input.csv")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration) error {
+	scheme, err := parseScheme(method)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	data, cols, err := skymr.ReadCSV(f, header)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("no data rows in %s", path)
+	}
+
+	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	fmt.Fprintf(os.Stderr, "skymaster: listening on %s, waiting for %d worker(s)...\n",
+		master.Addr(), minWorkers)
+	for master.WorkerCount() < minWorkers {
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "skymaster: %d worker(s) connected, starting job\n", master.WorkerCount())
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Progress reporter: one line per second while a job phase runs.
+	progressDone := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-progressDone:
+				return
+			case <-ticker.C:
+				st := master.Status()
+				if st.JobRunning {
+					phase := "map"
+					if st.Phase == rpcmr.TaskReduce {
+						phase = "reduce"
+					}
+					fmt.Fprintf(os.Stderr, "skymaster: %s %s phase %d/%d tasks (%d queued, %d live workers)\n",
+						st.JobName, phase, st.TasksDone, st.TasksTotal, st.Pending, st.LiveWorkers)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, err := skyjob.Compute(ctx, master, data, scheme, partitions, reducers)
+	close(progressDone)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"skymaster: skyline %d of %d points in %s (partition job map %.2fs/reduce %.2fs, merge job map %.2fs/reduce %.2fs)\n",
+		len(res.Skyline), len(data), time.Since(start).Round(time.Millisecond),
+		res.MapTime.PartitionJob, res.ReduceTime.PartitionJob,
+		res.MapTime.MergeJob, res.ReduceTime.MergeJob)
+	return skymr.WriteCSV(os.Stdout, res.Skyline, cols)
+}
+
+func parseScheme(s string) (partition.Scheme, error) {
+	switch s {
+	case "angle":
+		return partition.Angular, nil
+	case "grid":
+		return partition.Grid, nil
+	case "dim":
+		return partition.Dimensional, nil
+	case "random":
+		return partition.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}

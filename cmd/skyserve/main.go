@@ -1,0 +1,143 @@
+// Command skyserve runs the UDDI-like skyline registry as an HTTP
+// service: providers publish services with QoS vectors, clients query the
+// live skyline. The skyline is maintained incrementally (paper §II) — a
+// publish touches only the service's partition.
+//
+// Usage:
+//
+//	skyserve [-addr :8080] [-method angle] [-seed-n 1000] [-seed-d 4]
+//	         [-seed-file data.csv] [-header] [-snapshot registry.jsonl]
+//
+// API:
+//
+//	POST /services  {"name": "svc-1", "qos": [120.5, 3.2, 0.7, 14]}
+//	GET  /skyline
+//	GET  /stats
+//
+// With -snapshot, the catalogue is loaded from the file at boot (when it
+// exists) and written back on SIGINT/SIGTERM, so a restarted registry
+// resumes where it left off.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	skymr "repro"
+	"repro/internal/driver"
+	"repro/internal/partition"
+	"repro/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	method := flag.String("method", "angle", "partitioning method: angle, grid, dim, random")
+	seedN := flag.Int("seed-n", 1000, "number of synthetic seed services (ignored with -seed-file/-snapshot)")
+	seedD := flag.Int("seed-d", 4, "QoS attributes of synthetic seeds")
+	seedFile := flag.String("seed-file", "", "CSV file of seed services instead of synthetic data")
+	header := flag.Bool("header", false, "seed CSV has a header row")
+	snapshot := flag.String("snapshot", "", "catalogue file: loaded at boot, saved on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *method, *seedN, *seedD, *seedFile, *header, *snapshot); err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, method string, seedN, seedD int, seedFile string, header bool, snapshot string) error {
+	scheme, err := parseScheme(method)
+	if err != nil {
+		return err
+	}
+	reg, err := bootRegistry(scheme, seedN, seedD, seedFile, header, snapshot)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "skyserve: %d services (%d attributes), %s partitioning, listening on %s\n",
+		reg.Len(), reg.Dim(), scheme, addr)
+
+	srv := &http.Server{Addr: addr, Handler: reg.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "skyserve: %v, shutting down\n", s)
+	}
+	if snapshot != "" {
+		f, err := os.Create(snapshot)
+		if err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		if err := reg.Save(f); err != nil {
+			f.Close()
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "skyserve: catalogue saved to %s (%d services)\n", snapshot, reg.Len())
+	}
+	return srv.Shutdown(context.Background())
+}
+
+// bootRegistry picks the data source by precedence: snapshot file (if it
+// exists), then seed CSV, then synthetic data.
+func bootRegistry(scheme partition.Scheme, seedN, seedD int, seedFile string, header bool, snapshot string) (*registry.Registry, error) {
+	opts := driver.Options{Scheme: scheme}
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			defer f.Close()
+			reg, err := registry.Load(context.Background(), f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
+			}
+			fmt.Fprintf(os.Stderr, "skyserve: restored catalogue from %s\n", snapshot)
+			return reg, nil
+		}
+	}
+	var data skymr.Set
+	if seedFile != "" {
+		f, err := os.Open(seedFile)
+		if err != nil {
+			return nil, err
+		}
+		data, _, err = skymr.ReadCSV(f, header)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		data = skymr.GenerateQWS(2012, seedN, seedD)
+	}
+	seeds := make([]registry.Service, len(data))
+	for i, p := range data {
+		seeds[i] = registry.Service{Name: fmt.Sprintf("seed-%06d", i), QoS: p}
+	}
+	return registry.New(context.Background(), seeds, opts)
+}
+
+func parseScheme(s string) (partition.Scheme, error) {
+	switch s {
+	case "angle":
+		return partition.Angular, nil
+	case "grid":
+		return partition.Grid, nil
+	case "dim":
+		return partition.Dimensional, nil
+	case "random":
+		return partition.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}

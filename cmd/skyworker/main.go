@@ -1,0 +1,41 @@
+// Command skyworker runs one distributed skyline worker: it connects to a
+// skymaster, pulls map/reduce tasks of the registered skyline jobs, and
+// executes them until the master shuts down.
+//
+// Usage:
+//
+//	skyworker -master 127.0.0.1:7077 [-id worker-1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/rpcmr"
+	_ "repro/internal/skyjob" // registers the skyline jobs
+)
+
+func main() {
+	master := flag.String("master", "127.0.0.1:7077", "master address")
+	id := flag.String("id", "", "worker id (default: generated)")
+	flag.Parse()
+
+	w, err := rpcmr.NewWorker(rpcmr.WorkerConfig{MasterAddr: *master, ID: *id})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "skyworker: connected to %s\n", *master)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "skyworker: done (%d tasks completed)\n", w.Completed())
+}

@@ -1,0 +1,87 @@
+package skymr
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Constraint restricts a skyline query to services whose attributes fall
+// inside per-dimension ranges — the paper's §II "QoS demand" that the
+// master applies when dispatching data blocks (e.g. "response time below
+// 500 ms and availability above 95%"). A nil bound leaves that side open.
+type Constraint struct {
+	// Min and Max are inclusive per-dimension bounds; either may be nil
+	// for no bound on that side. Non-nil slices must match the data
+	// dimensionality.
+	Min, Max []float64
+}
+
+// Matches reports whether p satisfies the constraint.
+func (c Constraint) Matches(p Point) bool {
+	for j, v := range p {
+		if c.Min != nil && v < c.Min[j] {
+			return false
+		}
+		if c.Max != nil && v > c.Max[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Constraint) validate(dim int) error {
+	if c.Min != nil && len(c.Min) != dim {
+		return fmt.Errorf("skymr: constraint min has %d dims, want %d", len(c.Min), dim)
+	}
+	if c.Max != nil && len(c.Max) != dim {
+		return fmt.Errorf("skymr: constraint max has %d dims, want %d", len(c.Max), dim)
+	}
+	if c.Min != nil && c.Max != nil {
+		for j := range c.Min {
+			if c.Min[j] > c.Max[j] {
+				return fmt.Errorf("skymr: constraint dim %d inverted: [%g, %g]", j, c.Min[j], c.Max[j])
+			}
+		}
+	}
+	return nil
+}
+
+// ComputeConstrained runs the MapReduce skyline over only the services
+// satisfying the constraint — the constrained skyline query. The skyline
+// is computed within the constrained region, so points that were dominated
+// only by out-of-region services reappear (the standard constrained
+// skyline semantics).
+func ComputeConstrained(ctx context.Context, data Set, c Constraint, opts Options) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("skymr: empty dataset")
+	}
+	if err := c.validate(data.Dim()); err != nil {
+		return nil, err
+	}
+	filtered := make(Set, 0, len(data))
+	for _, p := range data {
+		if c.Matches(p) {
+			filtered = append(filtered, p)
+		}
+	}
+	if len(filtered) == 0 {
+		return &Result{Method: opts.Method, LocalSkylines: map[int]Set{}}, nil
+	}
+	return Compute(ctx, filtered, opts)
+}
+
+// Unbounded returns a bound slice usable in Constraint for "no limit"
+// dimensions when mixing bounded and unbounded attributes: -Inf for Min,
+// +Inf for Max.
+func Unbounded(dim int, upper bool) []float64 {
+	v := math.Inf(-1)
+	if upper {
+		v = math.Inf(1)
+	}
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

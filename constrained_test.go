@@ -1,0 +1,117 @@
+package skymr
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+)
+
+func TestComputeConstrained(t *testing.T) {
+	data := uniform(91, 2000, 2)
+	c := Constraint{
+		Min: []float64{0, 0},
+		Max: []float64{50, 50},
+	}
+	res, err := ComputeConstrained(context.Background(), data, c, Options{Method: Angle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: filter then sequential skyline.
+	var filtered Set
+	for _, p := range data {
+		if c.Matches(p) {
+			filtered = append(filtered, p)
+		}
+	}
+	want := Skyline(filtered)
+	if !sameMultiset(res.Skyline, want) {
+		t.Errorf("constrained skyline %d points, oracle %d", len(res.Skyline), len(want))
+	}
+	for _, p := range res.Skyline {
+		if p[0] > 50 || p[1] > 50 {
+			t.Errorf("out-of-region point %v in constrained skyline", p)
+		}
+	}
+}
+
+func TestConstrainedRevealsHiddenPoints(t *testing.T) {
+	// (60, 60) is dominated by (1, 1) globally, but inside the region
+	// x,y ≥ 50 it is the best service and must surface.
+	data := Set{{1, 1}, {60, 60}, {70, 80}, {90, 55}}
+	c := Constraint{Min: []float64{50, 50}, Max: nil}
+	res, err := ComputeConstrained(context.Background(), data, c, Options{Method: Grid, Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Skyline.Contains(Point{60, 60}) {
+		t.Errorf("constrained skyline %v missing the in-region optimum", res.Skyline)
+	}
+	if res.Skyline.Contains(Point{1, 1}) {
+		t.Error("out-of-region point included")
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	data := uniform(92, 20, 3)
+	if _, err := ComputeConstrained(context.Background(), data, Constraint{Min: []float64{0}}, Options{}); err == nil {
+		t.Error("short min accepted")
+	}
+	if _, err := ComputeConstrained(context.Background(), data, Constraint{Max: []float64{0, 0}}, Options{}); err == nil {
+		t.Error("short max accepted")
+	}
+	bad := Constraint{Min: []float64{5, 5, 5}, Max: []float64{1, 9, 9}}
+	if _, err := ComputeConstrained(context.Background(), data, bad, Options{}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ComputeConstrained(context.Background(), nil, Constraint{}, Options{}); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestConstrainedNoMatches(t *testing.T) {
+	data := uniform(93, 50, 2)
+	c := Constraint{Min: []float64{1e9, 1e9}}
+	res, err := ComputeConstrained(context.Background(), data, c, Options{Method: Angle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skyline) != 0 {
+		t.Errorf("skyline %v from empty region", res.Skyline)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	lo := Unbounded(3, false)
+	hi := Unbounded(3, true)
+	if !math.IsInf(lo[0], -1) || !math.IsInf(hi[2], 1) {
+		t.Errorf("Unbounded = %v / %v", lo, hi)
+	}
+	c := Constraint{Min: lo, Max: hi}
+	if !c.Matches(Point{1, 2, 3}) {
+		t.Error("unbounded constraint rejected a point")
+	}
+}
+
+func TestPublicIndexSnapshot(t *testing.T) {
+	data := uniform(94, 300, 2)
+	ix, err := BuildIndex(context.Background(), data, Options{Method: Angle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndex(context.Background(), &buf, Options{Method: Angle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(restored.Global(), ix.Global()) {
+		t.Error("restored index global skyline differs")
+	}
+	// Adds still work after restore.
+	if _, in, err := restored.Add(Point{-1, -1}); err != nil || !in {
+		t.Errorf("post-restore add: in=%v err=%v", in, err)
+	}
+}

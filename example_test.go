@@ -1,0 +1,132 @@
+package skymr_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	skymr "repro"
+)
+
+// The paper's Figure 1: eight services in (response time, cost) space;
+// s1..s7 form the skyline, s8 is dominated.
+func Example() {
+	services := skymr.Set{
+		{1, 9},     // s1
+		{2, 7},     // s2
+		{3, 5},     // s3
+		{4, 4},     // s4
+		{5.5, 3.5}, // s5
+		{7, 3},     // s6
+		{9, 1},     // s7
+		{7.5, 6},   // s8 — dominated by s3, s4, s5
+	}
+	res, err := skymr.Compute(context.Background(), services, skymr.Options{
+		Method: skymr.Angle,
+		Nodes:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d services are on the skyline\n", len(res.Skyline), len(services))
+	fmt.Printf("s8 dominated: %v\n", skymr.Dominates(skymr.Point{3, 5}, skymr.Point{7.5, 6}))
+	// Output:
+	// 7 of 8 services are on the skyline
+	// s8 dominated: true
+}
+
+func ExampleSkyline() {
+	data := skymr.Set{{1, 3}, {3, 1}, {2, 2}, {4, 4}}
+	sky := skymr.Skyline(data)
+	fmt.Println(len(sky))
+	// Output:
+	// 3
+}
+
+func ExampleDominates() {
+	better := skymr.Point{100, 0.5} // faster and cheaper
+	worse := skymr.Point{250, 0.9}
+	fmt.Println(skymr.Dominates(better, worse))
+	fmt.Println(skymr.Dominates(worse, better))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleSkylineBounded() {
+	data := skymr.Set{{1, 3}, {3, 1}, {2, 2}, {4, 4}}
+	sky, err := skymr.SkylineBounded(data, 2) // window of only 2 candidates
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(sky))
+	// Output:
+	// 3
+}
+
+func ExampleRepresentativeSkyline() {
+	// A 100-point anti-chain: every point is on the skyline, far too many
+	// to show a user. Pick three spread across the trade-off spectrum.
+	var sky skymr.Set
+	for i := 0; i < 100; i++ {
+		sky = append(sky, skymr.Point{float64(i), float64(100 - i)})
+	}
+	reps := skymr.RepresentativeSkyline(sky, 3)
+	fmt.Println(len(reps))
+	// Output:
+	// 3
+}
+
+func ExampleLoadQWS() {
+	raw := "302.75,89,7.1,90,73,78,80,187.75,32,MapPointService,http://x?wsdl\n" +
+		"482,85,16,95,73,100,84,1,2,CreditCheck,http://y?wsdl\n"
+	data, names, err := skymr.LoadQWS(strings.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(data), data.Dim(), names[0])
+	// Output:
+	// 2 9 MapPointService
+}
+
+func ExampleComputeSkyband() {
+	// A chain: each point dominated by exactly the points before it.
+	data := skymr.Set{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	band, err := skymr.ComputeSkyband(context.Background(), data, 2, skymr.Options{Method: skymr.Grid})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(band)) // the two least-dominated services
+	// Output:
+	// 2
+}
+
+func ExampleComputeConstrained() {
+	data := skymr.Set{{1, 1}, {60, 60}, {70, 80}}
+	// Restrict to the region x ≥ 50: (60, 60) is the in-region optimum
+	// even though (1, 1) dominates it globally.
+	res, err := skymr.ComputeConstrained(context.Background(), data,
+		skymr.Constraint{Min: []float64{50, 0}}, skymr.Options{Method: skymr.Dim, Nodes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Skyline), res.Skyline[0])
+	// Output:
+	// 1 (60, 60)
+}
+
+func ExampleBuildIndex() {
+	data := skymr.Set{{5, 5}, {2, 8}, {8, 2}}
+	ix, err := skymr.BuildIndex(context.Background(), data, skymr.Options{Method: skymr.Angle})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, inGlobal, err := ix.Add(skymr.Point{1, 1}) // dominates everything
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(inGlobal, len(ix.Global()))
+	// Output:
+	// true 1
+}

@@ -1,0 +1,79 @@
+// Monitoring: tracking the skyline of live QoS measurements. The paper's
+// introduction warns that "the QoS of selected service may get degraded
+// rapidly" when traffic saturates; a windowed skyline keeps selections
+// honest by only ranking fresh observations. This example simulates three
+// providers whose performance shifts over time and shows the skyline
+// following the regime changes.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	skymr "repro"
+)
+
+func main() {
+	const window = 60 // keep the last 60 measurements (20 per provider)
+	ws, err := skymr.NewWindowedSkyline(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Three providers measured round-robin on (response time ms, error %).
+	// Provider C starts terribly and becomes excellent after tick 100 —
+	// e.g. an overloaded node was replaced.
+	measure := func(provider int, tick int) skymr.Point {
+		switch provider {
+		case 0: // steady mid-tier
+			return skymr.Point{200 + rng.Float64()*40, 1.0 + rng.Float64()*0.4}
+		case 1: // fast but flaky
+			return skymr.Point{80 + rng.Float64()*30, 3.0 + rng.Float64()*1.0}
+		default: // degraded, then fixed
+			if tick < 100 {
+				return skymr.Point{500 + rng.Float64()*100, 5.0 + rng.Float64()*2}
+			}
+			return skymr.Point{60 + rng.Float64()*20, 0.5 + rng.Float64()*0.3}
+		}
+	}
+	names := []string{"steady-mid", "fast-flaky", "was-degraded"}
+
+	onSky := make([]int, 3) // per-provider: measurements on the skyline in the current epoch
+	report := func(epoch string) {
+		fmt.Printf("%-28s", epoch)
+		for i, n := range names {
+			fmt.Printf("  %s:%3d", n, onSky[i])
+		}
+		fmt.Println()
+		for i := range onSky {
+			onSky[i] = 0
+		}
+	}
+
+	fmt.Printf("window=%d measurements; counting per-provider skyline hits per epoch\n\n", window)
+	for tick := 0; tick < 200; tick++ {
+		provider := tick % 3
+		on, err := ws.Observe(measure(provider, tick))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if on {
+			onSky[provider]++
+		}
+		switch tick {
+		case 99:
+			report("epoch 1 (C degraded):")
+		case 159:
+			report("epoch 2 (C fixed, mixed):")
+		case 199:
+			report("epoch 3 (window all-new):")
+		}
+	}
+	fmt.Printf("\nfinal window skyline: %d of %d fresh measurements\n", len(ws.Skyline()), ws.Len())
+	fmt.Println("note how 'was-degraded' contributes nothing in epoch 1 and dominates epoch 3 —")
+	fmt.Println("a static all-time skyline would still be recommending its stale bad numbers' rivals.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: compute the skyline of a QoS dataset with the paper's
+// MR-Angle method and compare it against the other partitioning schemes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	skymr "repro"
+)
+
+func main() {
+	// 2,000 synthetic web services over 4 QoS attributes (response time,
+	// availability, throughput, successability — all oriented so lower is
+	// better).
+	data := skymr.GenerateQWS(42, 2000, 4)
+	fmt.Printf("dataset: %d services x %d attributes (%v)\n\n",
+		len(data), data.Dim(), skymr.QWSAttributeNames(4))
+
+	// The one-call sequential reference.
+	seq := skymr.Skyline(data)
+	fmt.Printf("sequential BNL skyline: %d services\n\n", len(seq))
+
+	// The MapReduce pipeline with each partitioning method.
+	for _, m := range skymr.Methods() {
+		res, err := skymr.Compute(context.Background(), data, skymr.Options{
+			Method: m,
+			Nodes:  4, // partitions = 2 x nodes, the paper's rule
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s skyline=%d partitions=%d localSkyline=%d optimality=%.3f total=%s\n",
+			res.Method, len(res.Skyline), res.Partitions,
+			res.LocalSkylineTotal(), res.Optimality(),
+			res.Timing.Total.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nbest trade-off services (first 5 of the skyline):")
+	for i, p := range seq {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  service %d: %v\n", i+1, p)
+	}
+}

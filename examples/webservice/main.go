@@ -1,0 +1,121 @@
+// Webservice selection: the paper's motivating scenario (§I). Hundreds of
+// providers answer the same request — e.g. 200 stock-quote services — and
+// a client wants the QoS-optimal shortlist: the skyline over response
+// time, cost and availability. The example then shows why skyline beats a
+// fixed weighted score: every skyline service is the unique winner for
+// SOME preference weighting, while no non-skyline service ever wins.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	skymr "repro"
+)
+
+// provider is one stock-quote service offering.
+type provider struct {
+	name  string
+	point skymr.Point // (response time ms, cost $ per 1k calls, 100-availability %)
+}
+
+func main() {
+	providers := makeMarket(200, 7)
+	data := make(skymr.Set, len(providers))
+	for i, p := range providers {
+		data[i] = p.point
+	}
+
+	res, err := skymr.Compute(context.Background(), data, skymr.Options{
+		Method: skymr.Angle,
+		Nodes:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	onSkyline := map[string]bool{}
+	for _, s := range res.Skyline {
+		for _, p := range providers {
+			if p.point.Equal(s) {
+				onSkyline[p.name] = true
+			}
+		}
+	}
+	fmt.Printf("market: %d providers, skyline shortlist: %d\n\n", len(providers), len(onSkyline))
+
+	fmt.Println("QoS-optimal providers (not dominated by anyone):")
+	names := make([]string, 0, len(onSkyline))
+	for n := range onSkyline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, p := range providers {
+			if p.name == n {
+				fmt.Printf("  %-12s rt=%6.1fms cost=$%5.2f avail=%5.2f%%\n",
+					p.name, p.point[0], p.point[1], 100-p.point[2])
+				break
+			}
+		}
+	}
+
+	// Every preference weighting picks its winner from the skyline.
+	fmt.Println("\nwinners under different client preferences:")
+	prefs := []struct {
+		name string
+		w    [3]float64
+	}{
+		{"latency-obsessed", [3]float64{0.8, 0.1, 0.1}},
+		{"budget-conscious", [3]float64{0.1, 0.8, 0.1}},
+		{"uptime-critical", [3]float64{0.1, 0.1, 0.8}},
+		{"balanced", [3]float64{0.34, 0.33, 0.33}},
+	}
+	min, max := data.Bounds()
+	for _, pref := range prefs {
+		best, bestScore := "", 0.0
+		for _, p := range providers {
+			score := 0.0
+			for j := 0; j < 3; j++ {
+				span := max[j] - min[j]
+				if span == 0 {
+					continue
+				}
+				score += pref.w[j] * (p.point[j] - min[j]) / span
+			}
+			if best == "" || score < bestScore {
+				best, bestScore = p.name, score
+			}
+		}
+		marker := "NOT on skyline (bug!)"
+		if onSkyline[best] {
+			marker = "on skyline"
+		}
+		fmt.Printf("  %-18s -> %-12s (%s)\n", pref.name, best, marker)
+	}
+}
+
+// makeMarket synthesizes competing providers with realistic trade-offs:
+// premium (fast, expensive), budget (slow, cheap), and everything between,
+// plus a few strictly-dominated laggards.
+func makeMarket(n int, seed int64) []provider {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]provider, n)
+	for i := range out {
+		// Position on the cost/performance trade-off curve.
+		t := rng.Float64()
+		rt := 40 + 400*t + rng.Float64()*80       // fast when t small
+		cost := 0.5 + 9*(1-t) + rng.Float64()*1.5 // expensive when t small
+		unavail := 0.05 + rng.Float64()*4         // independent axis
+		out[i] = provider{
+			name:  fmt.Sprintf("svc-%03d", i),
+			point: skymr.Point{rt, cost, unavail},
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package asciiplot renders small terminal charts — horizontal stacked
+// bars and multi-series line plots — so the experiment harness can show
+// the paper's figures, not only their tables, without any graphics
+// dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// StackedBars renders one horizontal stacked bar per row. Each row has a
+// label and one value per segment; segments share the glyph order of
+// segGlyphs across rows. Values must be non-negative.
+//
+//	servers 4  |████████████▒▒▒▒| 212.2s
+func StackedBars(w io.Writer, title string, rowLabels []string, segments [][]float64, segNames []string, format func(total float64) string) error {
+	if len(rowLabels) != len(segments) {
+		return fmt.Errorf("asciiplot: %d labels for %d rows", len(rowLabels), len(segments))
+	}
+	const width = 50
+	glyphs := []rune{'█', '▒', '░', '▓'}
+	maxTotal := 0.0
+	for _, segs := range segments {
+		total := 0.0
+		for _, v := range segs {
+			if v < 0 {
+				return fmt.Errorf("asciiplot: negative segment value %g", v)
+			}
+			total += v
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	labelWidth := 0
+	for _, l := range rowLabels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, segs := range segments {
+		fmt.Fprintf(w, "%-*s |", labelWidth, rowLabels[i])
+		total := 0.0
+		used := 0
+		for si, v := range segs {
+			n := int(math.Round(v / maxTotal * width))
+			if used+n > width {
+				n = width - used
+			}
+			fmt.Fprint(w, strings.Repeat(string(glyphs[si%len(glyphs)]), n))
+			used += n
+			total += v
+		}
+		fmt.Fprint(w, strings.Repeat(" ", width-used))
+		fmt.Fprint(w, "|")
+		if format != nil {
+			fmt.Fprintf(w, " %s", format(total))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(segNames) > 0 {
+		fmt.Fprint(w, "legend:")
+		for si, name := range segNames {
+			fmt.Fprintf(w, "  %c %s", glyphs[si%len(glyphs)], name)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Lines renders a multi-series plot on a character grid: x positions are
+// the equally-spaced labels, y is auto-scaled over all series. Each
+// series is drawn with its own marker.
+func Lines(w io.Writer, title string, xLabels []string, series [][]float64, seriesNames []string, formatY func(float64) string) error {
+	if len(series) == 0 {
+		return fmt.Errorf("asciiplot: no series")
+	}
+	for _, s := range series {
+		if len(s) != len(xLabels) {
+			return fmt.Errorf("asciiplot: series length %d, want %d", len(s), len(xLabels))
+		}
+	}
+	markers := []rune{'A', 'B', 'C', 'D', 'E'}
+	const height, colWidth = 12, 8
+	gridW := len(xLabels) * colWidth
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", gridW))
+	}
+	for si, s := range series {
+		for xi, v := range s {
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			col := xi*colWidth + colWidth/2
+			cell := grid[row][col]
+			if cell == ' ' {
+				grid[row][col] = markers[si%len(markers)]
+			} else if cell != markers[si%len(markers)] {
+				grid[row][col] = '*' // collision of different series
+			}
+		}
+	}
+	if formatY == nil {
+		formatY = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	yTop, yBot := formatY(hi), formatY(lo)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", gridW))
+	fmt.Fprintf(w, "%s  ", strings.Repeat(" ", margin))
+	for _, xl := range xLabels {
+		fmt.Fprintf(w, "%-*s", colWidth, xl)
+	}
+	fmt.Fprintln(w)
+	if len(seriesNames) > 0 {
+		fmt.Fprint(w, "legend:")
+		for si, name := range seriesNames {
+			fmt.Fprintf(w, "  %c=%s", markers[si%len(markers)], name)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package asciiplot
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStackedBars(t *testing.T) {
+	var buf bytes.Buffer
+	err := StackedBars(&buf, "Fig 6",
+		[]string{"4", "8", "32"},
+		[][]float64{{156, 56}, {58, 61}, {21, 74}},
+		[]string{"map", "reduce"},
+		func(total float64) string { return fmt.Sprintf("%.0fs", total) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 6") || !strings.Contains(out, "legend:") {
+		t.Errorf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "212s") {
+		t.Errorf("missing formatted total:\n%s", out)
+	}
+	// The 4-server bar should be the longest.
+	lines := strings.Split(out, "\n")
+	count := func(l string) int { return strings.Count(l, "█") + strings.Count(l, "▒") }
+	if count(lines[1]) <= count(lines[3]) {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestStackedBarsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StackedBars(&buf, "t", []string{"a"}, nil, nil, nil); err == nil {
+		t.Error("mismatched rows accepted")
+	}
+	if err := StackedBars(&buf, "t", []string{"a"}, [][]float64{{-1}}, nil, nil); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestStackedBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StackedBars(&buf, "t", []string{"a"}, [][]float64{{0, 0}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLines(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lines(&buf, "Fig 5",
+		[]string{"2", "4", "6", "8", "10"},
+		[][]float64{
+			{48, 75, 157, 497, 7540},
+			{39, 90, 202, 481, 7672},
+			{54, 88, 119, 225, 6405},
+		},
+		[]string{"MR-Dim", "MR-Grid", "MR-Angle"},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 5", "A=MR-Dim", "C=MR-Angle", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Markers must appear somewhere on the grid.
+	if !strings.ContainsAny(out, "ABC*") {
+		t.Errorf("no data markers:\n%s", out)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, "t", []string{"1"}, nil, nil, nil); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Lines(&buf, "t", []string{"1", "2"}, [][]float64{{1}}, nil, nil); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, "t", []string{"1", "2"}, [][]float64{{5, 5}}, []string{"s"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func demoWorkload(partitions int) Workload {
+	sizes := make([]int, partitions)
+	skies := make([]int, partitions)
+	rng := rand.New(rand.NewSource(int64(partitions)))
+	for i := range sizes {
+		sizes[i] = 100000/partitions + rng.Intn(1000)
+		skies[i] = sizes[i] / 8
+	}
+	return Workload{
+		Records:           100000,
+		Dim:               10,
+		PartitionSizes:    sizes,
+		LocalSkylineSizes: skies,
+		GlobalSkylineSize: 800,
+	}
+}
+
+func TestLPT(t *testing.T) {
+	d := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	tests := []struct {
+		name    string
+		tasks   []time.Duration
+		servers int
+		want    time.Duration
+	}{
+		{"empty", nil, 4, 0},
+		{"single task", []time.Duration{d(7)}, 4, d(7)},
+		{"perfect split", []time.Duration{d(2), d(2), d(2), d(2)}, 2, d(4)},
+		{"one dominant task floors makespan", []time.Duration{d(10), d(1), d(1), d(1)}, 4, d(10)},
+		{"more servers than tasks", []time.Duration{d(5), d(3)}, 10, d(5)},
+		{"one server sums", []time.Duration{d(1), d(2), d(3)}, 1, d(6)},
+		{"classic LPT", []time.Duration{d(7), d(6), d(5), d(4), d(3)}, 3, d(9)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LPT(tt.tasks, tt.servers); got != tt.want {
+				t.Errorf("LPT = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLPTNeverBelowBounds(t *testing.T) {
+	// Makespan ≥ max task and ≥ total/servers, and LPT ≤ total (sanity).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		servers := 1 + rng.Intn(10)
+		tasks := make([]time.Duration, n)
+		var total, max time.Duration
+		for i := range tasks {
+			tasks[i] = time.Duration(rng.Intn(1000)+1) * time.Millisecond
+			total += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		got := LPT(tasks, servers)
+		if got < max {
+			t.Fatalf("makespan %v below max task %v", got, max)
+		}
+		if got < total/time.Duration(servers) {
+			t.Fatalf("makespan %v below total/servers %v", got, total/time.Duration(servers))
+		}
+		if got > total {
+			t.Fatalf("makespan %v above serial total %v", got, total)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := demoWorkload(8)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := w
+	bad.Records = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero records accepted")
+	}
+	bad = w
+	bad.LocalSkylineSizes = bad.LocalSkylineSizes[:3]
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	bad = demoWorkload(4)
+	bad.LocalSkylineSizes[0] = bad.PartitionSizes[0] + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("skyline bigger than partition accepted")
+	}
+}
+
+func TestSimulateScalesDownThenSaturates(t *testing.T) {
+	// Adding servers must cut total time substantially overall; once
+	// saturated, small wobble (< 2%) from over-partitioning overhead is
+	// acceptable — the paper's curve also flattens past 24 servers.
+	cm := DefaultCostModel()
+	var first, prev time.Duration
+	for i, servers := range []int{4, 8, 16, 32} {
+		b, err := Simulate(demoWorkload(2*servers), servers, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.Total()
+		} else if float64(b.Total()) > float64(prev)*1.02 {
+			t.Errorf("total time grew >2%% from %v to %v at %d servers", prev, b.Total(), servers)
+		}
+		prev = b.Total()
+	}
+	if float64(prev) > float64(first)*0.75 {
+		t.Errorf("scaling 4→32 servers only reduced %v to %v (< 25%% gain)", first, prev)
+	}
+}
+
+func TestSimulateSaturates(t *testing.T) {
+	// Speedup must be sub-linear: the 4→8 relative gain exceeds the 24→32
+	// gain (fixed overhead + serial reduce dominate at scale) — the
+	// paper's observation that improvement saturates past ~24 servers.
+	cm := DefaultCostModel()
+	total := func(servers int) time.Duration {
+		b, err := Simulate(demoWorkload(2*servers), servers, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total()
+	}
+	gainEarly := float64(total(4)-total(8)) / float64(total(4))
+	gainLate := float64(total(24)-total(32)) / float64(total(24))
+	if gainLate >= gainEarly {
+		t.Errorf("no saturation: early gain %.3f, late gain %.3f", gainEarly, gainLate)
+	}
+}
+
+func TestSimulateMapDropContributesMost(t *testing.T) {
+	// Paper: "the drop in Map time contributes the most to the
+	// scalability" — reduce time is nearly flat.
+	cm := DefaultCostModel()
+	b4, err := Simulate(demoWorkload(8), 4, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b32, err := Simulate(demoWorkload(64), 32, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapDrop := b4.MapTime - b32.MapTime
+	reduceDrop := b4.ReduceTime - b32.ReduceTime
+	if mapDrop <= reduceDrop {
+		t.Errorf("map drop %v not dominant over reduce drop %v", mapDrop, reduceDrop)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cm := DefaultCostModel()
+	if _, err := Simulate(demoWorkload(8), 0, cm); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := Simulate(Workload{}, 4, cm); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	cm := DefaultCostModel()
+	counts := []int{4, 8, 12}
+	got, err := Sweep(counts, cm, func(s int) (Workload, error) {
+		return demoWorkload(2 * s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d breakdowns", len(got))
+	}
+	for i, b := range got {
+		if b.Servers != counts[i] {
+			t.Errorf("breakdown %d servers = %d, want %d", i, b.Servers, counts[i])
+		}
+	}
+}
+
+func TestLocalSkylineTotal(t *testing.T) {
+	w := Workload{
+		Records: 10, Dim: 2,
+		PartitionSizes:    []int{5, 5},
+		LocalSkylineSizes: []int{2, 3},
+	}
+	if got := w.LocalSkylineTotal(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	cm := DefaultCostModel()
+	w := demoWorkload(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(w, 32, cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

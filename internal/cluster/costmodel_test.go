@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// The simulator prices local skyline computation at bnlComparisons(n, s)
+// ≈ n·s/2 + n dominance comparisons. Validate that estimate against the
+// instrumented BNL on realistic inputs: within a small constant factor
+// across distributions and sizes.
+func TestBnlComparisonEstimateMatchesInstrumentedBNL(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 500 + rng.Intn(3000)
+		d := 2 + rng.Intn(6)
+		s := make(points.Set, n)
+		for i := range s {
+			p := make(points.Point, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			s[i] = p
+		}
+		var c skyline.Counter
+		sky := skyline.Counting(&c)(s)
+		actual := c.Comparisons()
+		est := bnlComparisons(n, len(sky))
+		ratio := float64(actual) / float64(est)
+		if ratio < 0.05 || ratio > 4 {
+			t.Errorf("trial %d n=%d d=%d sky=%d: actual %d vs estimate %d (ratio %.2f)",
+				trial, n, d, len(sky), actual, est, ratio)
+		}
+	}
+}
+
+func TestCountingMatchesBNL(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := make(points.Set, 500)
+	for i := range s {
+		s[i] = points.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	var c skyline.Counter
+	got := skyline.Counting(&c)(s)
+	want := skyline.BNL(s)
+	if len(got) != len(want) {
+		t.Fatalf("counting BNL %d points, plain BNL %d", len(got), len(want))
+	}
+	if c.Comparisons() == 0 {
+		t.Error("no comparisons counted")
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Server describes one machine of a heterogeneous cluster. Speed is a
+// relative factor: a task of nominal duration T runs in T/Speed on this
+// server. The homogeneous Simulate is the Speed=1 special case.
+type Server struct {
+	// Name labels the server in reports.
+	Name string
+	// Speed is the relative execution speed (> 0); 1.0 is the reference.
+	Speed float64
+}
+
+// SimulateHeterogeneous schedules the workload onto an explicit server
+// list with per-server speeds, modelling the mixed-generation clusters
+// real deployments accrete. Scheduling is the LPT analogue for uniform
+// machines: tasks in decreasing nominal duration, each placed on the
+// server with the earliest projected finish time.
+//
+// The reduce side (shuffle + global merge) runs on the fastest server.
+func SimulateHeterogeneous(w Workload, servers []Server, cm CostModel) (Breakdown, error) {
+	if err := w.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if len(servers) == 0 {
+		return Breakdown{}, fmt.Errorf("cluster: need >= 1 server")
+	}
+	fastest := servers[0].Speed
+	for _, s := range servers {
+		if s.Speed <= 0 {
+			return Breakdown{}, fmt.Errorf("cluster: server %q has speed %g, need > 0", s.Name, s.Speed)
+		}
+		if s.Speed > fastest {
+			fastest = s.Speed
+		}
+	}
+
+	// Record-level map work splits proportionally to speed (perfectly
+	// divisible), so it finishes simultaneously everywhere.
+	totalSpeed := 0.0
+	for _, s := range servers {
+		totalSpeed += s.Speed
+	}
+	recordWork := time.Duration(int64(w.Records) * int64(w.Dim) * int64(cm.PerRecordDim))
+	evenMap := time.Duration(float64(recordWork) / totalSpeed)
+
+	// Local skyline tasks via LPT-for-uniform-machines.
+	tasks := make([]time.Duration, len(w.PartitionSizes))
+	for i := range tasks {
+		cmp := bnlComparisons(w.PartitionSizes[i], w.LocalSkylineSizes[i])
+		tasks[i] = time.Duration(cmp * int64(w.Dim) * int64(cm.PerComparisonDim))
+	}
+	makespan := lptUniform(tasks, servers)
+
+	mapTime := cm.JobOverhead + evenMap + makespan
+
+	lsTotal := w.LocalSkylineTotal()
+	bytes := float64(lsTotal * w.Dim * cm.RecordBytesPerDim)
+	shuffle := time.Duration(bytes/cm.BytesPerSecond*float64(time.Second)) +
+		time.Duration(len(w.PartitionSizes))*cm.TransferLatency
+	mergeCmp := bnlComparisons(lsTotal, w.GlobalSkylineSize)
+	mergeConst := cm.MergePerComparisonDim
+	if mergeConst == 0 {
+		mergeConst = cm.PerComparisonDim
+	}
+	merge := time.Duration(float64(mergeCmp*int64(w.Dim)*int64(mergeConst)) / fastest)
+
+	return Breakdown{
+		MapTime:    mapTime,
+		ReduceTime: cm.JobOverhead + shuffle + merge,
+		Servers:    len(servers),
+	}, nil
+}
+
+// lptUniform is LPT for uniform (speed-scaled) machines: tasks sorted
+// descending, each assigned to the server with the earliest projected
+// finish, returning the makespan.
+func lptUniform(tasks []time.Duration, servers []Server) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(tasks))
+	copy(sorted, tasks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	h := make(finishHeap, len(servers))
+	for i, s := range servers {
+		h[i] = serverLoad{speed: s.Speed}
+	}
+	heap.Init(&h)
+	for _, t := range sorted {
+		// Pop the server that would finish this task earliest.
+		best := 0
+		bestFinish := h[0].load + time.Duration(float64(t)/h[0].speed)
+		for i := 1; i < len(h); i++ {
+			f := h[i].load + time.Duration(float64(t)/h[i].speed)
+			if f < bestFinish {
+				best, bestFinish = i, f
+			}
+		}
+		h[best].load = bestFinish
+		heap.Fix(&h, best)
+	}
+	max := time.Duration(0)
+	for _, s := range h {
+		if s.load > max {
+			max = s.load
+		}
+	}
+	return max
+}
+
+type serverLoad struct {
+	load  time.Duration
+	speed float64
+}
+
+type finishHeap []serverLoad
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i].load < h[j].load }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(serverLoad)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Uniform returns n identical speed-1 servers, for composing with
+// SimulateHeterogeneous.
+func Uniform(n int) []Server {
+	out := make([]Server, n)
+	for i := range out {
+		out[i] = Server{Name: fmt.Sprintf("server-%02d", i), Speed: 1}
+	}
+	return out
+}

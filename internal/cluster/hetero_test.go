@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSimulateHeterogeneousMatchesHomogeneous(t *testing.T) {
+	cm := DefaultCostModel()
+	w := demoWorkload(16)
+	homo, err := Simulate(w, 8, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := SimulateHeterogeneous(w, Uniform(8), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical speed-1 servers must reproduce the homogeneous model to
+	// within rounding.
+	if diff := homo.Total() - hetero.Total(); diff > time.Millisecond || diff < -time.Millisecond {
+		t.Errorf("uniform hetero %v differs from homogeneous %v", hetero.Total(), homo.Total())
+	}
+}
+
+func TestSlowServerHurts(t *testing.T) {
+	cm := DefaultCostModel()
+	w := demoWorkload(16)
+	base, err := SimulateHeterogeneous(w, Uniform(8), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := Uniform(8)
+	mixed[0].Speed = 0.25 // one straggler at quarter speed
+	slow, err := SimulateHeterogeneous(w, mixed, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Total() <= base.Total() {
+		t.Errorf("straggler did not hurt: %v vs %v", slow.Total(), base.Total())
+	}
+}
+
+func TestFastServersHelp(t *testing.T) {
+	cm := DefaultCostModel()
+	w := demoWorkload(16)
+	base, err := SimulateHeterogeneous(w, Uniform(8), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := Uniform(8)
+	for i := range fast {
+		fast[i].Speed = 2
+	}
+	quick, err := SimulateHeterogeneous(w, fast, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.MapTime >= base.MapTime {
+		t.Errorf("doubling speeds did not cut map time: %v vs %v", quick.MapTime, base.MapTime)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	cm := DefaultCostModel()
+	w := demoWorkload(8)
+	if _, err := SimulateHeterogeneous(w, nil, cm); err == nil {
+		t.Error("no servers accepted")
+	}
+	bad := Uniform(2)
+	bad[1].Speed = 0
+	if _, err := SimulateHeterogeneous(w, bad, cm); err == nil {
+		t.Error("zero-speed server accepted")
+	}
+	if _, err := SimulateHeterogeneous(Workload{}, Uniform(2), cm); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestLPTUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		tasks := make([]time.Duration, n)
+		var total time.Duration
+		for i := range tasks {
+			tasks[i] = time.Duration(rng.Intn(900)+100) * time.Millisecond
+			total += tasks[i]
+		}
+		servers := Uniform(1 + rng.Intn(6))
+		speedSum := 0.0
+		for i := range servers {
+			servers[i].Speed = 0.5 + rng.Float64()*2
+			speedSum += servers[i].Speed
+		}
+		got := lptUniform(tasks, servers)
+		// Lower bound: total work over aggregate speed (allow rounding).
+		lb := time.Duration(float64(total)/speedSum) - time.Microsecond
+		if got < lb {
+			t.Fatalf("makespan %v below aggregate-speed bound %v", got, lb)
+		}
+		// Upper bound: everything on the fastest machine.
+		fastest := servers[0].Speed
+		for _, s := range servers {
+			if s.Speed > fastest {
+				fastest = s.Speed
+			}
+		}
+		ub := time.Duration(float64(total) / servers[slowestIndex(servers)].Speed)
+		if got > ub {
+			t.Fatalf("makespan %v above single-slowest bound %v", got, ub)
+		}
+	}
+}
+
+func slowestIndex(servers []Server) int {
+	idx := 0
+	for i, s := range servers {
+		if s.Speed < servers[idx].Speed {
+			idx = i
+		}
+	}
+	_ = idx
+	return idx
+}
+
+func TestUniform(t *testing.T) {
+	s := Uniform(3)
+	if len(s) != 3 || s[0].Speed != 1 || s[2].Name == "" {
+		t.Errorf("Uniform = %v", s)
+	}
+}

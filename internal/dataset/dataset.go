@@ -1,0 +1,140 @@
+// Package dataset provides the standard synthetic skyline benchmark
+// distributions (Börzsönyi et al., ICDE 2001): independent, correlated and
+// anti-correlated, plus a clustered variant. All generators are
+// deterministic in their seed. Values lie in [0, 1] per dimension and
+// follow the minimization convention.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/points"
+)
+
+// Independent draws every coordinate i.i.d. uniform in [0, 1).
+func Independent(seed int64, n, d int) points.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(points.Set, n)
+	for i := range s {
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		s[i] = p
+	}
+	return s
+}
+
+// Correlated draws points near the main diagonal: a service that is good
+// in one dimension tends to be good in all. Skylines are tiny.
+func Correlated(seed int64, n, d int) points.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(points.Set, n)
+	for i := range s {
+		base := rng.Float64()
+		p := make(points.Point, d)
+		for j := range p {
+			v := base + rng.NormFloat64()*0.05
+			p[j] = clamp01(v)
+		}
+		s[i] = p
+	}
+	return s
+}
+
+// Anticorrelated draws points near the anti-diagonal hyperplane
+// sum ≈ d/2: being good in one dimension implies being bad in others.
+// Skylines are huge — the stress case for skyline processing.
+func Anticorrelated(seed int64, n, d int) points.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(points.Set, n)
+	for i := range s {
+		p := make(points.Point, d)
+		// Start uniform, then project toward the plane sum = d/2 with a
+		// small normal offset, the standard construction.
+		sum := 0.0
+		for j := range p {
+			p[j] = rng.Float64()
+			sum += p[j]
+		}
+		target := float64(d)/2 + rng.NormFloat64()*0.08*float64(d)
+		shift := (target - sum) / float64(d)
+		for j := range p {
+			p[j] = clamp01(p[j] + shift)
+		}
+		s[i] = p
+	}
+	return s
+}
+
+// Clustered draws points around k cluster centres with Gaussian spread —
+// a rough model of market segments of providers.
+func Clustered(seed int64, n, d, k int) points.Set {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centres := make(points.Set, k)
+	for i := range centres {
+		c := make(points.Point, d)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		centres[i] = c
+	}
+	s := make(points.Set, n)
+	for i := range s {
+		c := centres[rng.Intn(k)]
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = clamp01(c[j] + rng.NormFloat64()*0.08)
+		}
+		s[i] = p
+	}
+	return s
+}
+
+// Kind names a generator for table-driven experiment configs.
+type Kind int
+
+const (
+	KindIndependent Kind = iota
+	KindCorrelated
+	KindAnticorrelated
+	KindClustered
+)
+
+// String returns the conventional name of the distribution.
+func (k Kind) String() string {
+	switch k {
+	case KindIndependent:
+		return "independent"
+	case KindCorrelated:
+		return "correlated"
+	case KindAnticorrelated:
+		return "anticorrelated"
+	case KindClustered:
+		return "clustered"
+	default:
+		return "unknown"
+	}
+}
+
+// Generate dispatches on Kind (clustered uses 5 centres).
+func Generate(kind Kind, seed int64, n, d int) points.Set {
+	switch kind {
+	case KindCorrelated:
+		return Correlated(seed, n, d)
+	case KindAnticorrelated:
+		return Anticorrelated(seed, n, d)
+	case KindClustered:
+		return Clustered(seed, n, d, 5)
+	default:
+		return Independent(seed, n, d)
+	}
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(1, math.Max(0, v))
+}

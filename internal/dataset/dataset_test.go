@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range []Kind{KindIndependent, KindCorrelated, KindAnticorrelated, KindClustered} {
+		a := Generate(kind, 42, 100, 4)
+		b := Generate(kind, 42, 100, 4)
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Errorf("%v: generation not deterministic at point %d", kind, i)
+			}
+		}
+		c := Generate(kind, 43, 100, 4)
+		same := true
+		for i := range a {
+			if !a[i].Equal(c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestShapeAndRange(t *testing.T) {
+	for _, kind := range []Kind{KindIndependent, KindCorrelated, KindAnticorrelated, KindClustered} {
+		s := Generate(kind, 7, 500, 6)
+		if len(s) != 500 || s.Dim() != 6 {
+			t.Fatalf("%v: shape %dx%d", kind, len(s), s.Dim())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		min, max := s.Bounds()
+		for j := 0; j < 6; j++ {
+			if min[j] < 0 || max[j] > 1 {
+				t.Errorf("%v: dim %d out of [0,1]: [%g, %g]", kind, j, min[j], max[j])
+			}
+		}
+	}
+}
+
+func TestSkylineSizeOrdering(t *testing.T) {
+	// The defining property of the three benchmark distributions:
+	// |skyline(correlated)| < |skyline(independent)| < |skyline(anticorrelated)|.
+	n, d := 2000, 4
+	corr := len(skyline.BNL(Correlated(1, n, d)))
+	ind := len(skyline.BNL(Independent(1, n, d)))
+	anti := len(skyline.BNL(Anticorrelated(1, n, d)))
+	if !(corr < ind && ind < anti) {
+		t.Errorf("skyline sizes corr=%d ind=%d anti=%d violate ordering", corr, ind, anti)
+	}
+}
+
+func TestCorrelationSigns(t *testing.T) {
+	n := 5000
+	corr := pearson(Correlated(2, n, 2))
+	anti := pearson(Anticorrelated(2, n, 2))
+	ind := pearson(Independent(2, n, 2))
+	if corr < 0.8 {
+		t.Errorf("correlated r = %g, want strongly positive", corr)
+	}
+	if anti > -0.3 {
+		t.Errorf("anticorrelated r = %g, want clearly negative", anti)
+	}
+	if math.Abs(ind) > 0.1 {
+		t.Errorf("independent r = %g, want near zero", ind)
+	}
+}
+
+func pearson(s points.Set) float64 {
+	n := float64(len(s))
+	var sx, sy, sxx, syy, sxy float64
+	for _, p := range s {
+		sx += p[0]
+		sy += p[1]
+		sxx += p[0] * p[0]
+		syy += p[1] * p[1]
+		sxy += p[0] * p[1]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestClusteredDegenerateK(t *testing.T) {
+	s := Clustered(3, 100, 3, 0) // k < 1 coerced to 1
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindIndependent.String() != "independent" || KindAnticorrelated.String() != "anticorrelated" {
+		t.Error("unexpected kind names")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind name")
+	}
+}

@@ -1,0 +1,293 @@
+// Package driver composes the MapReduce engine, the partitioners and the
+// sequential skyline kernels into the paper's three algorithms — MR-Dim,
+// MR-Grid and MR-Angle (Algorithm 1) — as the two-job pipeline:
+//
+//	Job 1 (Partitioning Job): map each point to its partition key; a
+//	combiner and the reducer run the BNL kernel per partition, producing
+//	local skylines.
+//
+//	Job 2 (Merging Job): map every local skyline point to one shared key;
+//	a single reduce merges them with BNL into the global skyline.
+//
+// The driver also implements MR-Grid's cell-level dominance pruning and
+// collects the per-partition local skylines needed by the paper's local
+// skyline optimality metric (Eq. 5).
+package driver
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/mapreduce"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// Options configures one MapReduce skyline computation.
+type Options struct {
+	// Scheme selects the partitioning method (MR-Dim / MR-Grid /
+	// MR-Angle / MR-Random).
+	Scheme partition.Scheme
+	// Nodes is the number of cluster nodes being modelled. Following the
+	// paper, the partition count defaults to 2 × Nodes. Defaults to 4.
+	Nodes int
+	// Partitions overrides the 2×Nodes default when > 0.
+	Partitions int
+	// Workers is the engine's worker-goroutine count; defaults to Nodes.
+	Workers int
+	// Kernel is the sequential skyline algorithm used for local and global
+	// skylines. Defaults to BNL, the paper's choice.
+	Kernel skyline.Algorithm
+	// KernelOverride, when non-nil, replaces Kernel with an arbitrary
+	// skyline function (e.g. the R-tree BBS from package rtree, which has
+	// no Algorithm enum value because it carries index state).
+	KernelOverride skyline.Func
+	// PartitionerOverride, when non-nil, replaces the Scheme-fitted
+	// partitioner with a pre-built one (experimental partitioners such as
+	// the angular+radial hybrid). Scheme is then only a label.
+	PartitionerOverride partition.Partitioner
+	// DisableCombiner turns off the in-map local-skyline combiner (the
+	// paper's "middle process"), shipping raw partition contents to the
+	// reducers — the ablation quantifying the paper's §II-B claim.
+	DisableCombiner bool
+	// DisableGridPruning turns off MR-Grid's dominated-cell pruning.
+	DisableGridPruning bool
+	// SpillDir, when set, spills intermediate data to sequence files.
+	SpillDir string
+	// HierarchicalMerge enables the paper's §II iterative extension: the
+	// merge proceeds in rounds of MergeFanIn-way partial merges instead of
+	// a single global reduce — the Twister-style iterative MapReduce path
+	// for registries whose local skylines are too large for one reducer.
+	HierarchicalMerge bool
+	// MergeFanIn is the per-round fan-in of the hierarchical merge
+	// (default 8, minimum 2).
+	MergeFanIn int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 2 * o.Nodes // the paper's empirical setting
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Nodes
+	}
+	return o
+}
+
+// Stats reports what happened inside one computation.
+type Stats struct {
+	// Scheme echoes the partitioning method used.
+	Scheme partition.Scheme
+	// Partitions is the actual partition count after planning.
+	Partitions int
+	// PartitionCounts is the number of input points per partition.
+	PartitionCounts []int
+	// PrunedPartitions counts grid cells skipped by dominance pruning.
+	PrunedPartitions int
+	// LocalSkylines maps partition id → local skyline (Job 1 output).
+	LocalSkylines map[int]points.Set
+	// PartitionJob and MergeJob are the per-job phase timings; Timing is
+	// their sum.
+	PartitionJob, MergeJob, Timing mapreduce.Timing
+	// Counters merges both jobs' framework counters.
+	Counters map[string]int64
+}
+
+// LocalSkylineTotal returns the number of points across all local
+// skylines — the volume entering the merge job.
+func (s *Stats) LocalSkylineTotal() int {
+	n := 0
+	for _, ls := range s.LocalSkylines {
+		n += len(ls)
+	}
+	return n
+}
+
+// Compute runs the selected MapReduce skyline algorithm over data and
+// returns the global skyline plus execution statistics. The input set must
+// be non-empty, uniform-dimensional and finite.
+func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *Stats, error) {
+	if err := data.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("driver: %w", err)
+	}
+	opts = opts.withDefaults()
+
+	part := opts.PartitionerOverride
+	if part == nil {
+		var err error
+		part, err = partition.New(opts.Scheme, data, opts.Partitions)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	stats := &Stats{
+		Scheme:        opts.Scheme,
+		Partitions:    part.Partitions(),
+		LocalSkylines: make(map[int]points.Set),
+	}
+
+	// MR-Grid dominance pruning needs cell occupancy, which is known after
+	// assignment; we take a pre-pass over the data (the same O(n) assigns
+	// the map phase performs) and hand the mapper a pruned-cell mask so
+	// dominated cells are dropped at the source, sparing both the local
+	// skyline computation and the shuffle — the paper's §III-B gain.
+	var pruned []bool
+	if pruner, ok := part.(partition.Pruner); ok && !opts.DisableGridPruning {
+		counts, err := partition.Histogram(part, data)
+		if err != nil {
+			return nil, nil, err
+		}
+		occupied := make([]bool, len(counts))
+		for id, c := range counts {
+			occupied[id] = c > 0
+		}
+		pruned = pruner.Prunable(occupied)
+		for _, p := range pruned {
+			if p {
+				stats.PrunedPartitions++
+			}
+		}
+	}
+
+	kernel := opts.KernelOverride
+	if kernel == nil {
+		kernel = skyline.ByAlgorithm(opts.Kernel)
+	}
+
+	// ---- Job 1: Partitioning Job ------------------------------------
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+
+	counts := make([]int, part.Partitions())
+	mapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		p, err := points.Decode(rec)
+		if err != nil {
+			return err
+		}
+		id, err := part.Assign(p)
+		if err != nil {
+			return err
+		}
+		if pruned != nil && pruned[id] {
+			return nil // cell provably dominated: drop at the source
+		}
+		emit(strconv.Itoa(id), rec)
+		return nil
+	})
+	localSkyline := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		set := make(points.Set, 0, len(values))
+		for _, v := range values {
+			p, err := points.Decode(v)
+			if err != nil {
+				return err
+			}
+			set = append(set, p)
+		}
+		for _, p := range kernel(set) {
+			emit(key, points.Encode(p))
+		}
+		return nil
+	})
+	cfg1 := mapreduce.Config{
+		Name:     fmt.Sprintf("%s-partitioning", opts.Scheme),
+		Workers:  opts.Workers,
+		Reducers: opts.Workers,
+		SpillDir: opts.SpillDir,
+	}
+	if !opts.DisableCombiner {
+		cfg1.Combiner = localSkyline
+	}
+	res1, err := mapreduce.Run(ctx, cfg1, input, mapper, localSkyline)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Collect local skylines and partition occupancy for the stats/metrics.
+	for _, pair := range res1.Pairs {
+		id, err := strconv.Atoi(pair.Key)
+		if err != nil || id < 0 || id >= part.Partitions() {
+			return nil, nil, fmt.Errorf("driver: bad partition key %q", pair.Key)
+		}
+		p, err := points.Decode(pair.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.LocalSkylines[id] = append(stats.LocalSkylines[id], p)
+	}
+	// Occupancy histogram (cheap, for diagnostics and tests).
+	for _, p := range data {
+		id, err := part.Assign(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[id]++
+	}
+	stats.PartitionCounts = counts
+
+	// ---- Job 2: Merging Job -----------------------------------------
+	if opts.HierarchicalMerge {
+		stats.PartitionJob = res1.Timing
+		stats.Timing = res1.Timing
+		var mergeTiming mapreduce.Timing
+		global, err := hierarchicalMerge(ctx, opts, res1.Pairs, kernel, &mergeTiming)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.MergeJob = mergeTiming
+		stats.Timing.Add(mergeTiming)
+		stats.Counters = res1.Counters.Snapshot()
+		return global, stats, nil
+	}
+
+	mergeInput := make([][]byte, len(res1.Pairs))
+	for i, pair := range res1.Pairs {
+		mergeInput[i] = pair.Value
+	}
+	const globalKey = "global"
+	identity := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		emit(globalKey, rec) // paper line 13: output(null, si)
+		return nil
+	})
+	cfg2 := mapreduce.Config{
+		Name:     fmt.Sprintf("%s-merging", opts.Scheme),
+		Workers:  opts.Workers,
+		Reducers: 1, // all local skylines share one key (paper line 12-15)
+		SpillDir: opts.SpillDir,
+	}
+	if !opts.DisableCombiner {
+		// Pre-merge each map task's share before the single reducer sees
+		// it, trimming the serial merge input.
+		cfg2.Combiner = localSkyline
+	}
+	res2, err := mapreduce.Run(ctx, cfg2, mergeInput, identity, localSkyline)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	global := make(points.Set, 0, len(res2.Pairs))
+	for _, pair := range res2.Pairs {
+		p, err := points.Decode(pair.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		global = append(global, p)
+	}
+
+	stats.PartitionJob = res1.Timing
+	stats.MergeJob = res2.Timing
+	stats.Timing = res1.Timing
+	stats.Timing.Add(res2.Timing)
+	stats.Counters = res1.Counters.Snapshot()
+	for k, v := range res2.Counters.Snapshot() {
+		stats.Counters[k] += v
+	}
+	return global, stats, nil
+}

@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// The paper notes (§II) that when the number of services is too large for
+// a single merge, "the MapReduce solution can even be applied iteratively
+// using the Twister [iterative MapReduce] support". hierarchicalMerge
+// implements that extension: instead of one reducer folding every local
+// skyline point, merging proceeds in rounds — round r groups the current
+// candidate partitions into batches of fanIn and reduces each batch to its
+// skyline in parallel — until a single group remains. The final round is
+// exactly the paper's merging job; earlier rounds only shrink its input.
+
+// hierarchicalMerge runs iterative merge rounds over the local skyline
+// pairs (partition key → encoded point) and returns the global skyline.
+// Each round is one MapReduce job; timings accumulate into total.
+func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair, kernel skyline.Func, total *mapreduce.Timing) (points.Set, error) {
+	fanIn := opts.MergeFanIn
+	if fanIn < 2 {
+		fanIn = 8
+	}
+	// Current grouping: map original partition keys to dense group ids.
+	groupOf := make(map[string]int)
+	for _, p := range pairs {
+		if _, ok := groupOf[p.Key]; !ok {
+			groupOf[p.Key] = len(groupOf)
+		}
+	}
+	groups := len(groupOf)
+	if groups == 0 {
+		return nil, nil
+	}
+
+	reducer := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		set := make(points.Set, 0, len(values))
+		for _, v := range values {
+			p, err := points.Decode(v)
+			if err != nil {
+				return err
+			}
+			set = append(set, p)
+		}
+		for _, p := range kernel(set) {
+			emit(key, points.Encode(p))
+		}
+		return nil
+	})
+
+	round := 0
+	for {
+		round++
+		nextGroups := (groups + fanIn - 1) / fanIn
+		mapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+			// Records are prefixed with their current group id.
+			gid, body, err := splitGroupRecord(rec)
+			if err != nil {
+				return err
+			}
+			emit(strconv.Itoa(gid/fanIn), body)
+			return nil
+		})
+
+		input := make([][]byte, 0, len(pairs))
+		for _, p := range pairs {
+			gid, ok := groupOf[p.Key]
+			if !ok {
+				return nil, fmt.Errorf("driver: hierarchical merge lost key %q", p.Key)
+			}
+			input = append(input, joinGroupRecord(gid, p.Value))
+		}
+		cfg := mapreduce.Config{
+			Name:     fmt.Sprintf("%s-merge-round%d", opts.Scheme, round),
+			Workers:  opts.Workers,
+			Reducers: minInt(opts.Workers, nextGroups),
+			SpillDir: opts.SpillDir,
+		}
+		res, err := mapreduce.Run(ctx, cfg, input, mapper, reducer)
+		if err != nil {
+			return nil, err
+		}
+		total.Add(res.Timing)
+
+		if nextGroups <= 1 {
+			out := make(points.Set, 0, len(res.Pairs))
+			for _, p := range res.Pairs {
+				pt, err := points.Decode(p.Value)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+			return out, nil
+		}
+		// Prepare next round: the reducer emitted new group keys.
+		pairs = res.Pairs
+		groupOf = make(map[string]int)
+		for _, p := range pairs {
+			gid, err := strconv.Atoi(p.Key)
+			if err != nil {
+				return nil, fmt.Errorf("driver: bad merge group key %q", p.Key)
+			}
+			groupOf[p.Key] = gid
+		}
+		groups = nextGroups
+	}
+}
+
+// joinGroupRecord prefixes an encoded point with its group id.
+func joinGroupRecord(gid int, body []byte) []byte {
+	s := strconv.Itoa(gid)
+	out := make([]byte, 0, len(s)+1+len(body))
+	out = append(out, s...)
+	out = append(out, ':')
+	out = append(out, body...)
+	return out
+}
+
+// splitGroupRecord parses a record produced by joinGroupRecord.
+func splitGroupRecord(rec []byte) (int, []byte, error) {
+	for i, b := range rec {
+		if b == ':' {
+			gid, err := strconv.Atoi(string(rec[:i]))
+			if err != nil {
+				return 0, nil, fmt.Errorf("driver: bad group prefix %q", rec[:i])
+			}
+			return gid, rec[i+1:], nil
+		}
+		if b < '0' || b > '9' {
+			break
+		}
+	}
+	return 0, nil, fmt.Errorf("driver: malformed group record")
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

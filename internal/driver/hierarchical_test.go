@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/skyline"
+)
+
+func TestHierarchicalMergeMatchesFlat(t *testing.T) {
+	data := uniformSet(21, 1500, 4)
+	want := skyline.Naive(data)
+	for _, fanIn := range []int{2, 3, 8} {
+		got, stats, err := Compute(context.Background(), data, Options{
+			Scheme:            partition.Angular,
+			Nodes:             8, // 16 partitions → multiple merge rounds at fanIn 2-3
+			HierarchicalMerge: true,
+			MergeFanIn:        fanIn,
+		})
+		if err != nil {
+			t.Fatalf("fanIn %d: %v", fanIn, err)
+		}
+		if !sameMultiset(got, want) {
+			t.Errorf("fanIn %d: %d points, oracle %d", fanIn, len(got), len(want))
+		}
+		if stats.MergeJob.Total <= 0 {
+			t.Errorf("fanIn %d: no merge timing recorded", fanIn)
+		}
+	}
+}
+
+func TestHierarchicalMergeAllSchemes(t *testing.T) {
+	data := uniformSet(22, 800, 3)
+	want := skyline.Naive(data)
+	for _, scheme := range allSchemes() {
+		got, _, err := Compute(context.Background(), data, Options{
+			Scheme:            scheme,
+			Nodes:             4,
+			HierarchicalMerge: true,
+			MergeFanIn:        2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !sameMultiset(got, want) {
+			t.Errorf("%v: hierarchical merge wrong", scheme)
+		}
+	}
+}
+
+func TestHierarchicalMergeDefaultFanIn(t *testing.T) {
+	data := uniformSet(23, 400, 2)
+	got, _, err := Compute(context.Background(), data, Options{
+		Scheme:            partition.Grid,
+		HierarchicalMerge: true, // MergeFanIn unset → default 8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, skyline.Naive(data)) {
+		t.Error("default fan-in merge wrong")
+	}
+}
+
+func TestHierarchicalMergeSinglePartition(t *testing.T) {
+	// Degenerate: one partition → one round, trivially correct.
+	data := uniformSet(24, 200, 2)
+	got, _, err := Compute(context.Background(), data, Options{
+		Scheme:            partition.Random,
+		Partitions:        1,
+		HierarchicalMerge: true,
+		MergeFanIn:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, skyline.Naive(data)) {
+		t.Error("single-partition hierarchical merge wrong")
+	}
+}
+
+func TestSplitGroupRecord(t *testing.T) {
+	gid, body, err := splitGroupRecord(joinGroupRecord(42, []byte{0x01, 0x02}))
+	if err != nil || gid != 42 || len(body) != 2 || body[0] != 0x01 {
+		t.Errorf("round trip: gid=%d body=%v err=%v", gid, body, err)
+	}
+	if _, _, err := splitGroupRecord([]byte("nonsense")); err == nil {
+		t.Error("malformed record accepted")
+	}
+	if _, _, err := splitGroupRecord([]byte{}); err == nil {
+		t.Error("empty record accepted")
+	}
+	// A body containing ':' must survive (only the first prefix colon
+	// separates).
+	gid, body, err = splitGroupRecord(joinGroupRecord(7, []byte("a:b")))
+	if err != nil || gid != 7 || string(body) != "a:b" {
+		t.Errorf("colon body: gid=%d body=%q err=%v", gid, body, err)
+	}
+}

@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// Index supports the paper's incremental scenario (§II): when a new
+// service is registered, only its partition's local skyline is updated and
+// the global skyline is re-merged from local skylines — no full recompute
+// over the whole service registry.
+//
+// An Index is safe for concurrent use.
+type Index struct {
+	mu     sync.RWMutex
+	part   partition.Partitioner
+	kernel skyline.Func
+	local  map[int]points.Set // partition id → local skyline
+	global points.Set
+}
+
+// BuildIndex computes an initial index with the given options. The
+// partitioner is fitted once on the initial data; later additions outside
+// the fitted bounds are clamped into boundary partitions (see package
+// partition), which keeps results correct, merely less balanced.
+func BuildIndex(ctx context.Context, data points.Set, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	global, stats, err := Compute(ctx, data, opts)
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.New(opts.Scheme, data, opts.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	local := make(map[int]points.Set, len(stats.LocalSkylines))
+	for id, ls := range stats.LocalSkylines {
+		local[id] = ls.Clone()
+	}
+	return &Index{
+		part:   part,
+		kernel: skyline.ByAlgorithm(opts.Kernel),
+		local:  local,
+		global: global.Clone(),
+	}, nil
+}
+
+// Global returns the current global skyline (a copy).
+func (ix *Index) Global() points.Set {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.global.Clone()
+}
+
+// LocalSkyline returns a copy of one partition's local skyline.
+func (ix *Index) LocalSkyline(id int) points.Set {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.local[id].Clone()
+}
+
+// Add registers a new service point: it is placed into its partition, the
+// local skyline of only that partition is updated, and the global skyline
+// is re-merged from the (small) union of local skylines. It returns the
+// partition the point was assigned to and whether the point survived into
+// the new global skyline.
+func (ix *Index) Add(p points.Point) (partitionID int, inGlobal bool, err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, err := ix.part.Assign(p)
+	if err != nil {
+		return 0, false, fmt.Errorf("driver: incremental add: %w", err)
+	}
+	updated := append(ix.local[id].Clone(), p.Clone())
+	ix.local[id] = ix.kernel(updated)
+
+	var union points.Set
+	for _, ls := range ix.local {
+		union = append(union, ls...)
+	}
+	ix.global = ix.kernel(union)
+	return id, ix.global.Contains(p), nil
+}
+
+// Size returns the total number of points retained across local skylines —
+// the working-set size of the incremental index.
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, ls := range ix.local {
+		n += len(ls)
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/points"
+	"repro/internal/sequencefile"
+	"repro/internal/skyline"
+)
+
+// Index snapshots let a long-running registry restart without recomputing
+// its skyline from the full service catalogue: the persisted state is the
+// partitioner-defining options plus every partition's local skyline —
+// exactly the working set the incremental index keeps in memory.
+//
+// Format: a sequencefile whose first record is ("meta", JSON header) and
+// whose remaining records are (partition-id, encoded point), one per local
+// skyline member.
+
+// snapshotMeta is the JSON header of a snapshot.
+type snapshotMeta struct {
+	Version    int `json:"version"`
+	Dim        int `json:"dim"`
+	Partitions int `json:"partitions"`
+}
+
+const snapshotVersion = 1
+
+// Save writes the index's state: options header plus all local skyline
+// points tagged with their partition.
+//
+// Restoring builds a partitioner from the *restored* union of local
+// skylines. Because every retained point keeps its partition tag, restore
+// does not depend on the rebuilt partitioner agreeing with the original
+// for old points; only *future* Add calls use it, and any consistent
+// partitioning keeps the index correct (local skylines merely stop being
+// aligned with the original sector boundaries, costing balance, not
+// correctness).
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	dim := 0
+	for _, ls := range ix.local {
+		if len(ls) > 0 {
+			dim = ls[0].Dim()
+			break
+		}
+	}
+	if dim == 0 {
+		return fmt.Errorf("driver: cannot snapshot an empty index")
+	}
+	meta := snapshotMeta{
+		Version:    snapshotVersion,
+		Dim:        dim,
+		Partitions: ix.part.Partitions(),
+	}
+	hdr, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	sw := sequencefile.NewWriter(w)
+	if err := sw.Append([]byte("meta"), hdr); err != nil {
+		return err
+	}
+	// Deterministic order: partitions ascending, points in stored order.
+	ids := make([]int, 0, len(ix.local))
+	for id := range ix.local {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		key := []byte(strconv.Itoa(id))
+		for _, p := range ix.local[id] {
+			if err := sw.Append(key, points.Encode(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return sw.Flush()
+}
+
+// LoadIndex restores an index from a snapshot. opts selects the
+// partitioner for future additions (typically the same options the index
+// was built with); the snapshot's partition tags are preserved for the
+// restored points.
+func LoadIndex(ctx context.Context, r io.Reader, opts Options) (*Index, error) {
+	recs, err := sequencefile.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("driver: reading snapshot: %w", err)
+	}
+	if len(recs) == 0 || string(recs[0].Key) != "meta" {
+		return nil, fmt.Errorf("driver: snapshot missing meta header")
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(recs[0].Value, &meta); err != nil {
+		return nil, fmt.Errorf("driver: snapshot meta: %w", err)
+	}
+	if meta.Version != snapshotVersion {
+		return nil, fmt.Errorf("driver: snapshot version %d, want %d", meta.Version, snapshotVersion)
+	}
+	local := make(map[int]points.Set)
+	var union points.Set
+	for _, rec := range recs[1:] {
+		id, err := strconv.Atoi(string(rec.Key))
+		if err != nil {
+			return nil, fmt.Errorf("driver: snapshot partition key %q", rec.Key)
+		}
+		p, err := points.Decode(rec.Value)
+		if err != nil {
+			return nil, err
+		}
+		if p.Dim() != meta.Dim {
+			return nil, fmt.Errorf("driver: snapshot point dim %d, want %d", p.Dim(), meta.Dim)
+		}
+		local[id] = append(local[id], p)
+		union = append(union, p)
+	}
+	if len(union) == 0 {
+		return nil, fmt.Errorf("driver: snapshot holds no points")
+	}
+	opts = opts.withDefaults()
+	ix, err := BuildIndex(ctx, union, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the rebuilt local map with the persisted partition tags so
+	// the restored index is exactly the saved one.
+	ix.mu.Lock()
+	ix.local = local
+	ix.global = skyline.ByAlgorithm(opts.Kernel)(union)
+	ix.mu.Unlock()
+	return ix, nil
+}
+
+// SnapshotBytes is a convenience wrapper returning the serialized index.
+func (ix *Index) SnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,91 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	data := uniformSet(81, 600, 3)
+	ix, err := BuildIndex(context.Background(), data, Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndex(context.Background(), bytes.NewReader(blob), Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(restored.Global(), ix.Global()) {
+		t.Error("restored global skyline differs")
+	}
+	if restored.Size() != ix.Size() {
+		t.Errorf("restored size %d, want %d", restored.Size(), ix.Size())
+	}
+}
+
+func TestSnapshotRestoreSupportsAdds(t *testing.T) {
+	data := uniformSet(82, 400, 2)
+	ix, err := BuildIndex(context.Background(), data, Options{Scheme: partition.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndex(context.Background(), bytes.NewReader(blob), Options{Scheme: partition.Grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adds after restore stay correct versus a batch recompute over the
+	// retained working set plus the new points.
+	adds := uniformSet(83, 100, 2)
+	for _, p := range adds {
+		if _, _, err := restored.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var working points.Set
+	working = append(working, data...)
+	working = append(working, adds...)
+	want := skyline.Naive(working)
+	if !sameMultiset(restored.Global(), want) {
+		t.Errorf("post-restore adds diverged: %d vs %d points", len(restored.Global()), len(want))
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := LoadIndex(context.Background(), strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := LoadIndex(context.Background(), strings.NewReader("not a snapshot at all"), Options{}); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	// Valid container, wrong first record.
+	var buf bytes.Buffer
+	ixData := uniformSet(84, 50, 2)
+	ix, err := BuildIndex(context.Background(), ixData, Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Corrupt a byte in the middle: the checksummed container must reject.
+	corrupted := append([]byte(nil), blob...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := LoadIndex(context.Background(), bytes.NewReader(corrupted), Options{}); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/qws"
+	"repro/internal/rtree"
+	"repro/internal/skyline"
+)
+
+// bbsKernel adapts the R-tree BBS algorithm to the sequential-kernel
+// signature: build an STR-packed tree per invocation, then run the
+// branch-and-bound traversal.
+func bbsKernel(s points.Set) points.Set {
+	if len(s) == 0 {
+		return nil
+	}
+	tr, err := rtree.New(s, rtree.DefaultFanout)
+	if err != nil {
+		// Kernel signatures are infallible; an unbuildable tree means
+		// invalid points, which the driver validated already.
+		panic("experiments: bbs kernel: " + err.Error())
+	}
+	return tr.Skyline(nil)
+}
+
+// AblationRow is one configuration of the design-choice studies that
+// DESIGN.md calls out beyond the paper's own figures.
+type AblationRow struct {
+	Name           string
+	Time           time.Duration
+	ShuffleRecords int64
+	LocalSkyTotal  int
+	PrunedCells    int
+	GlobalSkyline  int
+	Optimality     float64
+}
+
+// Ablations measures, on one QWS-like dataset, the impact of: the
+// local-skyline combiner (the paper's "middle process"), grid cell
+// pruning, the sequential kernel choice, and the random-partitioning
+// baseline.
+func Ablations(ctx context.Context, sc Scale, n, d int) ([]AblationRow, error) {
+	data := qws.Dataset(sc.Seed, n, d)
+	type cfg struct {
+		name string
+		opts driver.Options
+	}
+	// The angular+radial hybrid: same sectors further cut into 4 radial
+	// shells — measures the cost of partitions that do NOT span the
+	// quality gradient (the paper's core argument for pure angles).
+	hybrid, err := partition.FitAngularRadial(data, 2*sc.Nodes, 4)
+	if err != nil {
+		return nil, fmt.Errorf("ablation: fitting hybrid: %w", err)
+	}
+	cfgs := []cfg{
+		{"MR-Angle (BNL, combiner)", driver.Options{Scheme: partition.Angular}},
+		{"MR-Angle+RadialShells", driver.Options{Scheme: partition.Angular, PartitionerOverride: hybrid}},
+		{"MR-Angle no combiner", driver.Options{Scheme: partition.Angular, DisableCombiner: true}},
+		{"MR-Angle SFS kernel", driver.Options{Scheme: partition.Angular, Kernel: skyline.SFSAlgorithm}},
+		{"MR-Angle D&C kernel", driver.Options{Scheme: partition.Angular, Kernel: skyline.DCAlgorithm}},
+		{"MR-Angle BBS kernel", driver.Options{Scheme: partition.Angular, KernelOverride: bbsKernel}},
+		{"MR-Grid (pruning on)", driver.Options{Scheme: partition.Grid}},
+		{"MR-Grid pruning off", driver.Options{Scheme: partition.Grid, DisableGridPruning: true}},
+		{"MR-Random baseline", driver.Options{Scheme: partition.Random}},
+		{"MR-Dim", driver.Options{Scheme: partition.Dimensional}},
+	}
+	rows := make([]AblationRow, 0, len(cfgs))
+	for _, c := range cfgs {
+		c.opts.Nodes = sc.Nodes
+		c.opts.Workers = sc.Workers
+		global, stats, err := driver.Compute(ctx, data, c.opts)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", c.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:           c.name,
+			Time:           stats.Timing.Total,
+			ShuffleRecords: stats.Counters["mr.shuffle.records"],
+			LocalSkyTotal:  stats.LocalSkylineTotal(),
+			PrunedCells:    stats.PrunedPartitions,
+			GlobalSkyline:  len(global),
+			Optimality:     metrics.LocalSkylineOptimality(stats.LocalSkylines, global),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblations renders the rows.
+func WriteAblations(w io.Writer, rows []AblationRow, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-26s%12s%10s%10s%8s%8s%8s\n",
+		"configuration", "time", "shuffle", "localsky", "pruned", "global", "opt")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s%12s%10d%10d%8d%8d%8.3f\n",
+			r.Name, r.Time.Round(time.Microsecond), r.ShuffleRecords,
+			r.LocalSkyTotal, r.PrunedCells, r.GlobalSkyline, r.Optimality)
+	}
+}

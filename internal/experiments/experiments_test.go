@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() Scale {
+	return Scale{
+		SmallN:  300,
+		LargeN:  2000,
+		Dims:    []int{2, 4},
+		Nodes:   4,
+		Workers: 4,
+		Servers: []int{4, 16},
+		Seed:    7,
+		Repeats: 1,
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Figure5(context.Background(), sc, sc.SmallN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sc.Dims) {
+		t.Fatalf("%d rows, want %d", len(rows), len(sc.Dims))
+	}
+	for _, r := range rows {
+		for _, m := range Methods {
+			if r.Times[m] <= 0 {
+				t.Errorf("dim %d %v: no time recorded", r.Dim, m)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure5(&buf, rows, "Figure 5 test")
+	out := buf.String()
+	if !strings.Contains(out, "MR-Angle") || !strings.Contains(out, "grid/angle") {
+		t.Errorf("table rendering missing columns:\n%s", out)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Figure6(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sc.Servers) {
+		t.Fatalf("%d rows, want %d", len(rows), len(sc.Servers))
+	}
+	// More servers must not be substantially slower overall. At this tiny
+	// scale fixed overhead dominates and over-partitioning can add a few
+	// percent, so allow 10% wobble; the paper-scale decline is asserted in
+	// the full benchmark run.
+	if float64(rows[len(rows)-1].Total()) > float64(rows[0].Total())*1.10 {
+		t.Errorf("total time grew >10%% with servers: %v -> %v", rows[0].Total(), rows[len(rows)-1].Total())
+	}
+	for _, r := range rows {
+		if r.MapTime <= 0 || r.ReduceTime <= 0 {
+			t.Errorf("servers %d: empty breakdown %+v", r.Servers, r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure6(&buf, rows, "Figure 6 test")
+	if !strings.Contains(buf.String(), "servers") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Figure7(context.Background(), sc, sc.SmallN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, m := range Methods {
+			o := r.Optimality[m]
+			if o < 0 || o > 1 {
+				t.Errorf("dim %d %v: optimality %g out of [0,1]", r.Dim, m, o)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure7(&buf, rows, "Figure 7 test")
+	if !strings.Contains(buf.String(), "dim") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFigure7AngleWins(t *testing.T) {
+	// The paper's qualitative claim: MR-Angle's local skyline optimality
+	// beats MR-Dim and MR-Grid. Checked at moderate scale on the 2-D and
+	// 4-D sweeps (averaged across dims to damp noise).
+	sc := tinyScale()
+	sc.SmallN = 1500
+	rows, err := Figure7(context.Background(), sc, sc.SmallN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[partition.Scheme]float64{}
+	for _, r := range rows {
+		for _, m := range Methods {
+			avg[m] += r.Optimality[m]
+		}
+	}
+	if avg[partition.Angular] <= avg[partition.Grid] || avg[partition.Angular] <= avg[partition.Dimensional] {
+		t.Errorf("MR-Angle optimality %g not above grid %g / dim %g",
+			avg[partition.Angular], avg[partition.Grid], avg[partition.Dimensional])
+	}
+}
+
+func TestTheoremTable(t *testing.T) {
+	rows := TheoremTable(50000, 1)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Gap < r.Bound-1e-9 {
+			t.Errorf("x=%g: gap %g below bound %g", r.X, r.Gap, r.Bound)
+		}
+		if diff := r.DAngle - r.MCAngle; diff > 0.02 || diff < -0.02 {
+			t.Errorf("x=%g: analytic angle %g vs MC %g", r.X, r.DAngle, r.MCAngle)
+		}
+		if diff := r.DGrid - r.MCGrid; diff > 0.02 || diff < -0.02 {
+			t.Errorf("x=%g: analytic grid %g vs MC %g", r.X, r.DGrid, r.MCGrid)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTheoremTable(&buf, rows, "Theorems")
+	if !strings.Contains(buf.String(), "D_angle") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Ablations(context.Background(), sc, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("only %d ablation rows", len(rows))
+	}
+	// All configurations must agree on the global skyline size.
+	for _, r := range rows[1:] {
+		if r.GlobalSkyline != rows[0].GlobalSkyline {
+			t.Errorf("%s: global skyline %d != %d", r.Name, r.GlobalSkyline, rows[0].GlobalSkyline)
+		}
+	}
+	// The no-combiner run must shuffle more records than the default.
+	var withC, withoutC int64
+	for _, r := range rows {
+		switch r.Name {
+		case "MR-Angle (BNL, combiner)":
+			withC = r.ShuffleRecords
+		case "MR-Angle no combiner":
+			withoutC = r.ShuffleRecords
+		}
+	}
+	if withC >= withoutC {
+		t.Errorf("combiner shuffle %d not below no-combiner %d", withC, withoutC)
+	}
+	var buf bytes.Buffer
+	WriteAblations(&buf, rows, "Ablations")
+	if !strings.Contains(buf.String(), "configuration") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, sc := range []Scale{FullScale(), QuickScale()} {
+		if sc.SmallN <= 0 || sc.LargeN <= sc.SmallN {
+			t.Errorf("bad cardinalities: %+v", sc)
+		}
+		if len(sc.Dims) == 0 || len(sc.Servers) == 0 {
+			t.Errorf("empty sweeps: %+v", sc)
+		}
+		if sc.Dims[len(sc.Dims)-1] != 10 {
+			t.Errorf("dimension sweep must end at the paper's 10: %v", sc.Dims)
+		}
+	}
+}

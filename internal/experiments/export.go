@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveJSON writes one experiment's rows as pretty-printed JSON under dir,
+// named <name>.json — the machine-readable companion to the text tables,
+// for plotting outside this repository. The directory is created if
+// missing.
+func SaveJSON(dir, name string, rows interface{}) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiments: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		f.Close()
+		return "", fmt.Errorf("experiments: encoding %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/qws"
+)
+
+// Golden regression values for the full pipeline on a fixed seed. These
+// quantities are deterministic end to end (generator, partitioners,
+// engine output order, metrics); any change here means an algorithmic
+// change somewhere in the stack and should be reviewed, not silently
+// re-baselined.
+func TestGoldenPipelineValues(t *testing.T) {
+	data := qws.Dataset(2012, 3000, 5)
+	want := map[partition.Scheme]struct {
+		global, localSky int
+		optimality       float64
+	}{
+		partition.Dimensional: {global: 87, localSky: 277, optimality: 0.145833},
+		partition.Grid:        {global: 87, localSky: 307, optimality: 0.125000},
+		partition.Angular:     {global: 87, localSky: 129, optimality: 0.699520},
+	}
+	for scheme, w := range want {
+		global, stats, err := driver.Compute(context.Background(), data, driver.Options{Scheme: scheme, Nodes: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if len(global) != w.global {
+			t.Errorf("%v: global skyline %d, golden %d", scheme, len(global), w.global)
+		}
+		if got := stats.LocalSkylineTotal(); got != w.localSky {
+			t.Errorf("%v: local skyline total %d, golden %d", scheme, got, w.localSky)
+		}
+		if got := metrics.LocalSkylineOptimality(stats.LocalSkylines, global); math.Abs(got-w.optimality) > 1e-6 {
+			t.Errorf("%v: optimality %.6f, golden %.6f", scheme, got, w.optimality)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/qws"
+)
+
+// PartitionCountRow is one cell of the partition-count study: the paper
+// fixes partitions = 2 × nodes "empirically"; this experiment sweeps the
+// multiplier to show the trade-off it balances (parallel slack versus
+// shuffle/merge overhead and per-partition skyline dilution).
+type PartitionCountRow struct {
+	Multiplier int // partitions = Multiplier × nodes
+	Partitions int
+	Method     partition.Scheme
+	Time       time.Duration
+	LocalTotal int
+	Optimality float64
+}
+
+// PartitionCount sweeps the partitions-per-node multiplier for every
+// method on one QWS-like dataset.
+func PartitionCount(ctx context.Context, sc Scale, n, d int) ([]PartitionCountRow, error) {
+	data := qws.Dataset(sc.Seed, n, d)
+	var rows []PartitionCountRow
+	for _, mult := range []int{1, 2, 4, 8} {
+		for _, scheme := range Methods {
+			global, stats, err := driver.Compute(ctx, data, driver.Options{
+				Scheme:     scheme,
+				Nodes:      sc.Nodes,
+				Partitions: mult * sc.Nodes,
+				Workers:    sc.Workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("partition count x%d %v: %w", mult, scheme, err)
+			}
+			rows = append(rows, PartitionCountRow{
+				Multiplier: mult,
+				Partitions: stats.Partitions,
+				Method:     scheme,
+				Time:       stats.Timing.Total,
+				LocalTotal: stats.LocalSkylineTotal(),
+				Optimality: metrics.LocalSkylineOptimality(stats.LocalSkylines, global),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WritePartitionCount renders the rows.
+func WritePartitionCount(w io.Writer, rows []PartitionCountRow, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-13s%-12s%-10s%12s%10s%12s\n",
+		"multiplier", "partitions", "method", "time", "localsky", "optimality")
+	for _, r := range rows {
+		fmt.Fprintf(w, "x%-12d%-12d%-10s%12s%10d%12.3f\n",
+			r.Multiplier, r.Partitions, r.Method,
+			r.Time.Round(time.Microsecond), r.LocalTotal, r.Optimality)
+	}
+}

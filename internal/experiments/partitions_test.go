@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestPartitionCount(t *testing.T) {
+	sc := tinyScale()
+	rows, err := PartitionCount(context.Background(), sc, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*len(Methods) {
+		t.Fatalf("%d rows, want %d", len(rows), 4*len(Methods))
+	}
+	// Local skyline volume must grow with partition count for every
+	// method (more partitions → more locally-undominated survivors).
+	byMethod := map[partition.Scheme][]PartitionCountRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = append(byMethod[r.Method], r)
+	}
+	for m, rs := range byMethod {
+		if rs[0].LocalTotal > rs[len(rs)-1].LocalTotal {
+			t.Errorf("%v: local skyline volume shrank with partitions: %d -> %d",
+				m, rs[0].LocalTotal, rs[len(rs)-1].LocalTotal)
+		}
+		for _, r := range rs {
+			if r.Partitions < r.Multiplier*sc.Nodes && m != partition.Dimensional {
+				t.Errorf("%v x%d: only %d partitions", m, r.Multiplier, r.Partitions)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WritePartitionCount(&buf, rows, "pc")
+	if !strings.Contains(buf.String(), "multiplier") {
+		t.Error("table rendering broken")
+	}
+}

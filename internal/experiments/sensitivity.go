@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// SensitivityRow is one (distribution, method) cell of the
+// data-distribution sensitivity study — the standard skyline-literature
+// sweep (independent / correlated / anti-correlated / clustered) that the
+// paper's QWS-only evaluation leaves implicit.
+type SensitivityRow struct {
+	Distribution dataset.Kind
+	Method       partition.Scheme
+	Time         time.Duration
+	SkylineSize  int
+	LocalTotal   int
+	Optimality   float64
+}
+
+// Sensitivity runs every method over every benchmark distribution at the
+// given cardinality and dimensionality.
+func Sensitivity(ctx context.Context, sc Scale, n, d int) ([]SensitivityRow, error) {
+	kinds := []dataset.Kind{
+		dataset.KindIndependent,
+		dataset.KindCorrelated,
+		dataset.KindAnticorrelated,
+		dataset.KindClustered,
+	}
+	var rows []SensitivityRow
+	for _, kind := range kinds {
+		data := dataset.Generate(kind, sc.Seed, n, d)
+		for _, scheme := range Methods {
+			global, stats, err := driver.Compute(ctx, data, driver.Options{
+				Scheme:  scheme,
+				Nodes:   sc.Nodes,
+				Workers: sc.Workers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity %v/%v: %w", kind, scheme, err)
+			}
+			rows = append(rows, SensitivityRow{
+				Distribution: kind,
+				Method:       scheme,
+				Time:         stats.Timing.Total,
+				SkylineSize:  len(global),
+				LocalTotal:   stats.LocalSkylineTotal(),
+				Optimality:   metrics.LocalSkylineOptimality(stats.LocalSkylines, global),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteSensitivity renders the rows.
+func WriteSensitivity(w io.Writer, rows []SensitivityRow, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s%-10s%12s%10s%10s%12s\n",
+		"distribution", "method", "time", "skyline", "localsky", "optimality")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s%-10s%12s%10d%10d%12.3f\n",
+			r.Distribution, r.Method, r.Time.Round(time.Microsecond),
+			r.SkylineSize, r.LocalTotal, r.Optimality)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSensitivity(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Sensitivity(context.Background(), sc, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*len(Methods) {
+		t.Fatalf("%d rows, want %d", len(rows), 4*len(Methods))
+	}
+	// Skyline sizes per distribution must agree across methods, and the
+	// anticorrelated skyline must dwarf the correlated one.
+	sizes := map[dataset.Kind]int{}
+	for _, r := range rows {
+		if prev, ok := sizes[r.Distribution]; ok && prev != r.SkylineSize {
+			t.Errorf("%v: methods disagree on skyline size (%d vs %d)", r.Distribution, prev, r.SkylineSize)
+		}
+		sizes[r.Distribution] = r.SkylineSize
+		if r.Optimality < 0 || r.Optimality > 1 {
+			t.Errorf("%v/%v: optimality %g", r.Distribution, r.Method, r.Optimality)
+		}
+	}
+	if sizes[dataset.KindAnticorrelated] <= sizes[dataset.KindCorrelated] {
+		t.Errorf("anticorrelated skyline (%d) not larger than correlated (%d)",
+			sizes[dataset.KindAnticorrelated], sizes[dataset.KindCorrelated])
+	}
+
+	var buf bytes.Buffer
+	WriteSensitivity(&buf, rows, "sens")
+	if !strings.Contains(buf.String(), "anticorrelated") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestSaveJSON(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Figure7(context.Background(), sc, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := SaveJSON(dir, "figure7a", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Figure7Row
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, blob)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round trip %d rows, want %d", len(back), len(rows))
+	}
+	// Scheme map keys must render by name.
+	if !strings.Contains(string(blob), "MR-Angle") {
+		t.Errorf("JSON lacks scheme names:\n%s", blob)
+	}
+	for i := range rows {
+		for _, m := range Methods {
+			if back[i].Optimality[m] != rows[i].Optimality[m] {
+				t.Fatalf("row %d method %v mismatch", i, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package hyper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/points"
+)
+
+func TestKnown2D(t *testing.T) {
+	// Paper Eq. (2): r = sqrt(x²+y²), tan(φ) = y/x.
+	c, err := ToHyperspherical(points.Point{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R-5) > 1e-12 {
+		t.Errorf("r = %g, want 5", c.R)
+	}
+	if len(c.Angles) != 1 {
+		t.Fatalf("angles = %v, want 1 angle", c.Angles)
+	}
+	if want := math.Atan2(4, 3); math.Abs(c.Angles[0]-want) > 1e-12 {
+		t.Errorf("φ = %g, want %g", c.Angles[0], want)
+	}
+}
+
+func TestAxisPoints(t *testing.T) {
+	// On the x-axis: angle 0. On the y-axis: angle π/2.
+	c, err := ToHyperspherical(points.Point{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Angles[0] != 0 {
+		t.Errorf("x-axis angle = %g, want 0", c.Angles[0])
+	}
+	c, err = ToHyperspherical(points.Point{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Angles[0]-math.Pi/2) > 1e-12 {
+		t.Errorf("y-axis angle = %g, want π/2", c.Angles[0])
+	}
+}
+
+func TestOrigin(t *testing.T) {
+	// All-zero point: radius 0; angles are degenerate but must be finite
+	// and in range so the partitioner can still bucket the point.
+	c, err := ToHyperspherical(points.Point{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.R != 0 {
+		t.Errorf("r = %g, want 0", c.R)
+	}
+	for i, a := range c.Angles {
+		if math.IsNaN(a) || a < 0 || a > MaxAngle {
+			t.Errorf("angle %d = %g out of [0, π/2]", i, a)
+		}
+	}
+}
+
+func TestDiagonal3D(t *testing.T) {
+	c, err := ToHyperspherical(points.Point{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("r = %g, want sqrt(3)", c.R)
+	}
+	// φ1 = atan(sqrt(2)/1), φ2 = atan(1/1) = π/4.
+	if want := math.Atan(math.Sqrt2); math.Abs(c.Angles[0]-want) > 1e-12 {
+		t.Errorf("φ1 = %g, want %g", c.Angles[0], want)
+	}
+	if math.Abs(c.Angles[1]-math.Pi/4) > 1e-12 {
+		t.Errorf("φ2 = %g, want π/4", c.Angles[1])
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	if _, err := ToHyperspherical(points.Point{1}); err == nil {
+		t.Error("1-dim point accepted")
+	}
+	if _, err := ToHyperspherical(points.Point{}); err == nil {
+		t.Error("0-dim point accepted")
+	}
+	if _, err := ToHyperspherical(points.Point{math.NaN(), 1}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestAnglesInRangeForNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		d := 2 + rng.Intn(9)
+		p := make(points.Point, d)
+		for i := range p {
+			p[i] = rng.Float64() * 1000
+		}
+		c, err := ToHyperspherical(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range c.Angles {
+			if a < 0 || a > MaxAngle+1e-12 {
+				t.Fatalf("angle %d = %g out of [0, π/2] for %v", i, a, p)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		d := 2 + rng.Intn(9)
+		p := make(points.Point, d)
+		for i := range p {
+			p[i] = rng.Float64() * 100
+		}
+		c, err := ToHyperspherical(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := FromHyperspherical(c)
+		if len(back) != d {
+			t.Fatalf("round trip changed dimension: %d -> %d", d, len(back))
+		}
+		for i := range p {
+			if math.Abs(back[i]-p[i]) > 1e-9*(1+math.Abs(p[i])) {
+				t.Fatalf("round trip mismatch dim %d: %g vs %g (point %v)", i, back[i], p[i], p)
+			}
+		}
+	}
+}
+
+func TestRadiusMatchesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		d := 2 + rng.Intn(8)
+		p := make(points.Point, d)
+		for i := range p {
+			p[i] = rng.Float64() * 50
+		}
+		c, err := ToHyperspherical(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c.R-p.Norm()) > 1e-9*(1+p.Norm()) {
+			t.Fatalf("r = %g, norm = %g", c.R, p.Norm())
+		}
+	}
+}
+
+// Scaling a point must leave its angles unchanged (angles depend only on
+// direction) — this is the invariant that makes angular partitioning put
+// high-quality and low-quality services of the same trade-off profile into
+// the same sector.
+func TestAnglesScaleInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 1000; trial++ {
+		d := 2 + rng.Intn(6)
+		p := make(points.Point, d)
+		for i := range p {
+			p[i] = rng.Float64()*10 + 0.01
+		}
+		k := rng.Float64()*9 + 0.5
+		scaled := make(points.Point, d)
+		for i := range p {
+			scaled[i] = p[i] * k
+		}
+		a1, err := AnglesOf(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := AnglesOf(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a1 {
+			if math.Abs(a1[i]-a2[i]) > 1e-9 {
+				t.Fatalf("angle %d changed under scaling by %g: %g vs %g", i, k, a1[i], a2[i])
+			}
+		}
+	}
+}
+
+func BenchmarkToHyperspherical(b *testing.B) {
+	p := points.Point{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToHyperspherical(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

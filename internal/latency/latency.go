@@ -1,0 +1,99 @@
+// Package latency collects duration samples and reports order statistics
+// — the measurement half of the registry load tool (cmd/skyload).
+package latency
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracker accumulates samples. Safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (t *Tracker) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples = append(t.samples, d)
+	t.sorted = false
+	t.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (t *Tracker) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) by nearest rank; zero
+// with no samples.
+func (t *Tracker) Percentile(p float64) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.sortLocked()
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	idx := int(p * float64(len(t.samples)-1))
+	return t.samples[idx]
+}
+
+func (t *Tracker) sortLocked() {
+	if !t.sorted {
+		sort.Slice(t.samples, func(i, j int) bool { return t.samples[i] < t.samples[j] })
+		t.sorted = true
+	}
+}
+
+// Summary is the standard latency report.
+type Summary struct {
+	Count              int
+	Min, Max, Mean     time.Duration
+	P50, P90, P95, P99 time.Duration
+}
+
+// Summary computes the report; zero-valued with no samples.
+func (t *Tracker) Summary() Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Summary{Count: len(t.samples)}
+	if s.Count == 0 {
+		return s
+	}
+	t.sortLocked()
+	s.Min = t.samples[0]
+	s.Max = t.samples[len(t.samples)-1]
+	var total time.Duration
+	for _, d := range t.samples {
+		total += d
+	}
+	s.Mean = total / time.Duration(len(t.samples))
+	q := func(p float64) time.Duration {
+		return t.samples[int(p*float64(len(t.samples)-1))]
+	}
+	s.P50, s.P90, s.P95, s.P99 = q(0.50), q(0.90), q(0.95), q(0.99)
+	return s
+}
+
+// Write renders the summary as one labelled line.
+func (s Summary) Write(w io.Writer, label string) {
+	fmt.Fprintf(w, "%-10s n=%-7d min=%-10s p50=%-10s p90=%-10s p95=%-10s p99=%-10s max=%-10s mean=%s\n",
+		label, s.Count,
+		s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond),
+		s.Mean.Round(time.Microsecond))
+}

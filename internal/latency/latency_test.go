@@ -1,0 +1,83 @@
+package latency
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var tr Tracker
+	for i := 1; i <= 100; i++ {
+		tr.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := tr.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := tr.Percentile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	p50 := tr.Percentile(0.5)
+	if p50 < 49*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	// Out-of-range p is clamped.
+	if got := tr.Percentile(-1); got != time.Millisecond {
+		t.Errorf("p(-1) = %v", got)
+	}
+	if got := tr.Percentile(2); got != 100*time.Millisecond {
+		t.Errorf("p(2) = %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var tr Tracker
+	if s := tr.Summary(); s.Count != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		tr.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	s := tr.Summary()
+	if s.Count != 4 || s.Min != 10*time.Millisecond || s.Max != 40*time.Millisecond {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 25*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	var buf bytes.Buffer
+	s.Write(&buf, "publish")
+	if !strings.Contains(buf.String(), "publish") || !strings.Contains(buf.String(), "p99=") {
+		t.Errorf("rendered: %s", buf.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var tr Tracker
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Count() != 8000 {
+		t.Errorf("count = %d", tr.Count())
+	}
+}
+
+func TestObserveAfterSummary(t *testing.T) {
+	var tr Tracker
+	tr.Observe(5 * time.Millisecond)
+	_ = tr.Summary()
+	tr.Observe(time.Millisecond)
+	if got := tr.Percentile(0); got != time.Millisecond {
+		t.Errorf("new minimum not reflected: %v", got)
+	}
+}

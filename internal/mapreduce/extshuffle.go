@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/sequencefile"
+)
+
+// External (sort-merge) shuffle: when spilling is enabled, each map task
+// writes its per-reducer output as a run sorted by key, and the reduce
+// phase consumes a streaming k-way merge over those runs — one key group
+// in memory at a time, the way disk-era MapReduce actually shuffled. The
+// in-memory path keeps the hash-group shuffle.
+
+// groupSource yields one reduce key group at a time.
+type groupSource interface {
+	// next returns the next group; ok=false at the end.
+	next() (group, bool, error)
+	// reset rewinds the source for a task retry.
+	reset() error
+	// close releases resources and deletes backing files (idempotent).
+	close() error
+}
+
+// sliceGroups adapts the in-memory shuffle result.
+type sliceGroups struct {
+	groups []group
+	pos    int
+}
+
+func (s *sliceGroups) next() (group, bool, error) {
+	if s.pos >= len(s.groups) {
+		return group{}, false, nil
+	}
+	g := s.groups[s.pos]
+	s.pos++
+	return g, true, nil
+}
+
+func (s *sliceGroups) reset() error { s.pos = 0; return nil }
+func (s *sliceGroups) close() error { return nil }
+
+// mergeStream is a k-way merge over sorted spill runs for one reducer.
+type mergeStream struct {
+	files    []string
+	counters *Counters
+	readers  []*sequencefile.Reader
+	closers  []io.Closer
+	h        recordHeap
+	opened   bool
+}
+
+// newMergeStream prepares a merge over the given spill files (each sorted
+// by key; empty paths are skipped). Files are deleted on close.
+func newMergeStream(files []string, counters *Counters) *mergeStream {
+	return &mergeStream{files: files, counters: counters}
+}
+
+func (m *mergeStream) open() error {
+	m.opened = true
+	for i, name := range m.files {
+		if name == "" {
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			return fmt.Errorf("mapreduce: opening spill run: %w", err)
+		}
+		r := sequencefile.NewReader(f)
+		m.readers = append(m.readers, r)
+		m.closers = append(m.closers, f)
+		rec, err := r.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("mapreduce: reading spill run: %w", err)
+		}
+		heap.Push(&m.h, headRecord{key: string(rec.Key), value: rec.Value, src: len(m.readers) - 1, seq: i})
+	}
+	return nil
+}
+
+func (m *mergeStream) next() (group, bool, error) {
+	if !m.opened {
+		if err := m.open(); err != nil {
+			return group{}, false, err
+		}
+	}
+	if m.h.Len() == 0 {
+		return group{}, false, nil
+	}
+	key := m.h[0].key
+	g := group{key: key}
+	for m.h.Len() > 0 && m.h[0].key == key {
+		head := heap.Pop(&m.h).(headRecord)
+		g.values = append(g.values, head.value)
+		if m.counters != nil {
+			m.counters.Add(CounterShuffle, 1)
+		}
+		rec, err := m.readers[head.src].Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return group{}, false, fmt.Errorf("mapreduce: reading spill run: %w", err)
+		}
+		if string(rec.Key) < key {
+			return group{}, false, fmt.Errorf("mapreduce: spill run not sorted (%q after %q)", rec.Key, key)
+		}
+		heap.Push(&m.h, headRecord{key: string(rec.Key), value: rec.Value, src: head.src, seq: head.seq})
+	}
+	return g, true, nil
+}
+
+// reset rewinds for a retry: handles are closed but the backing files
+// survive so the merge can be replayed.
+func (m *mergeStream) reset() error {
+	var first error
+	for _, c := range m.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.closers = nil
+	m.readers = nil
+	m.h = nil
+	m.opened = false
+	return first
+}
+
+func (m *mergeStream) close() error {
+	first := m.reset()
+	for _, name := range m.files {
+		if name == "" {
+			continue
+		}
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	m.files = nil
+	return first
+}
+
+// headRecord is one pending record in the merge heap. seq (the source
+// file's task order) breaks key ties so values keep deterministic
+// task-major order.
+type headRecord struct {
+	key   string
+	value []byte
+	src   int
+	seq   int
+}
+
+type recordHeap []headRecord
+
+func (h recordHeap) Len() int { return len(h) }
+func (h recordHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h recordHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recordHeap) Push(x interface{}) { *h = append(*h, x.(headRecord)) }
+func (h *recordHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// sortPairsByKey orders one partition's pairs by key (stable, preserving
+// emission order within a key) so the spill file is a sorted run.
+func sortPairsByKey(pairs []Pair) {
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+}
+
+// buildGroupSources produces one group source per reducer: merge streams
+// over sorted spill runs when the job spilled, in-memory groups otherwise.
+func buildGroupSources(cfg Config, tasks []taskOutput, counters *Counters) ([]groupSource, error) {
+	spilled := cfg.SpillDir != ""
+	if !spilled {
+		groups, err := shuffle(cfg, tasks, counters)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]groupSource, len(groups))
+		for r := range groups {
+			out[r] = &sliceGroups{groups: groups[r]}
+		}
+		return out, nil
+	}
+	out := make([]groupSource, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		files := make([]string, 0, len(tasks))
+		for _, t := range tasks {
+			if r < len(t.files) && t.files[r] != "" {
+				files = append(files, t.files[r])
+			}
+		}
+		out[r] = newMergeStream(files, counters)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExternalShuffleMatchesInMemory(t *testing.T) {
+	input := make([][]byte, 300)
+	for i := range input {
+		input[i] = []byte(fmt.Sprintf("k%02d v%d", i%17, i))
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		parts := strings.Fields(string(rec))
+		emit(parts[0], []byte(parts[1]))
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		// Concatenate values in order: detects both grouping and value
+		// ordering differences between the two shuffle paths.
+		var sb strings.Builder
+		for _, v := range values {
+			sb.Write(v)
+			sb.WriteByte(',')
+		}
+		emit(key, []byte(sb.String()))
+		return nil
+	})
+	runWith := func(spill string) []Pair {
+		res, err := Run(context.Background(),
+			Config{Workers: 3, Reducers: 3, SplitSize: 20, SpillDir: spill},
+			input, mapper, reducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Pairs
+	}
+	mem := runWith("")
+	ext := runWith(t.TempDir())
+	if len(mem) != len(ext) {
+		t.Fatalf("pair counts differ: %d vs %d", len(mem), len(ext))
+	}
+	for i := range mem {
+		if mem[i].Key != ext[i].Key || string(mem[i].Value) != string(ext[i].Value) {
+			t.Fatalf("pair %d differs:\n mem: %s=%s\n ext: %s=%s",
+				i, mem[i].Key, mem[i].Value, ext[i].Key, ext[i].Value)
+		}
+	}
+}
+
+func TestExternalShuffleReduceRetry(t *testing.T) {
+	// A reduce task that fails on its first attempt must be replayable
+	// from the spill runs (mergeStream.reset path).
+	dir := t.TempDir()
+	var failures int32
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		emit("k", rec)
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		if atomic.AddInt32(&failures, 1) == 1 {
+			return errors.New("transient reduce failure")
+		}
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	res, err := Run(context.Background(),
+		Config{Workers: 1, Reducers: 1, SplitSize: 5, SpillDir: dir, MaxAttempts: 3},
+		[][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e"), []byte("f")},
+		mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || string(res.Pairs[0].Value) != "6" {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	if res.Counters.Get(CounterRedRetries) == 0 {
+		t.Error("no reduce retry recorded")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("leftover spill runs after retry: %v", left)
+	}
+}
+
+func TestExternalShuffleCountsRecords(t *testing.T) {
+	dir := t.TempDir()
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		emit(string(rec), nil)
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, nil)
+		return nil
+	})
+	res, err := Run(context.Background(), Config{SpillDir: dir, SplitSize: 1},
+		[][]byte{[]byte("a"), []byte("b"), []byte("a")}, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterShuffle); got != 3 {
+		t.Errorf("streamed shuffle counted %d records, want 3", got)
+	}
+}
+
+func TestMergeStreamManyRuns(t *testing.T) {
+	// Many map tasks × few reducers: groups span many sorted runs.
+	dir := t.TempDir()
+	input := make([][]byte, 200)
+	for i := range input {
+		input[i] = []byte(fmt.Sprintf("key%d", i%5))
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		emit(string(rec), []byte("x"))
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	res, err := Run(context.Background(),
+		Config{Workers: 4, Reducers: 2, SplitSize: 3, SpillDir: dir},
+		input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, p := range res.Pairs {
+		counts[p.Key] = string(p.Value)
+	}
+	for i := 0; i < 5; i++ {
+		if counts[fmt.Sprintf("key%d", i)] != "40" {
+			t.Errorf("key%d count = %s, want 40", i, counts[fmt.Sprintf("key%d", i)])
+		}
+	}
+}
+
+func TestCompressedSpillSameResult(t *testing.T) {
+	input := make([][]byte, 120)
+	for i := range input {
+		input[i] = []byte(fmt.Sprintf("k%d payload-%d", i%9, i))
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		parts := strings.Fields(string(rec))
+		emit(parts[0], []byte(parts[1]))
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	plain, err := Run(context.Background(),
+		Config{Workers: 2, Reducers: 2, SplitSize: 10, SpillDir: t.TempDir()},
+		input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := Run(context.Background(),
+		Config{Workers: 2, Reducers: 2, SplitSize: 10, SpillDir: t.TempDir(), CompressSpill: true},
+		input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Pairs) != len(compressed.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(plain.Pairs), len(compressed.Pairs))
+	}
+	for i := range plain.Pairs {
+		if plain.Pairs[i].Key != compressed.Pairs[i].Key ||
+			string(plain.Pairs[i].Value) != string(compressed.Pairs[i].Value) {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+	if compressed.Counters.Get(CounterSpillBytes) >= plain.Counters.Get(CounterSpillBytes) {
+		t.Errorf("compression did not shrink spill: %d vs %d bytes",
+			compressed.Counters.Get(CounterSpillBytes), plain.Counters.Get(CounterSpillBytes))
+	}
+}

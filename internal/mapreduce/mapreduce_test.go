@@ -1,0 +1,472 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// wordCount splits records into words and counts them — the canonical
+// smoke test for any MapReduce engine.
+func wordCountJob(t *testing.T, cfg Config, docs []string) map[string]int {
+	t.Helper()
+	input := make([][]byte, len(docs))
+	for i, d := range docs {
+		input[i] = []byte(d)
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		for _, w := range strings.Fields(string(rec)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	})
+	res, err := Run(context.Background(), cfg, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, p := range res.Pairs {
+		n, err := strconv.Atoi(string(p.Value))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p.Key] = n
+	}
+	return out
+}
+
+var wcDocs = []string{
+	"the quick brown fox",
+	"the lazy dog",
+	"the quick dog jumps",
+	"fox and dog and fox",
+}
+
+var wcWant = map[string]int{
+	"the": 3, "quick": 2, "brown": 1, "fox": 3, "lazy": 1,
+	"dog": 3, "jumps": 1, "and": 2,
+}
+
+func TestWordCount(t *testing.T) {
+	got := wordCountJob(t, Config{Name: "wc", Workers: 4, Reducers: 3, SplitSize: 1}, wcDocs)
+	if len(got) != len(wcWant) {
+		t.Fatalf("got %v, want %v", got, wcWant)
+	}
+	for k, v := range wcWant {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestWordCountWithCombiner(t *testing.T) {
+	sum := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	})
+	cfg := Config{Name: "wc-comb", Workers: 2, Reducers: 2, SplitSize: 2, Combiner: sum}
+	got := wordCountJob(t, cfg, wcDocs)
+	for k, v := range wcWant {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	input := make([][]byte, 100)
+	for i := range input {
+		input[i] = []byte("same-key")
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		emit(string(rec), []byte("1"))
+		return nil
+	})
+	count := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	sum := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	})
+
+	noComb, err := Run(context.Background(), Config{Workers: 2, SplitSize: 10}, input, mapper, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withComb, err := Run(context.Background(), Config{Workers: 2, SplitSize: 10, Combiner: sum}, input, mapper, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, w := noComb.Counters.Get(CounterShuffle), withComb.Counters.Get(CounterShuffle); w >= n {
+		t.Errorf("combiner did not cut shuffle volume: %d -> %d", n, w)
+	}
+	// Both must still compute the same total.
+	if string(withComb.Pairs[0].Value) != "100" {
+		t.Errorf("combined total = %s, want 100", withComb.Pairs[0].Value)
+	}
+}
+
+func TestDeterministicOutputAcrossRuns(t *testing.T) {
+	var ref []Pair
+	for trial := 0; trial < 5; trial++ {
+		input := make([][]byte, 200)
+		for i := range input {
+			input[i] = []byte(fmt.Sprintf("doc %d word%d shared", i, i%7))
+		}
+		mapper := MapperFunc(func(rec []byte, emit Emit) error {
+			for _, w := range strings.Fields(string(rec)) {
+				emit(w, []byte(w))
+			}
+			return nil
+		})
+		reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+			emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		})
+		res, err := Run(context.Background(), Config{Workers: 8, Reducers: 4, SplitSize: 3}, input, mapper, reducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = res.Pairs
+			continue
+		}
+		if len(res.Pairs) != len(ref) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(res.Pairs), len(ref))
+		}
+		for i := range ref {
+			if res.Pairs[i].Key != ref[i].Key || string(res.Pairs[i].Value) != string(ref[i].Value) {
+				t.Fatalf("trial %d: pair %d = %v, want %v", trial, i, res.Pairs[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFrameworkCounters(t *testing.T) {
+	cfg := Config{Workers: 2, Reducers: 2, SplitSize: 1}
+	input := [][]byte{[]byte("a b"), []byte("a")}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		for _, w := range strings.Fields(string(rec)) {
+			emit(w, nil)
+		}
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, nil)
+		return nil
+	})
+	res, err := Run(context.Background(), cfg, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if got := c.Get(CounterMapIn); got != 2 {
+		t.Errorf("map in = %d, want 2", got)
+	}
+	if got := c.Get(CounterMapOut); got != 3 {
+		t.Errorf("map out = %d, want 3", got)
+	}
+	if got := c.Get(CounterShuffle); got != 3 {
+		t.Errorf("shuffle = %d, want 3", got)
+	}
+	if got := c.Get(CounterGroups); got != 2 {
+		t.Errorf("groups = %d, want 2", got)
+	}
+	if got := c.Get(CounterReduceOut); got != 2 {
+		t.Errorf("reduce out = %d, want 2", got)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { return boom })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return nil })
+	_, err := Run(context.Background(), Config{Name: "failing"}, [][]byte{[]byte("x")}, mapper, reducer)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "failing") {
+		t.Errorf("error %v does not name the job", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	boom := errors.New("reduce-boom")
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { emit("k", rec); return nil })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return boom })
+	_, err := Run(context.Background(), Config{}, [][]byte{[]byte("x")}, mapper, reducer)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestCombinerErrorPropagates(t *testing.T) {
+	boom := errors.New("combine-boom")
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { emit("k", rec); return nil })
+	ok := ReducerFunc(func(key string, values [][]byte, emit Emit) error { emit(key, nil); return nil })
+	bad := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return boom })
+	_, err := Run(context.Background(), Config{Combiner: bad}, [][]byte{[]byte("x")}, mapper, ok)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestFlakyMapTaskRetried(t *testing.T) {
+	var failures int32
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		// First attempt of each record fails; retry succeeds.
+		if atomic.AddInt32(&failures, 1)%2 == 1 {
+			return errors.New("transient")
+		}
+		emit("k", rec)
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	res, err := Run(context.Background(),
+		Config{Workers: 1, SplitSize: 1, MaxAttempts: 3},
+		[][]byte{[]byte("a")}, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterMapRetries); got < 1 {
+		t.Errorf("retries = %d, want >= 1", got)
+	}
+	if len(res.Pairs) != 1 || string(res.Pairs[0].Value) != "1" {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestPersistentFailureExhaustsAttempts(t *testing.T) {
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { return errors.New("always") })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return nil })
+	_, err := Run(context.Background(), Config{MaxAttempts: 3}, [][]byte{[]byte("x")}, mapper, reducer)
+	if err == nil || !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Errorf("err = %v, want exhausted-attempts failure", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	block := make(chan struct{})
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		once.Do(func() { close(started) })
+		<-block
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return nil })
+	input := make([][]byte, 100)
+	for i := range input {
+		input[i] = []byte("x")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Config{Workers: 1, SplitSize: 1}, input, mapper, reducer)
+		done <- err
+	}()
+	<-started
+	cancel()
+	close(block)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilMapperRejected(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, nil, nil, ReducerFunc(func(string, [][]byte, Emit) error { return nil })); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	if _, err := Run(context.Background(), Config{}, nil, MapperFunc(func([]byte, Emit) error { return nil }), nil); err == nil {
+		t.Error("nil reducer accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { emit("k", rec); return nil })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { emit(key, nil); return nil })
+	res, err := Run(context.Background(), Config{}, nil, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Errorf("pairs = %v, want none", res.Pairs)
+	}
+}
+
+func TestSpillMode(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Name: "spilled", Workers: 3, Reducers: 2, SplitSize: 1, SpillDir: dir}
+	got := wordCountJob(t, cfg, wcDocs)
+	for k, v := range wcWant {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Spill files must be cleaned up after the shuffle.
+	left, err := filepath.Glob(filepath.Join(dir, "*.seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("leftover spill files: %v", left)
+	}
+}
+
+func TestSpillBytesCounter(t *testing.T) {
+	dir := t.TempDir()
+	input := [][]byte{[]byte("hello world hello")}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		for _, w := range strings.Fields(string(rec)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { emit(key, nil); return nil })
+	res, err := Run(context.Background(), Config{SpillDir: dir}, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CounterSpillBytes) <= 0 {
+		t.Error("spill bytes counter not incremented")
+	}
+}
+
+func TestSpillDirMissing(t *testing.T) {
+	cfg := Config{SpillDir: filepath.Join(os.TempDir(), "definitely-missing-dir-xyz")}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { emit("k", rec); return nil })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { return nil })
+	if _, err := Run(context.Background(), cfg, [][]byte{[]byte("x")}, mapper, reducer); err == nil {
+		t.Error("missing spill dir accepted")
+	}
+}
+
+func TestTimingPopulated(t *testing.T) {
+	got := wordCountJob(t, Config{Workers: 2}, wcDocs)
+	if len(got) == 0 {
+		t.Fatal("no output")
+	}
+	input := make([][]byte, len(wcDocs))
+	for i, d := range wcDocs {
+		input[i] = []byte(d)
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error { emit("k", rec); return nil })
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error { emit(key, nil); return nil })
+	res, err := Run(context.Background(), Config{}, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timing
+	if tm.Total <= 0 {
+		t.Error("total timing not recorded")
+	}
+	if tm.Total < tm.Map || tm.Total < tm.Reduce {
+		t.Errorf("phase timings exceed total: %+v", tm)
+	}
+}
+
+func TestTimingAdd(t *testing.T) {
+	a := Timing{Map: 1, Combine: 2, Shuffle: 3, Reduce: 4, Total: 10}
+	b := Timing{Map: 10, Combine: 20, Shuffle: 30, Reduce: 40, Total: 100}
+	a.Add(b)
+	if a.Map != 11 || a.Combine != 22 || a.Shuffle != 33 || a.Reduce != 44 || a.Total != 110 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 2)
+	c.Add("x", 3)
+	c.Add("y", 1)
+	snap := c.Snapshot()
+	if snap["x"] != 5 || snap["y"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	snap["x"] = 99
+	if c.Get("x") != 5 {
+		t.Error("snapshot aliases live counters")
+	}
+}
+
+func TestPartitionOfStableAndInRange(t *testing.T) {
+	for _, key := range []string{"", "a", "partition-7", "日本語"} {
+		p1 := partitionOf(key, 7)
+		p2 := partitionOf(key, 7)
+		if p1 != p2 {
+			t.Errorf("partitionOf(%q) unstable", key)
+		}
+		if p1 < 0 || p1 >= 7 {
+			t.Errorf("partitionOf(%q) = %d out of range", key, p1)
+		}
+	}
+	if partitionOf("anything", 1) != 0 {
+		t.Error("single reducer must get everything")
+	}
+}
+
+func TestManyWorkersFewTasks(t *testing.T) {
+	got := wordCountJob(t, Config{Workers: 64, SplitSize: 100}, wcDocs)
+	for k, v := range wcWant {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	input := make([][]byte, 1000)
+	for i := range input {
+		input[i] = []byte(fmt.Sprintf("word%d common word%d common common", i%50, i%13))
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		for _, w := range strings.Fields(string(rec)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, []byte(strconv.Itoa(len(values))))
+		return nil
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), Config{Workers: 4}, input, mapper, reducer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/sequencefile"
+)
+
+// spillTask writes one map task's partitioned output to sequence files,
+// one file per non-empty reducer partition, and returns the file paths
+// (empty string for partitions with no output).
+func spillTask(cfg Config, task int, parts [][]Pair, counters *Counters) ([]string, error) {
+	files := make([]string, len(parts))
+	for r, pairs := range parts {
+		if len(pairs) == 0 {
+			continue
+		}
+		name := spillFileName(cfg, task, r)
+		f, err := os.Create(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: creating spill: %w", cfg.Name, err)
+		}
+		var w *sequencefile.Writer
+		if cfg.CompressSpill {
+			w = sequencefile.NewCompressedWriter(f)
+		} else {
+			w = sequencefile.NewWriter(f)
+		}
+		for _, p := range pairs {
+			if err := w.Append([]byte(p.Key), p.Value); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("mapreduce: %s: writing spill: %w", cfg.Name, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("mapreduce: %s: flushing spill: %w", cfg.Name, err)
+		}
+		info, err := f.Stat()
+		if err == nil {
+			counters.Add(CounterSpillBytes, info.Size())
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: closing spill: %w", cfg.Name, err)
+		}
+		files[r] = name
+	}
+	return files, nil
+}
+
+// readSpill loads one spill file back into pairs.
+func readSpill(name string) ([]Pair, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := sequencefile.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]Pair, len(recs))
+	for i, rec := range recs {
+		pairs[i] = Pair{Key: string(rec.Key), Value: rec.Value}
+	}
+	return pairs, nil
+}

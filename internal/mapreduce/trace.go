@@ -1,0 +1,91 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one engine lifecycle event, for job observability (the
+// JobTracker page of the Hadoop era). Events are best-effort telemetry:
+// they never affect job results.
+type Event struct {
+	// Time is when the event fired.
+	Time time.Time `json:"time"`
+	// Job is the Config.Name of the job.
+	Job string `json:"job"`
+	// Kind is one of "job-start", "phase-start", "task-start",
+	// "task-end", "task-retry", "job-end".
+	Kind string `json:"kind"`
+	// Phase is "map", "shuffle" or "reduce" for phase/task events.
+	Phase string `json:"phase,omitempty"`
+	// Task is the task index for task events, -1 otherwise.
+	Task int `json:"task"`
+	// Err carries the failure message of a task-retry event.
+	Err string `json:"err,omitempty"`
+}
+
+// EventSink receives engine events. Implementations must be safe for
+// concurrent use; Emit must not block for long (it runs on task
+// goroutines).
+type EventSink interface {
+	Emit(Event)
+}
+
+// MemorySink collects events in memory, primarily for tests and
+// small-scale debugging.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements EventSink.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// JSONSink streams events as JSON lines to a writer.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink wraps w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements EventSink. Encoding errors are dropped: tracing must
+// never fail a job.
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	_ = s.enc.Encode(e)
+	s.mu.Unlock()
+}
+
+// emit sends an event if a sink is configured.
+func (c Config) emit(kind, phase string, task int, errMsg string) {
+	if c.Trace == nil {
+		return
+	}
+	c.Trace.Emit(Event{
+		Time:  time.Now(),
+		Job:   c.Name,
+		Kind:  kind,
+		Phase: phase,
+		Task:  task,
+		Err:   errMsg,
+	})
+}

@@ -1,0 +1,125 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func traceMapper() Mapper {
+	return MapperFunc(func(rec []byte, emit Emit) error {
+		for _, w := range strings.Fields(string(rec)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	})
+}
+
+func traceReducer() Reducer {
+	return ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		emit(key, nil)
+		return nil
+	})
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	sink := &MemorySink{}
+	cfg := Config{Name: "traced", Workers: 2, Reducers: 2, SplitSize: 1, Trace: sink}
+	input := [][]byte{[]byte("a b"), []byte("c")}
+	if _, err := Run(context.Background(), cfg, input, traceMapper(), traceReducer()); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Job != "traced" {
+			t.Errorf("event for job %q", e.Job)
+		}
+	}
+	if kinds["job-start"] != 1 || kinds["job-end"] != 1 {
+		t.Errorf("job events = %v", kinds)
+	}
+	if kinds["phase-start"] != 3 {
+		t.Errorf("phase-start = %d, want 3 (map, shuffle, reduce)", kinds["phase-start"])
+	}
+	if kinds["task-start"] != 4 || kinds["task-end"] != 4 { // 2 map + 2 reduce
+		t.Errorf("task events = %v", kinds)
+	}
+	// First event is job-start, last is job-end.
+	if events[0].Kind != "job-start" || events[len(events)-1].Kind != "job-end" {
+		t.Errorf("ordering: first %q last %q", events[0].Kind, events[len(events)-1].Kind)
+	}
+}
+
+func TestTraceRetries(t *testing.T) {
+	sink := &MemorySink{}
+	var calls int32
+	flaky := MapperFunc(func(rec []byte, emit Emit) error {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return errors.New("transient")
+		}
+		emit("k", rec)
+		return nil
+	})
+	cfg := Config{Workers: 1, MaxAttempts: 2, Trace: sink}
+	if _, err := Run(context.Background(), cfg, [][]byte{[]byte("x")}, flaky, traceReducer()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range sink.Events() {
+		if e.Kind == "task-retry" && e.Err == "transient" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no task-retry event with the failure message")
+	}
+}
+
+func TestTraceFailureEndsJob(t *testing.T) {
+	sink := &MemorySink{}
+	bad := MapperFunc(func(rec []byte, emit Emit) error { return errors.New("fatal") })
+	cfg := Config{Trace: sink}
+	if _, err := Run(context.Background(), cfg, [][]byte{[]byte("x")}, bad, traceReducer()); err == nil {
+		t.Fatal("job should fail")
+	}
+	events := sink.Events()
+	last := events[len(events)-1]
+	if last.Kind != "job-end" || last.Err == "" {
+		t.Errorf("last event = %+v, want failing job-end", last)
+	}
+}
+
+func TestJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONSink(&buf)
+	cfg := Config{Name: "jsonjob", Workers: 1, Trace: sink}
+	if _, err := Run(context.Background(), cfg, [][]byte{[]byte("a")}, traceMapper(), traceReducer()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d JSON lines", len(lines))
+	}
+	for _, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad JSON line %q: %v", l, err)
+		}
+		if e.Job != "jsonjob" {
+			t.Errorf("line for job %q", e.Job)
+		}
+	}
+}
+
+func TestNoTraceNoPanic(t *testing.T) {
+	cfg := Config{} // Trace nil
+	if _, err := Run(context.Background(), cfg, [][]byte{[]byte("a")}, traceMapper(), traceReducer()); err != nil {
+		t.Fatal(err)
+	}
+}

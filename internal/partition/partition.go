@@ -1,0 +1,714 @@
+// Package partition implements the three data-space partitioning schemes
+// compared in the paper — dimensional (MR-Dim), grid (MR-Grid) and angular
+// (MR-Angle) — plus a random baseline. A Partitioner assigns every point of
+// the data space to one of a fixed number of partitions; the MapReduce
+// skyline jobs compute a local skyline per partition and merge them.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hyper"
+	"repro/internal/points"
+)
+
+// Scheme identifies a partitioning scheme.
+type Scheme int
+
+const (
+	// Dimensional splits the data space into equal ranges along a single
+	// dimension (paper §III-A, MR-Dim).
+	Dimensional Scheme = iota
+	// Grid splits every dimension into equal ranges, forming a Cartesian
+	// grid of cells (paper §III-B, MR-Grid).
+	Grid
+	// Angular maps points to hyperspherical coordinates and grids the
+	// angular subspace (paper §III-C, MR-Angle — the new method).
+	Angular
+	// Random assigns points to partitions by a coordinate hash; an extra
+	// baseline not in the paper, useful for ablations.
+	Random
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Dimensional:
+		return "MR-Dim"
+	case Grid:
+		return "MR-Grid"
+	case Angular:
+		return "MR-Angle"
+	case Random:
+		return "MR-Random"
+	default:
+		return "Unknown"
+	}
+}
+
+// Schemes lists the paper's three schemes in presentation order.
+func Schemes() []Scheme { return []Scheme{Dimensional, Grid, Angular} }
+
+// MarshalText encodes the scheme by name, so JSON maps keyed by Scheme
+// and serialized job specs stay human-readable.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a scheme name produced by MarshalText.
+func (s *Scheme) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "MR-Dim":
+		*s = Dimensional
+	case "MR-Grid":
+		*s = Grid
+	case "MR-Angle":
+		*s = Angular
+	case "MR-Random":
+		*s = Random
+	default:
+		return fmt.Errorf("partition: unknown scheme %q", b)
+	}
+	return nil
+}
+
+// Partitioner assigns points to partitions. Implementations are immutable
+// after construction and safe for concurrent use.
+type Partitioner interface {
+	// Name identifies the partitioner for logs and experiment tables.
+	Name() string
+	// Partitions returns the total number of partitions; Assign results
+	// are always in [0, Partitions()).
+	Partitions() int
+	// Assign returns the partition index for p. It returns an error only
+	// for invalid points (wrong dimension, NaN/Inf).
+	Assign(p points.Point) (int, error)
+}
+
+// Pruner is implemented by partitioners that can prove some partitions
+// wholly dominated by others (MR-Grid's cell pruning). Pruned partitions
+// need no local skyline computation.
+type Pruner interface {
+	// Prunable receives which partitions are occupied and returns, for
+	// each partition index, whether it is provably dominated by some other
+	// occupied partition.
+	Prunable(occupied []bool) []bool
+}
+
+// New constructs a partitioner of the given scheme fitted to the dataset,
+// targeting at least want partitions (the actual count may be slightly
+// larger for grid-structured schemes, never smaller unless the scheme
+// cannot express that many cells). The dataset must be non-empty and
+// uniform-dimensional.
+func New(scheme Scheme, data points.Set, want int) (Partitioner, error) {
+	if err := data.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	if want < 1 {
+		return nil, fmt.Errorf("partition: want %d partitions, need >= 1", want)
+	}
+	min, max := data.Bounds()
+	switch scheme {
+	case Dimensional:
+		return NewDimensional(0, min[0], max[0], want, data.Dim())
+	case Grid:
+		return NewGrid(min, max, want)
+	case Angular:
+		return FitAngular(data, want)
+	case Random:
+		return NewRandom(data.Dim(), want)
+	default:
+		return nil, fmt.Errorf("partition: unknown scheme %d", int(scheme))
+	}
+}
+
+// splitCounts factors a target partition count into per-axis split counts
+// over m axes, as evenly as possible: starting from all ones, it repeatedly
+// doubles the axis with the fewest splits until the product reaches the
+// target. The product is the smallest power-of-two-ish value ≥ want
+// reachable this way, which keeps cells close to cubical — the behaviour
+// the paper's figures assume (e.g. 4 partitions in 2-D = 2×2).
+func splitCounts(m, want int) []int {
+	splits := make([]int, m)
+	for i := range splits {
+		splits[i] = 1
+	}
+	product := 1
+	for product < want {
+		// Double the axis with the smallest split count (ties: lowest
+		// index), keeping the grid as balanced as possible.
+		best := 0
+		for i := 1; i < m; i++ {
+			if splits[i] < splits[best] {
+				best = i
+			}
+		}
+		product = product / splits[best] * (splits[best] * 2)
+		splits[best] *= 2
+	}
+	return splits
+}
+
+func product(splits []int) int {
+	p := 1
+	for _, s := range splits {
+		p *= s
+	}
+	return p
+}
+
+// bucket maps v in [lo, hi] to a bin in [0, n). Values outside the fitted
+// range are clamped into the boundary bins so that a partitioner fitted on
+// one dataset still accepts unseen points (e.g. a newly published service).
+func bucket(v, lo, hi float64, n int) int {
+	if n == 1 || hi <= lo {
+		return 0
+	}
+	b := int(float64(n) * (v - lo) / (hi - lo))
+	if b < 0 {
+		return 0
+	}
+	if b >= n {
+		return n - 1
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Dimensional (MR-Dim)
+
+// DimensionalPartitioner splits one chosen dimension into equal-width
+// ranges: partition i covers [i·Vmax/Np, (i+1)·Vmax/Np) of that dimension
+// (paper §III-A).
+type DimensionalPartitioner struct {
+	dim    int     // the dimension partitioned on
+	lo, hi float64 // fitted value range in that dimension
+	n      int     // number of partitions
+	d      int     // expected point dimensionality
+}
+
+// NewDimensional builds a dimensional partitioner over value range
+// [lo, hi] of dimension dim, with n partitions, for d-dimensional points.
+func NewDimensional(dim int, lo, hi float64, n, d int) (*DimensionalPartitioner, error) {
+	if dim < 0 || dim >= d {
+		return nil, fmt.Errorf("partition: dimension %d out of range for %d-dim points", dim, d)
+	}
+	if n < 1 {
+		return nil, errors.New("partition: need >= 1 partition")
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("partition: invalid range [%g, %g]", lo, hi)
+	}
+	return &DimensionalPartitioner{dim: dim, lo: lo, hi: hi, n: n, d: d}, nil
+}
+
+// Name implements Partitioner.
+func (p *DimensionalPartitioner) Name() string { return Dimensional.String() }
+
+// Partitions implements Partitioner.
+func (p *DimensionalPartitioner) Partitions() int { return p.n }
+
+// Assign implements Partitioner.
+func (p *DimensionalPartitioner) Assign(pt points.Point) (int, error) {
+	if err := checkPoint(pt, p.d); err != nil {
+		return 0, err
+	}
+	return bucket(pt[p.dim], p.lo, p.hi, p.n), nil
+}
+
+// ---------------------------------------------------------------------------
+// Grid (MR-Grid)
+
+// GridPartitioner divides every dimension into equal ranges, forming a
+// Cartesian grid of cells (paper §III-B). It supports cell-level dominance
+// pruning: a cell whose min corner is weakly dominated by the max corner of
+// another occupied cell contains only globally dominated points.
+type GridPartitioner struct {
+	min, max points.Point
+	splits   []int
+	n        int
+}
+
+// NewGrid builds a grid partitioner over the bounding box [min, max] with
+// at least want cells.
+func NewGrid(min, max points.Point, want int) (*GridPartitioner, error) {
+	if len(min) != len(max) || len(min) == 0 {
+		return nil, errors.New("partition: grid bounds must be non-empty and same dimension")
+	}
+	for i := range min {
+		if max[i] < min[i] {
+			return nil, fmt.Errorf("partition: grid bound %d inverted: [%g, %g]", i, min[i], max[i])
+		}
+	}
+	splits := splitCounts(len(min), want)
+	return &GridPartitioner{
+		min:    min.Clone(),
+		max:    max.Clone(),
+		splits: splits,
+		n:      product(splits),
+	}, nil
+}
+
+// Name implements Partitioner.
+func (g *GridPartitioner) Name() string { return Grid.String() }
+
+// Partitions implements Partitioner.
+func (g *GridPartitioner) Partitions() int { return g.n }
+
+// Splits returns the per-dimension split counts (for tests and logs).
+func (g *GridPartitioner) Splits() []int {
+	out := make([]int, len(g.splits))
+	copy(out, g.splits)
+	return out
+}
+
+// Assign implements Partitioner.
+func (g *GridPartitioner) Assign(pt points.Point) (int, error) {
+	if err := checkPoint(pt, len(g.min)); err != nil {
+		return 0, err
+	}
+	id := 0
+	for i := range pt {
+		b := bucket(pt[i], g.min[i], g.max[i], g.splits[i])
+		id = id*g.splits[i] + b
+	}
+	return id, nil
+}
+
+// cellCorners returns the min and max corners of cell id.
+func (g *GridPartitioner) cellCorners(id int) (lo, hi points.Point) {
+	d := len(g.min)
+	idx := make([]int, d)
+	for i := d - 1; i >= 0; i-- {
+		idx[i] = id % g.splits[i]
+		id /= g.splits[i]
+	}
+	lo = make(points.Point, d)
+	hi = make(points.Point, d)
+	for i := 0; i < d; i++ {
+		w := (g.max[i] - g.min[i]) / float64(g.splits[i])
+		lo[i] = g.min[i] + float64(idx[i])*w
+		hi[i] = g.min[i] + float64(idx[i]+1)*w
+	}
+	return lo, hi
+}
+
+// Prunable implements Pruner. Cell B is prunable when some other occupied
+// cell A has maxCorner(A) ≤ minCorner(B) component-wise: every point of A
+// then weakly dominates every point of B, and since binning is a function
+// of coordinates, points in different cells are never coordinate-equal, so
+// the dominance is strict (paper's "bottom-left dominates up-right").
+func (g *GridPartitioner) Prunable(occupied []bool) []bool {
+	pruned := make([]bool, g.n)
+	if len(occupied) != g.n {
+		return pruned
+	}
+	type corners struct{ lo, hi points.Point }
+	occ := make([]int, 0, g.n)
+	cs := make([]corners, g.n)
+	for id := 0; id < g.n; id++ {
+		if occupied[id] {
+			lo, hi := g.cellCorners(id)
+			cs[id] = corners{lo, hi}
+			occ = append(occ, id)
+		}
+	}
+	for _, b := range occ {
+		for _, a := range occ {
+			if a == b {
+				continue
+			}
+			if points.DominatesOrEqual(cs[a].hi, cs[b].lo) {
+				pruned[b] = true
+				break
+			}
+		}
+	}
+	return pruned
+}
+
+// ---------------------------------------------------------------------------
+// Angular (MR-Angle)
+
+// AngularPartitioner implements the paper's new scheme: points are mapped
+// to hyperspherical coordinates (Eq. 1) and the (d−1)-dimensional angular
+// subspace [0, π/2]^(d−1) is gridded. Because angles depend only on the
+// direction from the origin, each sector contains a full quality gradient
+// from near-origin (high quality) to far (low quality) services, which is
+// what balances local skyline sizes across partitions.
+//
+// Sector boundaries come in two flavours: equal-width over [0, π/2]
+// (NewAngular — the textbook reading of the paper) and recursive
+// equi-depth cuts at data quantiles (FitAngular — used by New). Real QoS
+// data concentrates in a narrow angular band in high dimensions, leaving
+// most equal-width sectors empty; the fitted variant splits angle φ1 at
+// data quantiles, then splits each resulting slab on φ2 at that slab's own
+// conditional quantiles, and so on (a kd-tree over the angle vector), so
+// every sector holds an equal share of the data. In 2-D this degenerates
+// to plain quantile sectors on the single angle, matching the paper's
+// figure. Either way a sector is a union of rays from the origin — the
+// scheme's defining property.
+//
+// The transform requires non-negative coordinates; the partitioner is
+// fitted with a translation offset that shifts the data's min corner to the
+// origin. Translation preserves dominance, so the skyline is unaffected.
+type AngularPartitioner struct {
+	offset points.Point // subtracted from every point before the transform
+	splits []int        // per-angle split counts, length d−1
+	// cuts[i] holds, for every cell alive after splitting angles 0..i−1
+	// (there are splits[0]·...·splits[i−1] of them, indexed by the partial
+	// cell id), the splits[i]−1 increasing interior boundaries of angle i
+	// within that cell. nil means equal-width buckets over [0, π/2].
+	cuts [][][]float64
+	n    int
+	d    int
+}
+
+// NewAngular builds an angular partitioner for d-dimensional points with
+// at least want sectors, translating by -min so data becomes non-negative.
+// Points need dimension ≥ 2 (a 1-D space has no angles).
+func NewAngular(min points.Point, d, want int) (*AngularPartitioner, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("partition: angular scheme needs dimension >= 2, got %d", d)
+	}
+	if len(min) != d {
+		return nil, fmt.Errorf("partition: offset has dimension %d, want %d", len(min), d)
+	}
+	splits := splitCounts(d-1, want)
+	return &AngularPartitioner{
+		offset: min.Clone(),
+		splits: splits,
+		n:      product(splits),
+		d:      d,
+	}, nil
+}
+
+// Name implements Partitioner.
+func (a *AngularPartitioner) Name() string { return Angular.String() }
+
+// Partitions implements Partitioner.
+func (a *AngularPartitioner) Partitions() int { return a.n }
+
+// Splits returns the per-angle split counts (for tests and logs).
+func (a *AngularPartitioner) Splits() []int {
+	out := make([]int, len(a.splits))
+	copy(out, a.splits)
+	return out
+}
+
+// Assign implements Partitioner.
+func (a *AngularPartitioner) Assign(pt points.Point) (int, error) {
+	if err := checkPoint(pt, a.d); err != nil {
+		return 0, err
+	}
+	shifted := make(points.Point, a.d)
+	for i := range pt {
+		v := pt[i] - a.offset[i]
+		if v < 0 {
+			v = 0 // clamp unseen below-range values; preserves sector order
+		}
+		shifted[i] = v
+	}
+	c, err := hyper.ToHyperspherical(shifted)
+	if err != nil {
+		return 0, err
+	}
+	id := 0
+	for i, ang := range c.Angles {
+		var b int
+		if a.cuts != nil && a.cuts[i] != nil {
+			cell := a.cuts[i][id]
+			b = sort.SearchFloat64s(cell, ang)
+			// SearchFloat64s returns the first cut >= ang; a point exactly
+			// on a cut goes to the upper bucket for half-open intervals.
+			for b < len(cell) && cell[b] == ang {
+				b++
+			}
+		} else {
+			b = bucket(ang, 0, hyper.MaxAngle, a.splits[i])
+		}
+		id = id*a.splits[i] + b
+	}
+	return id, nil
+}
+
+// Cuts returns a deep copy of the recursive quantile boundaries (nil for
+// an equal-width partitioner). Used to ship a fitted partitioner to
+// remote workers.
+func (a *AngularPartitioner) Cuts() [][][]float64 {
+	if a.cuts == nil {
+		return nil
+	}
+	out := make([][][]float64, len(a.cuts))
+	for i, level := range a.cuts {
+		if level == nil {
+			continue
+		}
+		out[i] = make([][]float64, len(level))
+		for j, c := range level {
+			out[i][j] = append([]float64(nil), c...)
+		}
+	}
+	return out
+}
+
+// FitAngular builds an angular partitioner with recursive equi-depth
+// sector boundaries: angle φ1 is cut at the data's quantiles, then each
+// resulting slab is cut on φ2 at the slab's own conditional quantiles, and
+// so on, so every final sector carries (up to ties) the same number of
+// points. Heavily-tied data may still leave some sectors light — correct,
+// merely less balanced.
+func FitAngular(data points.Set, want int) (*AngularPartitioner, error) {
+	if err := data.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	d := data.Dim()
+	if d < 2 {
+		return nil, fmt.Errorf("partition: angular scheme needs dimension >= 2, got %d", d)
+	}
+	min, _ := data.Bounds()
+	a, err := NewAngular(min, d, want)
+	if err != nil {
+		return nil, err
+	}
+	// Compute every point's angle vector once.
+	angles := make([][]float64, len(data))
+	shifted := make(points.Point, d)
+	for k, pt := range data {
+		for i := range pt {
+			shifted[i] = pt[i] - min[i]
+		}
+		c, err := hyper.ToHyperspherical(shifted)
+		if err != nil {
+			return nil, err
+		}
+		angles[k] = c.Angles
+	}
+	// Recursively split: cells[j] holds the indices of points currently in
+	// partial cell j; each level refines every cell on the next angle.
+	cells := [][]int{make([]int, len(data))}
+	for k := range data {
+		cells[0][k] = k
+	}
+	cuts := make([][][]float64, d-1)
+	for i := 0; i < d-1; i++ {
+		k := a.splits[i]
+		if k <= 1 {
+			// No split on this angle: cells carry over unchanged.
+			continue
+		}
+		level := make([][]float64, len(cells))
+		next := make([][]int, 0, len(cells)*k)
+		for j, members := range cells {
+			vals := make([]float64, len(members))
+			for m, idx := range members {
+				vals[m] = angles[idx][i]
+			}
+			sort.Float64s(vals)
+			c := make([]float64, k-1)
+			for q := 1; q < k; q++ {
+				if len(vals) == 0 {
+					c[q-1] = 0
+					continue
+				}
+				idx := q * len(vals) / k
+				if idx >= len(vals) {
+					idx = len(vals) - 1
+				}
+				c[q-1] = vals[idx]
+			}
+			level[j] = c
+			// Distribute members into the k children, matching Assign's
+			// upper-bucket rule for ties.
+			children := make([][]int, k)
+			for _, idx := range members {
+				b := sort.SearchFloat64s(c, angles[idx][i])
+				for b < len(c) && c[b] == angles[idx][i] {
+					b++
+				}
+				children[b] = append(children[b], idx)
+			}
+			next = append(next, children...)
+		}
+		cuts[i] = level
+		cells = next
+	}
+	a.cuts = cuts
+	return a, nil
+}
+
+// FitAngularSampled fits the equi-depth angular partitioner on a uniform
+// random sample of the data — the practical choice for very large
+// datasets, where exact quantiles cost a full sort per tree level. The
+// sample is drawn deterministically from seed. sampleSize is clamped to
+// the dataset size; values below 2×want quantiles are raised to 64×want
+// for stable cuts.
+func FitAngularSampled(data points.Set, want, sampleSize int, seed int64) (*AngularPartitioner, error) {
+	if err := data.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	minSample := 64 * want
+	if sampleSize < minSample {
+		sampleSize = minSample
+	}
+	if sampleSize >= len(data) {
+		return FitAngular(data, want)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := make(points.Set, sampleSize)
+	for i, idx := range rng.Perm(len(data))[:sampleSize] {
+		sample[i] = data[idx]
+	}
+	// The translation offset must come from the full data so no point
+	// lands below the fitted origin; appending the full min corner as one
+	// synthetic sample point achieves that (and perturbs the quantiles by
+	// at most one rank).
+	fullMin, _ := data.Bounds()
+	return FitAngular(append(sample, fullMin.Clone()), want)
+}
+
+// NewAngularWithCuts reconstructs a fitted angular partitioner from its
+// offset, split counts and recursive quantile cuts (as shipped in a
+// distributed job spec). cuts may be nil for equal-width behaviour; when
+// non-nil, cuts[i] must either be nil (splits[i] == 1) or hold one sorted
+// list of splits[i]−1 boundaries per partial cell of level i.
+func NewAngularWithCuts(offset points.Point, splits []int, cuts [][][]float64) (*AngularPartitioner, error) {
+	d := len(offset)
+	if d < 2 {
+		return nil, fmt.Errorf("partition: angular scheme needs dimension >= 2, got %d", d)
+	}
+	if len(splits) != d-1 {
+		return nil, fmt.Errorf("partition: %d splits for %d-dim points, want %d", len(splits), d, d-1)
+	}
+	n := 1
+	for i, s := range splits {
+		if s < 1 {
+			return nil, fmt.Errorf("partition: split %d is %d, want >= 1", i, s)
+		}
+		n *= s
+	}
+	if cuts != nil {
+		if len(cuts) != d-1 {
+			return nil, fmt.Errorf("partition: %d cut levels, want %d", len(cuts), d-1)
+		}
+		cellsAtLevel := 1
+		for i, level := range cuts {
+			if level == nil {
+				if splits[i] > 1 {
+					return nil, fmt.Errorf("partition: missing cuts for angle %d with %d splits", i, splits[i])
+				}
+				continue
+			}
+			if len(level) != cellsAtLevel {
+				return nil, fmt.Errorf("partition: level %d has %d cells, want %d", i, len(level), cellsAtLevel)
+			}
+			for j, c := range level {
+				if len(c) != splits[i]-1 {
+					return nil, fmt.Errorf("partition: level %d cell %d has %d cuts, want %d", i, j, len(c), splits[i]-1)
+				}
+				for q := 1; q < len(c); q++ {
+					if c[q] < c[q-1] {
+						return nil, fmt.Errorf("partition: level %d cell %d cuts not sorted", i, j)
+					}
+				}
+			}
+			cellsAtLevel *= splits[i]
+		}
+	}
+	return &AngularPartitioner{
+		offset: offset.Clone(),
+		splits: append([]int(nil), splits...),
+		cuts:   cuts,
+		n:      n,
+		d:      d,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Random baseline
+
+// RandomPartitioner assigns points to partitions by an FNV hash of their
+// coordinates: deterministic, uniform in expectation, but with no spatial
+// structure — the control case for partitioning ablations.
+type RandomPartitioner struct {
+	n int
+	d int
+}
+
+// NewRandom builds a hash partitioner with exactly n partitions.
+func NewRandom(d, n int) (*RandomPartitioner, error) {
+	if n < 1 {
+		return nil, errors.New("partition: need >= 1 partition")
+	}
+	if d < 1 {
+		return nil, errors.New("partition: need dimension >= 1")
+	}
+	return &RandomPartitioner{n: n, d: d}, nil
+}
+
+// Name implements Partitioner.
+func (r *RandomPartitioner) Name() string { return Random.String() }
+
+// Partitions implements Partitioner.
+func (r *RandomPartitioner) Partitions() int { return r.n }
+
+// Assign implements Partitioner.
+func (r *RandomPartitioner) Assign(pt points.Point) (int, error) {
+	if err := checkPoint(pt, r.d); err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range pt {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return int(h.Sum64() % uint64(r.n)), nil
+}
+
+func checkPoint(pt points.Point, d int) error {
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	if len(pt) != d {
+		return fmt.Errorf("partition: point has dimension %d, want %d", len(pt), d)
+	}
+	return nil
+}
+
+// Histogram assigns every point of the set and returns per-partition
+// counts. It is the load-balance diagnostic used in tests and experiments.
+func Histogram(p Partitioner, s points.Set) ([]int, error) {
+	counts := make([]int, p.Partitions())
+	for _, pt := range s {
+		id, err := p.Assign(pt)
+		if err != nil {
+			return nil, err
+		}
+		counts[id]++
+	}
+	return counts, nil
+}
+
+// ImbalanceRatio summarizes a histogram as max/mean over non-empty-capable
+// slots; 1.0 is perfectly balanced. An all-zero histogram returns 0.
+func ImbalanceRatio(counts []int) float64 {
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 || len(counts) == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
+}

@@ -1,0 +1,76 @@
+package points
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the set as CSV rows of float columns. If header is
+// non-nil it is written first; its length must match the set dimension.
+func WriteCSV(w io.Writer, s Set, header []string) error {
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if len(s) > 0 && len(header) != s.Dim() {
+			return fmt.Errorf("points: header has %d columns, data has %d", len(header), s.Dim())
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	row := make([]string, 0, s.Dim())
+	for _, p := range s {
+		row = row[:0]
+		for _, v := range p {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream into a Set. If hasHeader is true the first
+// row is skipped and returned as the header. Blank lines are ignored by the
+// underlying csv reader. Every data row must parse as floats and all rows
+// must share one column count.
+func ReadCSV(r io.Reader, hasHeader bool) (Set, []string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	var header []string
+	var set Set
+	dim := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("points: csv read: %w", err)
+		}
+		line++
+		if line == 1 && hasHeader {
+			header = rec
+			continue
+		}
+		if dim == -1 {
+			dim = len(rec)
+		} else if len(rec) != dim {
+			return nil, nil, fmt.Errorf("points: row %d has %d columns, want %d", line, len(rec), dim)
+		}
+		p := make(Point, len(rec))
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("points: row %d column %d: %w", line, i+1, err)
+			}
+			p[i] = v
+		}
+		set = append(set, p)
+	}
+	return set, header, nil
+}

@@ -1,0 +1,60 @@
+package points
+
+import "fmt"
+
+// Orient converts a raw dataset to the library's minimization convention:
+// for every dimension where higherBetter[j] is true, values are flipped as
+// (max_j − v), so 0 becomes the best observed value; lower-is-better
+// columns pass through. It returns a new set; the input is untouched.
+//
+// This is the generic version of what package qws does with its published
+// attribute ranges — use it when loading arbitrary QoS data where some
+// columns are benefit metrics (throughput, availability) and some are cost
+// metrics (latency, price).
+func Orient(s Set, higherBetter []bool) (Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(higherBetter) != s.Dim() {
+		return nil, fmt.Errorf("points: %d orientation flags for %d dimensions", len(higherBetter), s.Dim())
+	}
+	_, max := s.Bounds()
+	out := make(Set, len(s))
+	for i, p := range s {
+		q := make(Point, len(p))
+		for j, v := range p {
+			if higherBetter[j] {
+				q[j] = max[j] - v
+			} else {
+				q[j] = v
+			}
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// Normalize rescales every dimension to [0, 1] by its observed min/max
+// (constant dimensions map to 0). Dominance relations are preserved —
+// normalization is strictly monotone per dimension — so the skyline of the
+// normalized set corresponds 1:1 to the original's. Useful before
+// distance-based post-processing (representative selection) when
+// attributes have wildly different units.
+func Normalize(s Set) (Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	min, max := s.Bounds()
+	out := make(Set, len(s))
+	for i, p := range s {
+		q := make(Point, len(p))
+		for j, v := range p {
+			span := max[j] - min[j]
+			if span > 0 {
+				q[j] = (v - min[j]) / span
+			}
+		}
+		out[i] = q
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package points
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrient(t *testing.T) {
+	// Column 0 lower-better, column 1 higher-better (max 10).
+	s := Set{{1, 10}, {2, 4}, {3, 7}}
+	got, err := Orient(s, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Set{{1, 0}, {2, 6}, {3, 3}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("oriented[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Input untouched.
+	if !s[0].Equal(Point{1, 10}) {
+		t.Error("Orient mutated input")
+	}
+}
+
+func TestOrientErrors(t *testing.T) {
+	if _, err := Orient(nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Orient(Set{{1, 2}}, []bool{true}); err == nil {
+		t.Error("flag count mismatch accepted")
+	}
+}
+
+func TestOrientFlipsDominance(t *testing.T) {
+	// Service A beats B on a higher-better metric; after orientation A
+	// must dominate B.
+	s := Set{{100, 99.9}, {100, 90.0}} // col 1: availability-like
+	got, err := Orient(s, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Dominates(got[0], got[1]) {
+		t.Errorf("orientation lost dominance: %v vs %v", got[0], got[1])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Set{{0, 50, 7}, {10, 100, 7}}
+	got, err := Normalize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(Point{0, 0, 0}) || !got[1].Equal(Point{1, 1, 0}) {
+		t.Errorf("normalized = %v", got)
+	}
+	if _, err := Normalize(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestNormalizePreservesDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := make(Set, 200)
+	for i := range s {
+		s[i] = Point{rng.Float64() * 1000, rng.Float64() * 0.01, rng.Float64()}
+	}
+	n, err := Normalize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		for j := range s {
+			if Dominates(s[i], s[j]) != Dominates(n[i], n[j]) {
+				t.Fatalf("dominance changed for pair %d,%d", i, j)
+			}
+		}
+	}
+}

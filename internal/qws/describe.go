@@ -1,0 +1,150 @@
+package qws
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/points"
+)
+
+// ColumnStats summarizes one attribute column of a dataset.
+type ColumnStats struct {
+	Name             string
+	Min, Max         float64
+	Mean, StdDev     float64
+	P25, Median, P75 float64
+}
+
+// Describe computes per-column summary statistics for a dataset whose
+// columns follow the Attributes order (oriented values). It is the
+// dataset-characterization used by `qwsgen -describe` and by tests that
+// check the synthetic generator against the published QWS shape.
+func Describe(s points.Set) ([]ColumnStats, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("qws: %w", err)
+	}
+	d := s.Dim()
+	out := make([]ColumnStats, d)
+	col := make([]float64, len(s))
+	for j := 0; j < d; j++ {
+		sum, sumSq := 0.0, 0.0
+		for i, p := range s {
+			col[i] = p[j]
+			sum += p[j]
+			sumSq += p[j] * p[j]
+		}
+		mean := sum / float64(len(s))
+		variance := sumSq/float64(len(s)) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		sort.Float64s(col)
+		cs := ColumnStats{
+			Min:    col[0],
+			Max:    col[len(col)-1],
+			Mean:   mean,
+			StdDev: math.Sqrt(variance),
+			P25:    quantile(col, 0.25),
+			Median: quantile(col, 0.5),
+			P75:    quantile(col, 0.75),
+		}
+		if j < len(Attributes) {
+			cs.Name = Attributes[j].Name
+		} else {
+			cs.Name = fmt.Sprintf("col%d", j)
+		}
+		out[j] = cs
+	}
+	return out, nil
+}
+
+// CorrelationMatrix returns the Pearson correlation of every attribute
+// pair. Constant columns yield NaN against others, reported as 0.
+func CorrelationMatrix(s points.Set) ([][]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("qws: %w", err)
+	}
+	d := s.Dim()
+	n := float64(len(s))
+	mean := make([]float64, d)
+	for _, p := range s {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	cov := make([][]float64, d)
+	for j := range cov {
+		cov[j] = make([]float64, d)
+	}
+	for _, p := range s {
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				cov[a][b] += (p[a] - mean[a]) * (p[b] - mean[b])
+			}
+		}
+	}
+	out := make([][]float64, d)
+	for a := range out {
+		out[a] = make([]float64, d)
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			denom := math.Sqrt(cov[a][a] * cov[b][b])
+			r := 0.0
+			if denom > 0 {
+				r = cov[a][b] / denom
+			}
+			out[a][b] = r
+			out[b][a] = r
+		}
+	}
+	return out, nil
+}
+
+// WriteDescription renders stats and the correlation matrix as text.
+func WriteDescription(w io.Writer, stats []ColumnStats, corr [][]float64) {
+	fmt.Fprintf(w, "%-16s%10s%10s%10s%10s%10s%10s%10s\n",
+		"attribute", "min", "p25", "median", "p75", "max", "mean", "stddev")
+	for _, cs := range stats {
+		fmt.Fprintf(w, "%-16s%10.3f%10.3f%10.3f%10.3f%10.3f%10.3f%10.3f\n",
+			cs.Name, cs.Min, cs.P25, cs.Median, cs.P75, cs.Max, cs.Mean, cs.StdDev)
+	}
+	if corr == nil {
+		return
+	}
+	fmt.Fprintln(w, "\npairwise correlation:")
+	fmt.Fprintf(w, "%-16s", "")
+	for j := range corr {
+		fmt.Fprintf(w, "%8s", shortName(stats, j))
+	}
+	fmt.Fprintln(w)
+	for a := range corr {
+		fmt.Fprintf(w, "%-16s", stats[a].Name)
+		for b := range corr[a] {
+			fmt.Fprintf(w, "%8.2f", corr[a][b])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func shortName(stats []ColumnStats, j int) string {
+	n := stats[j].Name
+	if len(n) > 7 {
+		return n[:7]
+	}
+	return n
+}
+
+// quantile returns the q-quantile of a sorted slice by nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

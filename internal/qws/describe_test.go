@@ -1,0 +1,127 @@
+package qws
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/points"
+)
+
+func TestDescribeKnownData(t *testing.T) {
+	s := points.Set{{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}}
+	stats, err := Describe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("%d columns", len(stats))
+	}
+	c := stats[0]
+	if c.Min != 1 || c.Max != 5 || math.Abs(c.Mean-3) > 1e-12 || c.Median != 3 {
+		t.Errorf("col0 = %+v", c)
+	}
+	if math.Abs(c.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %g, want sqrt(2)", c.StdDev)
+	}
+	if c.Name != Attributes[0].Name {
+		t.Errorf("name = %q", c.Name)
+	}
+}
+
+func TestDescribeErrors(t *testing.T) {
+	if _, err := Describe(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := CorrelationMatrix(nil); err == nil {
+		t.Error("empty set accepted by correlation")
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	// Perfectly correlated, anti-correlated and constant columns.
+	s := points.Set{
+		{1, 1, -1, 7},
+		{2, 2, -2, 7},
+		{3, 3, -3, 7},
+	}
+	corr, err := CorrelationMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr[0][1]-1) > 1e-9 {
+		t.Errorf("corr(0,1) = %g, want 1", corr[0][1])
+	}
+	if math.Abs(corr[0][2]+1) > 1e-9 {
+		t.Errorf("corr(0,2) = %g, want -1", corr[0][2])
+	}
+	if corr[0][3] != 0 {
+		t.Errorf("corr with constant = %g, want 0", corr[0][3])
+	}
+	if corr[1][0] != corr[0][1] {
+		t.Error("matrix not symmetric")
+	}
+	if math.Abs(corr[0][0]-1) > 1e-9 {
+		t.Errorf("diagonal = %g", corr[0][0])
+	}
+}
+
+func TestDescribeGeneratedDatasetShape(t *testing.T) {
+	// The synthetic generator must respect the published oriented ranges
+	// and produce mildly positively-correlated attributes.
+	s := Generate(13, 5000, 5)
+	stats, err := Describe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, cs := range stats {
+		span := Attributes[j].Max - Attributes[j].Min
+		if cs.Min < 0 || cs.Max > span+1e-9 {
+			t.Errorf("%s outside oriented range: [%g, %g] vs span %g", cs.Name, cs.Min, cs.Max, span)
+		}
+		if cs.StdDev == 0 {
+			t.Errorf("%s is constant", cs.Name)
+		}
+	}
+	corr, err := CorrelationMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, pairs := 0.0, 0
+	for a := 0; a < len(corr); a++ {
+		for b := a + 1; b < len(corr); b++ {
+			sum += corr[a][b]
+			pairs++
+		}
+	}
+	if avg := sum / float64(pairs); avg < 0.05 || avg > 0.9 {
+		t.Errorf("average pairwise correlation %g outside mild-positive band", avg)
+	}
+}
+
+func TestWriteDescription(t *testing.T) {
+	s := Generate(14, 200, 3)
+	stats, err := Describe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := CorrelationMatrix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteDescription(&buf, stats, corr)
+	out := buf.String()
+	for _, want := range []string{"attribute", "ResponseTime", "pairwise correlation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in description:\n%s", want, out)
+		}
+	}
+	// Without correlation matrix.
+	buf.Reset()
+	WriteDescription(&buf, stats, nil)
+	if strings.Contains(buf.String(), "pairwise") {
+		t.Error("correlation section printed without matrix")
+	}
+}

@@ -1,0 +1,70 @@
+package qws
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/points"
+)
+
+// Load parses the published QWS dataset CSV format (Al-Masri & Mahmoud):
+// nine numeric QoS columns in the order of Attributes[0..8], optionally
+// followed by the service name and WSDL address columns, which are
+// returned as names. Lines starting with '#' are comments. Values are
+// re-oriented for minimization exactly like Generate's output, so a real
+// QWS file is a drop-in replacement for the synthetic data everywhere in
+// this repository.
+func Load(r io.Reader) (points.Set, []string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	var set points.Set
+	var names []string
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("qws: csv read: %w", err)
+		}
+		line++
+		if len(rec) < 9 {
+			return nil, nil, fmt.Errorf("qws: row %d has %d columns, want >= 9", line, len(rec))
+		}
+		// Skip a header row if the first field is not numeric.
+		if line == 1 {
+			if _, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64); err != nil {
+				continue
+			}
+		}
+		p := make(points.Point, 9)
+		for j := 0; j < 9; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[j]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("qws: row %d column %d: %w", line, j+1, err)
+			}
+			a := Attributes[j]
+			v = clampRange(v, a.Min, a.Max)
+			if a.HigherBetter {
+				p[j] = a.Max - v
+			} else {
+				p[j] = v - a.Min
+			}
+		}
+		set = append(set, p)
+		if len(rec) > 9 {
+			names = append(names, strings.TrimSpace(rec[9]))
+		} else {
+			names = append(names, fmt.Sprintf("service-%05d", len(set)))
+		}
+	}
+	if len(set) == 0 {
+		return nil, nil, fmt.Errorf("qws: no data rows")
+	}
+	return set, names, nil
+}

@@ -1,0 +1,83 @@
+package qws
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleQWS = `# QWS Dataset sample
+302.75,89,7.1,90,73,78,80,187.75,32,MapPointService,http://example.com/map?wsdl
+482,85,16,95,73,100,84,1,2,CreditCheck,http://example.com/credit?wsdl
+3321.4,89,1.4,96,67,78,89,2.6,95,FastQuote,http://example.com/quote?wsdl
+`
+
+func TestLoadSample(t *testing.T) {
+	set, names, err := Load(strings.NewReader(sampleQWS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 || set.Dim() != 9 {
+		t.Fatalf("shape %dx%d", len(set), set.Dim())
+	}
+	if names[0] != "MapPointService" || names[2] != "FastQuote" {
+		t.Errorf("names = %v", names)
+	}
+	// Orientation: response time is shifted (v - min), availability is
+	// flipped (max - v).
+	if got, want := set[0][0], 302.75-Attributes[0].Min; got != want {
+		t.Errorf("response time oriented = %g, want %g", got, want)
+	}
+	if got, want := set[0][1], Attributes[1].Max-89; got != want {
+		t.Errorf("availability oriented = %g, want %g", got, want)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadHeaderSkipped(t *testing.T) {
+	in := "Response Time,Availability,Throughput,Successability,Reliability,Compliance,Best Practices,Latency,Documentation,Name,WSDL\n" + sampleQWS
+	set, _, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Errorf("rows = %d, want 3 (header skipped)", len(set))
+	}
+}
+
+func TestLoadWithoutNames(t *testing.T) {
+	in := "302.75,89,7.1,90,73,78,80,187.75,32\n"
+	set, names, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || names[0] == "" {
+		t.Errorf("set=%d names=%v", len(set), names)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := Load(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, _, err := Load(strings.NewReader("302.75,89,x,90,73,78,80,187.75,32\n")); err == nil {
+		t.Error("non-numeric row accepted")
+	}
+}
+
+func TestLoadClampsOutOfRange(t *testing.T) {
+	// A response time above the published max is clamped, not rejected —
+	// real measurement files contain stragglers.
+	in := "999999,89,7.1,90,73,78,80,187.75,32,Svc,addr\n"
+	set, _, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := set[0][0], Attributes[0].Max-Attributes[0].Min; got != want {
+		t.Errorf("clamped = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,157 @@
+// Package qws models the QWS web-service QoS dataset used in the paper's
+// evaluation (Al-Masri & Mahmoud: ~10,000 real web services measured on 9
+// QoS attributes, extended by the paper to 100,000 services and 10
+// attributes by sampling within a narrow range of the empirical
+// distribution).
+//
+// The real QWS dataset cannot be redistributed here, so this package is a
+// calibrated synthetic substitute: it reproduces the published attribute
+// ranges and the skew of their marginal distributions, and couples
+// attributes through a latent provider-quality factor so that the joint
+// distribution is mildly correlated — the regime real QoS data sits in
+// (between the independent and correlated synthetic benchmarks). The
+// substitution is documented in DESIGN.md.
+//
+// All returned points follow the minimization convention: attributes where
+// higher is better (availability, throughput, ...) are stored as
+// (max − value), so the skyline semantics match the rest of the library.
+package qws
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/points"
+)
+
+// Attribute describes one QoS dimension of the dataset.
+type Attribute struct {
+	Name         string
+	Unit         string
+	Min, Max     float64 // raw value range (before orientation)
+	HigherBetter bool    // true if the raw attribute is a benefit metric
+}
+
+// Attributes lists the nine QWS attributes plus the Price attribute the
+// paper adds to reach 10 dimensions. Order is the column order of
+// generated points.
+var Attributes = []Attribute{
+	{Name: "ResponseTime", Unit: "ms", Min: 37, Max: 4989, HigherBetter: false},
+	{Name: "Availability", Unit: "%", Min: 7, Max: 100, HigherBetter: true},
+	{Name: "Throughput", Unit: "invokes/s", Min: 0.1, Max: 43.1, HigherBetter: true},
+	{Name: "Successability", Unit: "%", Min: 8, Max: 100, HigherBetter: true},
+	{Name: "Reliability", Unit: "%", Min: 33, Max: 89, HigherBetter: true},
+	{Name: "Compliance", Unit: "%", Min: 33, Max: 100, HigherBetter: true},
+	{Name: "BestPractices", Unit: "%", Min: 5, Max: 95, HigherBetter: true},
+	{Name: "Latency", Unit: "ms", Min: 0.26, Max: 4140, HigherBetter: false},
+	{Name: "Documentation", Unit: "%", Min: 1, Max: 96, HigherBetter: true},
+	{Name: "Price", Unit: "$/1k calls", Min: 0.1, Max: 120, HigherBetter: false},
+}
+
+// MaxDim is the number of modelled attributes (10 in the paper's setup).
+const MaxDim = 10
+
+// Names returns the attribute names for the first d dimensions.
+func Names(d int) []string {
+	out := make([]string, d)
+	for i := 0; i < d; i++ {
+		out[i] = Attributes[i].Name
+	}
+	return out
+}
+
+// Generate synthesizes n services over the first d attributes
+// (2 ≤ d ≤ MaxDim), oriented for minimization. It panics on an
+// out-of-range d, which indicates programmer error in experiment configs.
+func Generate(seed int64, n, d int) points.Set {
+	if d < 1 || d > MaxDim {
+		panic("qws: dimension out of range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := make(points.Set, n)
+	for i := range s {
+		s[i] = genService(rng, d)
+	}
+	return s
+}
+
+// genService draws one service. A latent quality factor q ∈ (0,1) couples
+// the attributes: better providers tend to be better across the board,
+// with per-attribute noise providing the trade-offs that give the skyline
+// its size.
+func genService(rng *rand.Rand, d int) points.Point {
+	// Latent provider quality, skewed: many mediocre providers, few great
+	// ones (beta(2,4)-like via averaging).
+	q := (rng.Float64() + rng.Float64()*3) / 4 // mean 0.5, mild central tendency
+	p := make(points.Point, d)
+	for j := 0; j < d; j++ {
+		a := Attributes[j]
+		// Per-attribute percentile: latent quality pulled by noise.
+		u := clamp01(0.55*q + 0.45*rng.Float64())
+		var raw float64
+		if a.Unit == "ms" {
+			// Time-like attributes are log-normal shaped: map percentile
+			// through an exponential quantile, then clamp.
+			frac := math.Expm1(3*(1-u)) / math.Expm1(3)
+			raw = a.Min + frac*(a.Max-a.Min)
+		} else {
+			// Percentage-like attributes: mildly top-skewed.
+			frac := math.Pow(u, 0.7)
+			raw = a.Min + frac*(a.Max-a.Min)
+		}
+		raw = clampRange(raw, a.Min, a.Max)
+		if a.HigherBetter {
+			p[j] = a.Max - raw // orient for minimization
+		} else {
+			p[j] = raw - a.Min // shift so 0 is the ideal
+		}
+	}
+	return p
+}
+
+// Extend implements the paper's dataset extension: it grows base to total
+// services by resampling existing services with values "limited to a
+// narrow range following the distribution of the QWS dataset" — each new
+// service copies a random base service and jitters every attribute by a
+// few percent of its oriented range, clamped to stay in range. The
+// original base points are preserved as a prefix of the result.
+func Extend(base points.Set, seed int64, total int) points.Set {
+	if total <= len(base) {
+		return base.Clone()[:total]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := base.Dim()
+	out := base.Clone()
+	for len(out) < total {
+		src := base[rng.Intn(len(base))]
+		p := make(points.Point, d)
+		for j := 0; j < d; j++ {
+			a := Attributes[j]
+			span := orientedSpan(a)
+			v := src[j] + rng.NormFloat64()*0.03*span
+			p[j] = clampRange(v, 0, span)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Dataset reproduces the paper's experimental inputs in one call: a base
+// of 10,000 QWS-like services extended to n, projected to d attributes.
+// For n ≤ 10,000 the base is generated at size n directly.
+func Dataset(seed int64, n, d int) points.Set {
+	const baseSize = 10000
+	if n <= baseSize {
+		return Generate(seed, n, d)
+	}
+	base := Generate(seed, baseSize, d)
+	return Extend(base, seed+1, n)
+}
+
+// orientedSpan is the width of the oriented (minimization) value range of
+// an attribute: oriented values run from 0 (best) to span (worst).
+func orientedSpan(a Attribute) float64 { return a.Max - a.Min }
+
+func clamp01(v float64) float64 { return math.Min(1, math.Max(0, v)) }
+
+func clampRange(v, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, v)) }

@@ -1,0 +1,147 @@
+package qws
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/skyline"
+)
+
+func TestGenerateShape(t *testing.T) {
+	s := Generate(1, 1000, MaxDim)
+	if len(s) != 1000 || s.Dim() != MaxDim {
+		t.Fatalf("shape %dx%d", len(s), s.Dim())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(9, 200, 5)
+	b := Generate(9, 200, 5)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestOrientedRanges(t *testing.T) {
+	// Every oriented attribute must lie in [0, span]; 0 is the ideal.
+	s := Generate(2, 5000, MaxDim)
+	min, max := s.Bounds()
+	for j, a := range Attributes {
+		span := a.Max - a.Min
+		if min[j] < 0 {
+			t.Errorf("%s: oriented min %g < 0", a.Name, min[j])
+		}
+		if max[j] > span+1e-9 {
+			t.Errorf("%s: oriented max %g > span %g", a.Name, max[j], span)
+		}
+	}
+}
+
+func TestPanicsOnBadDim(t *testing.T) {
+	for _, d := range []int{0, MaxDim + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Generate with d=%d did not panic", d)
+				}
+			}()
+			Generate(1, 10, d)
+		}()
+	}
+}
+
+func TestMildPositiveCorrelation(t *testing.T) {
+	// Oriented attributes should be positively correlated (good providers
+	// good at everything) but far from perfectly — that is the QWS regime.
+	s := Generate(3, 5000, 2)
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(s))
+	for _, p := range s {
+		sx += p[0]
+		sy += p[1]
+		sxx += p[0] * p[0]
+		syy += p[1] * p[1]
+		sxy += p[0] * p[1]
+	}
+	r := (sxy/n - sx/n*sy/n) / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+	if r < 0.1 || r > 0.9 {
+		t.Errorf("attribute correlation r = %g, want mild positive (0.1..0.9)", r)
+	}
+}
+
+func TestSkylineNonTrivial(t *testing.T) {
+	// The skyline must be a small but non-trivial fraction of the data —
+	// matching the paper's observation that local skylines are "a small
+	// percent of all services".
+	s := Generate(4, 2000, 4)
+	sky := skyline.BNL(s)
+	if len(sky) < 3 {
+		t.Errorf("skyline of 2000 services has only %d points", len(sky))
+	}
+	if len(sky) > len(s)/4 {
+		t.Errorf("skyline has %d of %d points — implausibly dense for QWS-like data", len(sky), len(s))
+	}
+}
+
+func TestExtend(t *testing.T) {
+	base := Generate(5, 100, 6)
+	ext := Extend(base, 6, 500)
+	if len(ext) != 500 {
+		t.Fatalf("extended to %d, want 500", len(ext))
+	}
+	// Base preserved as prefix.
+	for i := range base {
+		if !ext[i].Equal(base[i]) {
+			t.Fatalf("base point %d altered by Extend", i)
+		}
+	}
+	if err := ext.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Jittered points must stay within oriented ranges.
+	_, max := ext.Bounds()
+	for j := 0; j < 6; j++ {
+		span := Attributes[j].Max - Attributes[j].Min
+		if max[j] > span+1e-9 {
+			t.Errorf("extended dim %d exceeds span: %g > %g", j, max[j], span)
+		}
+	}
+}
+
+func TestExtendTruncates(t *testing.T) {
+	base := Generate(7, 100, 3)
+	got := Extend(base, 8, 40)
+	if len(got) != 40 {
+		t.Fatalf("len = %d, want 40", len(got))
+	}
+	got[0][0] = -1
+	if base[0][0] == -1 {
+		t.Error("truncating Extend aliases base")
+	}
+}
+
+func TestDataset(t *testing.T) {
+	small := Dataset(1, 500, 4)
+	if len(small) != 500 || small.Dim() != 4 {
+		t.Fatalf("small shape %dx%d", len(small), small.Dim())
+	}
+	big := Dataset(1, 12000, 4)
+	if len(big) != 12000 {
+		t.Fatalf("big len %d", len(big))
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names(3)
+	if len(names) != 3 || names[0] != "ResponseTime" || names[2] != "Throughput" {
+		t.Errorf("Names(3) = %v", names)
+	}
+}

@@ -1,0 +1,85 @@
+package registry
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+)
+
+// dashboardTmpl renders the operator status page: catalogue counters and
+// the current skyline, one row per Pareto-optimal service.
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Skyline Registry</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+ h1 { font-size: 1.4rem; }
+ .stats { display: flex; gap: 2rem; margin: 1rem 0; }
+ .stat b { display: block; font-size: 1.6rem; }
+ table { border-collapse: collapse; margin-top: 1rem; }
+ th, td { border: 1px solid #ccc; padding: 0.3rem 0.7rem; text-align: right; }
+ th:first-child, td:first-child { text-align: left; }
+ caption { text-align: left; font-weight: 600; padding-bottom: 0.4rem; }
+</style>
+</head>
+<body>
+<h1>Skyline Registry</h1>
+<div class="stats">
+ <div class="stat"><b>{{.Services}}</b>services</div>
+ <div class="stat"><b>{{.SkylineSize}}</b>on skyline</div>
+ <div class="stat"><b>{{.IndexPoints}}</b>index points</div>
+ <div class="stat"><b>{{.Dim}}</b>QoS attributes</div>
+</div>
+<table>
+<caption>Current skyline (QoS-optimal services; lower is better, 0 is ideal)</caption>
+<tr><th>service</th>{{range $i := .AttrIdx}}<th>q{{$i}}</th>{{end}}</tr>
+{{range .Skyline}}<tr><td>{{.Name}}</td>{{range .QoS}}<td>{{printf "%.3f" .}}</td>{{end}}</tr>
+{{end}}
+</table>
+</body>
+</html>
+`))
+
+// dashboardData feeds the template.
+type dashboardData struct {
+	Services    int
+	SkylineSize int
+	IndexPoints int
+	Dim         int
+	AttrIdx     []int
+	Skyline     []Service
+}
+
+// serveDashboard renders the HTML status page.
+func (r *Registry) serveDashboard(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sky := r.Skyline()
+	sort.Slice(sky, func(i, j int) bool { return sky[i].Name < sky[j].Name })
+	const maxRows = 200
+	if len(sky) > maxRows {
+		sky = sky[:maxRows]
+	}
+	r.mu.RLock()
+	data := dashboardData{
+		Services:    len(r.services),
+		IndexPoints: r.ix.Size(),
+		Dim:         r.dim,
+	}
+	r.mu.RUnlock()
+	data.SkylineSize = len(r.Skyline())
+	data.Skyline = sky
+	data.AttrIdx = make([]int, data.Dim)
+	for i := range data.AttrIdx {
+		data.AttrIdx[i] = i + 1
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, data); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		_ = err
+	}
+}

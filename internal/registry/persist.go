@@ -1,0 +1,53 @@
+package registry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/driver"
+)
+
+// Save writes the full service catalogue as JSON lines (one Service per
+// line, sorted by name). The catalogue is the registry's source of truth;
+// the skyline index is rebuilt on load.
+func (r *Registry) Save(w io.Writer) error {
+	r.mu.RLock()
+	services := make([]Service, 0, len(r.services))
+	for _, s := range r.services {
+		services = append(services, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(services, func(i, j int) bool { return services[i].Name < services[j].Name })
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range services {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("registry: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a registry from a catalogue written by Save, rebuilding
+// the incremental skyline index with the given options.
+func Load(ctx context.Context, rd io.Reader, opts driver.Options) (*Registry, error) {
+	dec := json.NewDecoder(rd)
+	var services []Service
+	for {
+		var s Service
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("registry: load: %w", err)
+		}
+		services = append(services, s)
+	}
+	if len(services) == 0 {
+		return nil, fmt.Errorf("registry: load: empty catalogue")
+	}
+	return New(ctx, services, opts)
+}

@@ -1,0 +1,67 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/partition"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := newRegistry(t)
+	if _, err := r.Publish(Service{Name: "extra", QoS: []float64{-2, -2}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(context.Background(), &buf, driver.Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != r.Len() {
+		t.Errorf("restored %d services, want %d", restored.Len(), r.Len())
+	}
+	want := r.Skyline()
+	got := restored.Skyline()
+	if len(got) != len(want) {
+		t.Fatalf("restored skyline %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Errorf("skyline[%d] = %s, want %s", i, got[i].Name, want[i].Name)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(context.Background(), strings.NewReader(""), driver.Options{}); err == nil {
+		t.Error("empty catalogue accepted")
+	}
+	if _, err := Load(context.Background(), strings.NewReader("{broken"), driver.Options{}); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Duplicate names in the file must be rejected by New.
+	dup := `{"name":"a","qos":[1,2]}` + "\n" + `{"name":"a","qos":[3,4]}` + "\n"
+	if _, err := Load(context.Background(), strings.NewReader(dup), driver.Options{}); err == nil {
+		t.Error("duplicate catalogue accepted")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	r := newRegistry(t)
+	var a, b bytes.Buffer
+	if err := r.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save output not deterministic")
+	}
+}

@@ -1,0 +1,188 @@
+// Package registry is the UDDI-like service registry from the paper's
+// motivation (§I–II): providers publish services with QoS attributes,
+// clients query the current skyline in real time. Internally it wraps the
+// incremental skyline index (driver.Index), so publishing a service
+// touches only its partition's local skyline — the paper's dynamic
+// scenario — and exposes the whole thing over HTTP with JSON bodies.
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/driver"
+	"repro/internal/partition"
+	"repro/internal/points"
+)
+
+// Service is one published web service.
+type Service struct {
+	// Name identifies the service (unique within the registry).
+	Name string `json:"name"`
+	// QoS is the attribute vector, oriented so lower is better.
+	QoS []float64 `json:"qos"`
+}
+
+// Registry holds published services and maintains their skyline
+// incrementally. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	dim      int
+	ix       *driver.Index
+	services map[string]Service
+}
+
+// New builds a registry seeded with initial services (at least one is
+// required to fit the partitioner; the paper's UDDI bootstrap).
+func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("registry: need at least one seed service")
+	}
+	data := make(points.Set, len(initial))
+	services := make(map[string]Service, len(initial))
+	dim := len(initial[0].QoS)
+	for i, s := range initial {
+		if s.Name == "" {
+			return nil, fmt.Errorf("registry: seed service %d has no name", i)
+		}
+		if len(s.QoS) != dim {
+			return nil, fmt.Errorf("registry: service %q has %d attributes, want %d", s.Name, len(s.QoS), dim)
+		}
+		if _, dup := services[s.Name]; dup {
+			return nil, fmt.Errorf("registry: duplicate service name %q", s.Name)
+		}
+		data[i] = points.Point(s.QoS)
+		services[s.Name] = s
+	}
+	ix, err := driver.BuildIndex(ctx, data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{dim: dim, ix: ix, services: services}, nil
+}
+
+// Dim returns the registry's attribute dimensionality.
+func (r *Registry) Dim() int { return r.dim }
+
+// Len returns the number of published services.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.services)
+}
+
+// Publish registers a new service and updates the skyline incrementally.
+// It reports whether the service entered the skyline.
+func (r *Registry) Publish(s Service) (inSkyline bool, err error) {
+	if s.Name == "" {
+		return false, fmt.Errorf("registry: service needs a name")
+	}
+	if len(s.QoS) != r.dim {
+		return false, fmt.Errorf("registry: service %q has %d attributes, want %d", s.Name, len(s.QoS), r.dim)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.services[s.Name]; dup {
+		return false, fmt.Errorf("registry: service %q already published", s.Name)
+	}
+	_, in, err := r.ix.Add(points.Point(s.QoS))
+	if err != nil {
+		return false, err
+	}
+	r.services[s.Name] = s
+	return in, nil
+}
+
+// Skyline returns the names and QoS of the current skyline services,
+// sorted by name. Coordinate-equal services all appear.
+func (r *Registry) Skyline() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sky := r.ix.Global()
+	keys := make(map[string]struct{}, len(sky))
+	for _, p := range sky {
+		keys[points.Key(p)] = struct{}{}
+	}
+	var out []Service
+	for _, s := range r.services {
+		if _, ok := keys[points.Key(points.Point(s.QoS))]; ok {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// statsResponse is the /stats JSON shape.
+type statsResponse struct {
+	Services    int `json:"services"`
+	SkylineSize int `json:"skyline_size"`
+	IndexPoints int `json:"index_points"`
+	Dim         int `json:"dim"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /services          {"name": ..., "qos": [...]} → {"in_skyline": bool}
+//	GET  /skyline           → [{"name": ..., "qos": [...]}, ...]
+//	GET  /stats             → {"services": n, "skyline_size": k, ...}
+//	GET  /dashboard         → HTML status page for operators
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dashboard", r.serveDashboard)
+	mux.HandleFunc("/services", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var s Service
+		if err := json.NewDecoder(req.Body).Decode(&s); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		in, err := r.Publish(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]bool{"in_skyline": in})
+	})
+	mux.HandleFunc("/skyline", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, r.Skyline())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		r.mu.RLock()
+		resp := statsResponse{
+			Services:    len(r.services),
+			SkylineSize: len(r.ix.Global()),
+			IndexPoints: r.ix.Size(),
+			Dim:         r.dim,
+		}
+		r.mu.RUnlock()
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will surface it.
+		_ = err
+	}
+}
+
+// Scheme re-exports the partitioning schemes for cmd/skyserve flags.
+type Scheme = partition.Scheme

@@ -1,0 +1,319 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+func seedServices(n int) []Service {
+	out := make([]Service, n)
+	for i := range out {
+		// A diagonal anti-chain plus interior dominated points.
+		var qos []float64
+		if i%2 == 0 {
+			qos = []float64{float64(i), float64(n - i)}
+		} else {
+			qos = []float64{float64(i + n), float64(2*n - i)}
+		}
+		out[i] = Service{Name: fmt.Sprintf("svc-%03d", i), QoS: qos}
+	}
+	return out
+}
+
+func newRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := New(context.Background(), seedServices(40), driver.Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(context.Background(), nil, driver.Options{}); err == nil {
+		t.Error("empty seed accepted")
+	}
+	if _, err := New(context.Background(), []Service{{Name: "", QoS: []float64{1, 2}}}, driver.Options{}); err == nil {
+		t.Error("nameless seed accepted")
+	}
+	if _, err := New(context.Background(), []Service{
+		{Name: "a", QoS: []float64{1, 2}},
+		{Name: "b", QoS: []float64{1}},
+	}, driver.Options{}); err == nil {
+		t.Error("ragged seed accepted")
+	}
+	if _, err := New(context.Background(), []Service{
+		{Name: "a", QoS: []float64{1, 2}},
+		{Name: "a", QoS: []float64{2, 3}},
+	}, driver.Options{}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	r := newRegistry(t)
+	seeds := seedServices(40)
+	var set points.Set
+	for _, s := range seeds {
+		set = append(set, points.Point(s.QoS))
+	}
+	want := skyline.Naive(set)
+	got := r.Skyline()
+	if len(got) != len(want) {
+		t.Fatalf("skyline %d services, oracle %d", len(got), len(want))
+	}
+	for _, s := range got {
+		if !want.Contains(points.Point(s.QoS)) {
+			t.Errorf("%s not in oracle skyline", s.Name)
+		}
+	}
+}
+
+func TestPublish(t *testing.T) {
+	r := newRegistry(t)
+	in, err := r.Publish(Service{Name: "hero", QoS: []float64{-1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in {
+		t.Error("dominating service not in skyline")
+	}
+	sky := r.Skyline()
+	if len(sky) != 1 || sky[0].Name != "hero" {
+		t.Errorf("skyline after hero = %v", sky)
+	}
+	in, err = r.Publish(Service{Name: "zero", QoS: []float64{1e9, 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in {
+		t.Error("dominated service reported in skyline")
+	}
+	if r.Len() != 42 {
+		t.Errorf("Len = %d, want 42", r.Len())
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := newRegistry(t)
+	if _, err := r.Publish(Service{Name: "", QoS: []float64{1, 2}}); err == nil {
+		t.Error("nameless publish accepted")
+	}
+	if _, err := r.Publish(Service{Name: "x", QoS: []float64{1}}); err == nil {
+		t.Error("wrong-dim publish accepted")
+	}
+	if _, err := r.Publish(Service{Name: "svc-000", QoS: []float64{1, 2}}); err == nil {
+		t.Error("duplicate publish accepted")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	r := newRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// Stats.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Services    int `json:"services"`
+		SkylineSize int `json:"skyline_size"`
+		Dim         int `json:"dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Services != 40 || stats.Dim != 2 || stats.SkylineSize == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Publish.
+	body, _ := json.Marshal(Service{Name: "api-hero", QoS: []float64{-5, -5}})
+	resp, err = http.Post(srv.URL+"/services", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub struct {
+		InSkyline bool `json:"in_skyline"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !pub.InSkyline {
+		t.Error("api-hero should be in skyline")
+	}
+
+	// Skyline.
+	resp, err = http.Get(srv.URL + "/skyline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sky []Service
+	if err := json.NewDecoder(resp.Body).Decode(&sky); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sky) != 1 || sky[0].Name != "api-hero" {
+		t.Errorf("skyline = %v", sky)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	r := newRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// Wrong methods.
+	resp, err := http.Get(srv.URL + "/services")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /services = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/skyline", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /skyline = %d", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(srv.URL+"/services", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed publish = %d", resp.StatusCode)
+	}
+
+	// Duplicate name.
+	body, _ := json.Marshal(Service{Name: "svc-000", QoS: []float64{1, 2}})
+	resp, err = http.Post(srv.URL+"/services", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate publish = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentPublishes(t *testing.T) {
+	r := newRegistry(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := r.Publish(Service{
+				Name: fmt.Sprintf("conc-%02d", i),
+				QoS:  []float64{float64(i%7) + 0.5, float64((13 - i) % 11)},
+			})
+			if err != nil {
+				t.Errorf("publish %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 90 {
+		t.Errorf("Len = %d, want 90", r.Len())
+	}
+	// Invariant: skyline equals the batch skyline over all services.
+	var all points.Set
+	r.mu.RLock()
+	for _, s := range r.services {
+		all = append(all, points.Point(s.QoS))
+	}
+	r.mu.RUnlock()
+	want := skyline.Naive(all)
+	got := r.Skyline()
+	// Skyline() deduplicates by service; compare coordinate sets instead.
+	wantKeys := map[string]bool{}
+	for _, p := range want {
+		wantKeys[points.Key(p)] = true
+	}
+	for _, s := range got {
+		if !wantKeys[points.Key(points.Point(s.QoS))] {
+			t.Errorf("%s (%v) not in oracle skyline", s.Name, s.QoS)
+		}
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	r := newRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(body)
+	for _, want := range []string{"Skyline Registry", "on skyline", "svc-0"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	// Wrong method rejected.
+	resp2, err := http.Post(srv.URL+"/dashboard", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /dashboard = %d", resp2.StatusCode)
+	}
+}
+
+func TestDashboardEscapesNames(t *testing.T) {
+	r := newRegistry(t)
+	if _, err := r.Publish(Service{Name: "<script>alert(1)</script>", QoS: []float64{-9, -9}}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "<script>alert(1)") {
+		t.Error("service name not HTML-escaped")
+	}
+}

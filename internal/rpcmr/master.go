@@ -1,0 +1,310 @@
+package rpcmr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// MasterConfig tunes master behaviour.
+type MasterConfig struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// TaskLease is how long a worker may hold a task before it is
+	// re-queued for another worker. Defaults to 30s.
+	TaskLease time.Duration
+	// SplitSize is records per map task. Defaults to 1000.
+	SplitSize int
+	// MaxTaskAttempts bounds re-executions of one task before the job is
+	// failed. Defaults to 5.
+	MaxTaskAttempts int
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.TaskLease <= 0 {
+		c.TaskLease = 30 * time.Second
+	}
+	if c.SplitSize <= 0 {
+		c.SplitSize = 1000
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 5
+	}
+	return c
+}
+
+// Master owns job state and serves the task protocol over net/rpc.
+type Master struct {
+	cfg      MasterConfig
+	listener net.Listener
+	server   *rpc.Server
+
+	mu       sync.Mutex
+	workers  map[string]time.Time // last-seen times
+	job      *jobState            // nil when idle
+	shutdown bool
+}
+
+// jobState tracks one running job.
+type jobState struct {
+	spec      JobSpec
+	phase     TaskKind // TaskMap or TaskReduce
+	splitData [][][]byte
+	tasks     []*taskState
+	pending   []int // indexes of queued tasks of the current phase
+	done      int   // completed tasks of the current phase
+	mapOut    [][][]WirePair
+	groups    [][]Group
+	out       []WirePair
+	mapStart  time.Time
+	mapDur    time.Duration
+	redStart  time.Time
+	finished  chan struct{}
+	err       error
+}
+
+// taskState tracks one task of the current phase.
+type taskState struct {
+	id       int
+	attempt  int
+	running  bool
+	deadline time.Time
+	complete bool
+	failures int
+}
+
+// JobSpec identifies the job to run.
+type JobSpec struct {
+	Name     string
+	Params   []byte
+	Reducers int
+}
+
+// JobResult is what a distributed run returns.
+type JobResult struct {
+	Pairs      []mapreduce.Pair
+	MapTime    time.Duration
+	ReduceTime time.Duration
+}
+
+// NewMaster starts a master listening on cfg.Addr.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcmr: master listen: %w", err)
+	}
+	m := &Master{
+		cfg:      cfg,
+		listener: ln,
+		server:   rpc.NewServer(),
+		workers:  make(map[string]time.Time),
+	}
+	svc := &MasterService{m: m}
+	if err := m.server.RegisterName("Master", svc); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("rpcmr: register service: %w", err)
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listen address (with the resolved port).
+func (m *Master) Addr() string { return m.listener.Addr().String() }
+
+// Close stops the master. In-flight jobs fail.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	m.shutdown = true
+	if m.job != nil && m.job.err == nil && !isClosed(m.job.finished) {
+		m.job.err = errors.New("rpcmr: master closed")
+		close(m.job.finished)
+	}
+	m.mu.Unlock()
+	return m.listener.Close()
+}
+
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.server.ServeConn(conn)
+	}
+}
+
+// WorkerCount reports how many distinct workers have registered.
+func (m *Master) WorkerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// Run executes one job across the connected workers and blocks until it
+// completes, fails, or ctx is cancelled. Only one job runs at a time;
+// concurrent Run calls return an error.
+func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobResult, error) {
+	if spec.Reducers <= 0 {
+		spec.Reducers = 1
+	}
+	// Validate the job is instantiable on the master side too, so typos
+	// fail fast rather than on a worker.
+	if _, err := lookupJob(spec.Name, spec.Params); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return nil, errors.New("rpcmr: master is shut down")
+	}
+	if m.job != nil {
+		m.mu.Unlock()
+		return nil, errors.New("rpcmr: a job is already running")
+	}
+	js := &jobState{
+		spec:     spec,
+		phase:    TaskMap,
+		finished: make(chan struct{}),
+		mapStart: time.Now(),
+	}
+	// Build map tasks.
+	var splits [][][]byte
+	for off := 0; off < len(input); off += m.cfg.SplitSize {
+		end := off + m.cfg.SplitSize
+		if end > len(input) {
+			end = len(input)
+		}
+		splits = append(splits, input[off:end])
+	}
+	js.mapOut = make([][][]WirePair, len(splits))
+	for i := range splits {
+		js.tasks = append(js.tasks, &taskState{id: i})
+		js.pending = append(js.pending, i)
+	}
+	js.splitData = splits
+	m.job = js
+	m.mu.Unlock()
+
+	if len(splits) == 0 {
+		// Degenerate empty input: go straight to reduce with no groups.
+		m.mu.Lock()
+		m.startReducePhase(js)
+		m.mu.Unlock()
+	}
+
+	select {
+	case <-ctx.Done():
+		m.mu.Lock()
+		if m.job == js && !isClosed(js.finished) {
+			js.err = ctx.Err()
+			close(js.finished)
+		}
+		m.job = nil
+		m.mu.Unlock()
+		return nil, ctx.Err()
+	case <-js.finished:
+	}
+
+	m.mu.Lock()
+	m.job = nil
+	m.mu.Unlock()
+	if js.err != nil {
+		return nil, js.err
+	}
+	pairs := make([]mapreduce.Pair, len(js.out))
+	for i, p := range js.out {
+		pairs[i] = mapreduce.Pair{Key: p.Key, Value: p.Value}
+	}
+	// Reduce tasks complete in arbitrary order; sort by key (stable, so
+	// per-task emission order within a key survives) for deterministic
+	// output across runs.
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return &JobResult{Pairs: pairs, MapTime: js.mapDur, ReduceTime: time.Since(js.redStart)}, nil
+}
+
+// startReducePhase (mu held) transitions from map to reduce: group map
+// outputs by reducer partition and key, then queue reduce tasks.
+func (m *Master) startReducePhase(js *jobState) {
+	js.mapDur = time.Since(js.mapStart)
+	js.phase = TaskReduce
+	js.redStart = time.Now()
+	js.groups = make([][]Group, js.spec.Reducers)
+	for r := 0; r < js.spec.Reducers; r++ {
+		order := []string{}
+		byKey := map[string][][]byte{}
+		for _, taskParts := range js.mapOut {
+			if r >= len(taskParts) {
+				continue
+			}
+			for _, p := range taskParts[r] {
+				if _, ok := byKey[p.Key]; !ok {
+					order = append(order, p.Key)
+				}
+				byKey[p.Key] = append(byKey[p.Key], p.Value)
+			}
+		}
+		sort.Strings(order)
+		gs := make([]Group, 0, len(order))
+		for _, k := range order {
+			gs = append(gs, Group{Key: k, Values: byKey[k]})
+		}
+		js.groups[r] = gs
+	}
+	js.mapOut = nil
+	js.tasks = js.tasks[:0]
+	js.pending = js.pending[:0]
+	js.done = 0
+	for r := 0; r < js.spec.Reducers; r++ {
+		js.tasks = append(js.tasks, &taskState{id: r})
+		js.pending = append(js.pending, r)
+	}
+}
+
+// finish (mu held) completes the job.
+func (m *Master) finish(js *jobState, err error) {
+	if isClosed(js.finished) {
+		return
+	}
+	js.err = err
+	close(js.finished)
+}
+
+// requeueExpired (mu held) returns lease-expired running tasks to the
+// pending queue.
+func (m *Master) requeueExpired(js *jobState) {
+	now := time.Now()
+	for _, t := range js.tasks {
+		if t.running && !t.complete && now.After(t.deadline) {
+			t.running = false
+			t.attempt++
+			t.failures++
+			if t.failures >= m.cfg.MaxTaskAttempts {
+				m.finish(js, fmt.Errorf("rpcmr: task %d exceeded %d attempts (lease expiry)",
+					t.id, m.cfg.MaxTaskAttempts))
+				return
+			}
+			js.pending = append(js.pending, t.id)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package rpcmr is a distributed MapReduce engine over net/rpc: a Master
+// that owns job state and Workers that connect over TCP, pull tasks,
+// execute registered job code, and report results — the multi-machine
+// counterpart of the in-process engine in package mapreduce, standing in
+// for a real Hadoop deployment.
+//
+// Because functions cannot cross the wire, jobs are code-addressed: both
+// master and worker processes link the same binary (or at least the same
+// job registry) and refer to jobs by registered name; per-job parameters
+// travel as an opaque byte blob.
+//
+// Fault tolerance: every assigned task carries a lease. If a worker dies
+// or stalls past the lease, the master re-queues the task for another
+// worker; duplicate completions are resolved first-writer-wins, which is
+// safe because tasks are deterministic and side-effect free.
+package rpcmr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mapreduce"
+)
+
+// Job bundles the user code of one MapReduce job.
+type Job struct {
+	Mapper mapreduce.Mapper
+	// Combiner optionally folds each map task's local output per key
+	// before it is shipped to the master.
+	Combiner mapreduce.Reducer
+	Reducer  mapreduce.Reducer
+}
+
+// JobFactory instantiates a job from its parameter blob.
+type JobFactory func(params []byte) (Job, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]JobFactory)
+)
+
+// RegisterJob installs a named job factory. Both the master and every
+// worker must register the same names (typically from an init function in
+// a shared package). Registering a duplicate name panics, as that is a
+// deployment bug.
+func RegisterJob(name string, factory JobFactory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("rpcmr: duplicate job registration: " + name)
+	}
+	if factory == nil {
+		panic("rpcmr: nil factory for job " + name)
+	}
+	registry[name] = factory
+}
+
+// lookupJob instantiates a registered job.
+func lookupJob(name string, params []byte) (Job, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Job{}, fmt.Errorf("rpcmr: unknown job %q", name)
+	}
+	job, err := factory(params)
+	if err != nil {
+		return Job{}, fmt.Errorf("rpcmr: instantiating job %q: %w", name, err)
+	}
+	if job.Mapper == nil || job.Reducer == nil {
+		return Job{}, fmt.Errorf("rpcmr: job %q must provide mapper and reducer", name)
+	}
+	return job, nil
+}
+
+// resetRegistryForTest clears the registry (tests only).
+func resetRegistryForTest() {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = make(map[string]JobFactory)
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// TaskKind discriminates what a worker has been handed.
+type TaskKind int
+
+const (
+	// TaskWait tells the worker to back off briefly and poll again.
+	TaskWait TaskKind = iota
+	// TaskMap carries input records to map (and combine).
+	TaskMap
+	// TaskReduce carries key groups to reduce.
+	TaskReduce
+	// TaskShutdown tells the worker its master has no more work ever.
+	TaskShutdown
+)
+
+// Group is one reduce key group on the wire.
+type Group struct {
+	Key    string
+	Values [][]byte
+}
+
+// WirePair mirrors mapreduce.Pair for gob transport.
+type WirePair struct {
+	Key   string
+	Value []byte
+}
+
+// RegisterArgs announces a worker.
+type RegisterArgs struct {
+	WorkerID string
+}
+
+// RegisterReply acknowledges registration.
+type RegisterReply struct {
+	OK bool
+}
+
+// TaskArgs requests work.
+type TaskArgs struct {
+	WorkerID string
+}
+
+// TaskReply carries an assignment.
+type TaskReply struct {
+	Kind     TaskKind
+	TaskID   int
+	Attempt  int
+	JobName  string
+	Params   []byte
+	Reducers int
+	// Map payload
+	Records [][]byte
+	// Reduce payload
+	Groups []Group
+}
+
+// MapResultArgs reports a finished map task: output pairs partitioned by
+// reducer index.
+type MapResultArgs struct {
+	WorkerID string
+	TaskID   int
+	Attempt  int
+	// Partitions[r] holds the pairs destined for reducer r.
+	Partitions [][]WirePair
+	// Err is a non-empty string if the task failed on the worker.
+	Err string
+}
+
+// ReduceResultArgs reports a finished reduce task.
+type ReduceResultArgs struct {
+	WorkerID string
+	TaskID   int
+	Attempt  int
+	Pairs    []WirePair
+	Err      string
+}
+
+// ResultReply acknowledges a result report.
+type ResultReply struct {
+	// Accepted is false when the report was stale (task already completed
+	// by another attempt) — informational only.
+	Accepted bool
+}

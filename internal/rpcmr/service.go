@@ -1,0 +1,160 @@
+package rpcmr
+
+import (
+	"strconv"
+	"time"
+)
+
+// MasterService is the net/rpc surface of a Master. All methods follow the
+// rpc contract: exported, two args, error return.
+type MasterService struct {
+	m *Master
+}
+
+// Register announces a worker to the master.
+func (s *MasterService) Register(args RegisterArgs, reply *RegisterReply) error {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	s.m.workers[args.WorkerID] = time.Now()
+	reply.OK = true
+	return nil
+}
+
+// RequestTask hands the calling worker a task, a wait directive, or a
+// shutdown notice.
+func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[args.WorkerID] = time.Now()
+
+	if m.shutdown {
+		reply.Kind = TaskShutdown
+		return nil
+	}
+	js := m.job
+	if js == nil || isClosed(js.finished) {
+		reply.Kind = TaskWait
+		return nil
+	}
+	if len(js.pending) == 0 {
+		m.requeueExpired(js)
+	}
+	if len(js.pending) == 0 {
+		reply.Kind = TaskWait
+		return nil
+	}
+	id := js.pending[0]
+	js.pending = js.pending[1:]
+	t := js.tasks[id]
+	t.running = true
+	t.deadline = time.Now().Add(m.cfg.TaskLease)
+
+	reply.Kind = js.phase
+	reply.TaskID = id
+	reply.Attempt = t.attempt
+	reply.JobName = js.spec.Name
+	reply.Params = js.spec.Params
+	reply.Reducers = js.spec.Reducers
+	switch js.phase {
+	case TaskMap:
+		reply.Records = js.splitData[id]
+	case TaskReduce:
+		reply.Groups = js.groups[id]
+	}
+	return nil
+}
+
+// ReportMap receives a map task result.
+func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[args.WorkerID] = time.Now()
+
+	js := m.job
+	if js == nil || js.phase != TaskMap || isClosed(js.finished) {
+		return nil // stale report for a past job or phase
+	}
+	if args.TaskID < 0 || args.TaskID >= len(js.tasks) {
+		return nil
+	}
+	t := js.tasks[args.TaskID]
+	if t.complete {
+		return nil // first writer won already
+	}
+	if args.Err != "" {
+		t.running = false
+		t.attempt++
+		t.failures++
+		if t.failures >= m.cfg.MaxTaskAttempts {
+			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
+			return nil
+		}
+		js.pending = append(js.pending, args.TaskID)
+		return nil
+	}
+	t.complete = true
+	t.running = false
+	js.mapOut[args.TaskID] = args.Partitions
+	js.done++
+	reply.Accepted = true
+	if js.done == len(js.tasks) {
+		m.startReducePhase(js)
+		if len(js.tasks) == 0 {
+			m.finish(js, nil)
+		}
+	}
+	return nil
+}
+
+// ReportReduce receives a reduce task result.
+func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) error {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[args.WorkerID] = time.Now()
+
+	js := m.job
+	if js == nil || js.phase != TaskReduce || isClosed(js.finished) {
+		return nil
+	}
+	if args.TaskID < 0 || args.TaskID >= len(js.tasks) {
+		return nil
+	}
+	t := js.tasks[args.TaskID]
+	if t.complete {
+		return nil
+	}
+	if args.Err != "" {
+		t.running = false
+		t.attempt++
+		t.failures++
+		if t.failures >= m.cfg.MaxTaskAttempts {
+			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
+			return nil
+		}
+		js.pending = append(js.pending, args.TaskID)
+		return nil
+	}
+	t.complete = true
+	t.running = false
+	js.out = append(js.out, args.Pairs...)
+	js.done++
+	reply.Accepted = true
+	if js.done == len(js.tasks) {
+		m.finish(js, nil)
+	}
+	return nil
+}
+
+// WorkerTaskError reports a task that failed deterministically on workers.
+type WorkerTaskError struct {
+	Task int
+	Msg  string
+}
+
+// Error implements error.
+func (e *WorkerTaskError) Error() string {
+	return "rpcmr: task " + strconv.Itoa(e.Task) + " failed on workers: " + e.Msg
+}

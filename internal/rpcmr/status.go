@@ -1,0 +1,58 @@
+package rpcmr
+
+import "time"
+
+// Status is a snapshot of the master's state, served both locally
+// (Master.Status) and over RPC (Master.Status service method) so
+// operators and tests can watch job progress.
+type Status struct {
+	// Workers is the number of distinct registered workers.
+	Workers int
+	// LiveWorkers counts workers seen within the liveness window.
+	LiveWorkers int
+	// JobRunning reports whether a job is in flight.
+	JobRunning bool
+	// JobName is the running job's registered name.
+	JobName string
+	// Phase is TaskMap or TaskReduce while running.
+	Phase TaskKind
+	// TasksTotal and TasksDone count the current phase's tasks.
+	TasksTotal, TasksDone int
+	// Pending is the current phase's queue length (excludes running).
+	Pending int
+}
+
+// livenessWindow is how recently a worker must have called in to count as
+// live.
+const livenessWindow = 10 * time.Second
+
+// Status returns a snapshot of master state.
+func (m *Master) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{Workers: len(m.workers)}
+	now := time.Now()
+	for _, seen := range m.workers {
+		if now.Sub(seen) <= livenessWindow {
+			st.LiveWorkers++
+		}
+	}
+	if js := m.job; js != nil && !isClosed(js.finished) {
+		st.JobRunning = true
+		st.JobName = js.spec.Name
+		st.Phase = js.phase
+		st.TasksTotal = len(js.tasks)
+		st.TasksDone = js.done
+		st.Pending = len(js.pending)
+	}
+	return st
+}
+
+// StatusArgs is the (empty) RPC request.
+type StatusArgs struct{}
+
+// Status implements the RPC surface for Master.Status.
+func (s *MasterService) Status(args StatusArgs, reply *Status) error {
+	*reply = s.m.Status()
+	return nil
+}

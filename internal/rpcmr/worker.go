@@ -1,0 +1,262 @@
+package rpcmr
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// WorkerConfig tunes worker behaviour.
+type WorkerConfig struct {
+	// MasterAddr is the master's TCP address.
+	MasterAddr string
+	// ID labels this worker; defaults to a generated name.
+	ID string
+	// PollInterval is how long to sleep after a TaskWait. Defaults to
+	// 50ms.
+	PollInterval time.Duration
+	// FailAfterTasks, when > 0, makes the worker exit with an error after
+	// completing that many tasks — fault-injection support for tests and
+	// chaos drills. 0 disables.
+	FailAfterTasks int
+	// VanishAfterTasks, when > 0, makes the worker crash while *holding*
+	// its next assigned task after completing that many: the task is
+	// accepted but never executed or reported, exercising the master's
+	// lease-expiry reassignment. 0 disables.
+	VanishAfterTasks int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.ID == "" {
+		c.ID = fmt.Sprintf("worker-%d", time.Now().UnixNano())
+	}
+	return c
+}
+
+// Worker pulls and executes tasks from a master until shut down.
+type Worker struct {
+	cfg    WorkerConfig
+	client *rpc.Client
+
+	mu        sync.Mutex
+	completed int
+}
+
+// NewWorker connects to the master.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	client, err := rpc.Dial("tcp", cfg.MasterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcmr: dialing master %s: %w", cfg.MasterAddr, err)
+	}
+	w := &Worker{cfg: cfg, client: client}
+	var reply RegisterReply
+	if err := client.Call("Master.Register", RegisterArgs{WorkerID: cfg.ID}, &reply); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("rpcmr: registering: %w", err)
+	}
+	return w, nil
+}
+
+// Completed reports how many tasks this worker has finished.
+func (w *Worker) Completed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.completed
+}
+
+// Close drops the master connection.
+func (w *Worker) Close() error { return w.client.Close() }
+
+// Run is the worker main loop: poll for tasks and execute them until the
+// master shuts down, the connection drops, or ctx is cancelled. A clean
+// master shutdown returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var task TaskReply
+		if err := w.client.Call("Master.RequestTask", TaskArgs{WorkerID: w.cfg.ID}, &task); err != nil {
+			return fmt.Errorf("rpcmr: worker %s: request task: %w", w.cfg.ID, err)
+		}
+		switch task.Kind {
+		case TaskShutdown:
+			return nil
+		case TaskWait:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.cfg.PollInterval):
+			}
+		case TaskMap:
+			if w.shouldVanish() {
+				return fmt.Errorf("rpcmr: worker %s: injected crash holding map task %d", w.cfg.ID, task.TaskID)
+			}
+			if err := w.runMap(task); err != nil {
+				return err
+			}
+		case TaskReduce:
+			if w.shouldVanish() {
+				return fmt.Errorf("rpcmr: worker %s: injected crash holding reduce task %d", w.cfg.ID, task.TaskID)
+			}
+			if err := w.runReduce(task); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("rpcmr: worker %s: unknown task kind %d", w.cfg.ID, task.Kind)
+		}
+	}
+}
+
+// shouldVanish reports whether the crash-while-holding-a-task injection
+// fires now.
+func (w *Worker) shouldVanish() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cfg.VanishAfterTasks > 0 && w.completed >= w.cfg.VanishAfterTasks
+}
+
+// bumpCompleted counts a finished task and applies fault injection.
+func (w *Worker) bumpCompleted() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.completed++
+	if w.cfg.FailAfterTasks > 0 && w.completed >= w.cfg.FailAfterTasks {
+		return fmt.Errorf("rpcmr: worker %s: injected failure after %d tasks", w.cfg.ID, w.completed)
+	}
+	return nil
+}
+
+func (w *Worker) runMap(task TaskReply) error {
+	partitions, err := executeMap(task)
+	args := MapResultArgs{
+		WorkerID:   w.cfg.ID,
+		TaskID:     task.TaskID,
+		Attempt:    task.Attempt,
+		Partitions: partitions,
+	}
+	if err != nil {
+		args.Err = err.Error()
+		args.Partitions = nil
+	}
+	var reply ResultReply
+	if err := w.client.Call("Master.ReportMap", args, &reply); err != nil {
+		return fmt.Errorf("rpcmr: worker %s: report map: %w", w.cfg.ID, err)
+	}
+	return w.bumpCompleted()
+}
+
+func (w *Worker) runReduce(task TaskReply) error {
+	pairs, err := executeReduce(task)
+	args := ReduceResultArgs{
+		WorkerID: w.cfg.ID,
+		TaskID:   task.TaskID,
+		Attempt:  task.Attempt,
+		Pairs:    pairs,
+	}
+	if err != nil {
+		args.Err = err.Error()
+		args.Pairs = nil
+	}
+	var reply ResultReply
+	if err := w.client.Call("Master.ReportReduce", args, &reply); err != nil {
+		return fmt.Errorf("rpcmr: worker %s: report reduce: %w", w.cfg.ID, err)
+	}
+	return w.bumpCompleted()
+}
+
+// executeMap runs the mapper (and combiner) of one map task, returning
+// output pairs partitioned by reducer.
+func executeMap(task TaskReply) ([][]WirePair, error) {
+	job, err := lookupJob(task.JobName, task.Params)
+	if err != nil {
+		return nil, err
+	}
+	reducers := task.Reducers
+	if reducers < 1 {
+		reducers = 1
+	}
+	parts := make([][]WirePair, reducers)
+	emit := func(key string, value []byte) {
+		r := wirePartition(key, reducers)
+		parts[r] = append(parts[r], WirePair{Key: key, Value: value})
+	}
+	for _, rec := range task.Records {
+		if err := job.Mapper.Map(rec, emit); err != nil {
+			return nil, err
+		}
+	}
+	if job.Combiner != nil {
+		for r := range parts {
+			combined, err := combineWire(job.Combiner, parts[r])
+			if err != nil {
+				return nil, err
+			}
+			parts[r] = combined
+		}
+	}
+	return parts, nil
+}
+
+// combineWire groups one partition's pairs by key (first-seen order) and
+// applies the combiner.
+func combineWire(combiner mapreduce.Reducer, pairs []WirePair) ([]WirePair, error) {
+	if len(pairs) == 0 {
+		return pairs, nil
+	}
+	order := make([]string, 0, 8)
+	groups := make(map[string][][]byte, 8)
+	for _, p := range pairs {
+		if _, ok := groups[p.Key]; !ok {
+			order = append(order, p.Key)
+		}
+		groups[p.Key] = append(groups[p.Key], p.Value)
+	}
+	var out []WirePair
+	emit := func(key string, value []byte) {
+		out = append(out, WirePair{Key: key, Value: value})
+	}
+	for _, k := range order {
+		if err := combiner.Reduce(k, groups[k], emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// executeReduce runs the reducer over one task's key groups.
+func executeReduce(task TaskReply) ([]WirePair, error) {
+	job, err := lookupJob(task.JobName, task.Params)
+	if err != nil {
+		return nil, err
+	}
+	var out []WirePair
+	emit := func(key string, value []byte) {
+		out = append(out, WirePair{Key: key, Value: value})
+	}
+	for _, g := range task.Groups {
+		if err := job.Reducer.Reduce(g.Key, g.Values, emit); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// wirePartition must agree between all workers: FNV-1a over the key.
+func wirePartition(key string, reducers int) int {
+	if reducers == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}

@@ -1,0 +1,228 @@
+// Package sequencefile implements a minimal binary key-value record format
+// in the spirit of Hadoop's SequenceFile, used by the MapReduce engine to
+// spill intermediate (key, value) pairs to disk between phases.
+//
+// File layout:
+//
+//	magic   [4]byte  "SKSF"
+//	version uint8    1 (raw) or 2 (record stream DEFLATE-compressed)
+//	records:
+//	  keyLen   uvarint
+//	  valueLen uvarint
+//	  key      [keyLen]byte
+//	  value    [valueLen]byte
+//	  crc      uint32 (little-endian) — CRC-32 (IEEE) of key||value
+//
+// The format is self-delimiting and detects torn or corrupted records via
+// the per-record checksum. In version 2 everything after the header is one
+// flate stream holding the same record layout — the storage trade-off of
+// Hadoop's block-compressed SequenceFiles.
+package sequencefile
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var magic = [4]byte{'S', 'K', 'S', 'F'}
+
+const (
+	versionRaw        = 1
+	versionCompressed = 2
+)
+
+// ErrCorrupt is returned (wrapped) when a record fails its checksum or the
+// header is malformed.
+var ErrCorrupt = errors.New("sequencefile: corrupt data")
+
+// Record is one key-value pair.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// Writer appends records to an underlying stream.
+type Writer struct {
+	base    *bufio.Writer // the raw underlying stream
+	out     io.Writer     // where records go: base, or the flate layer
+	fw      *flate.Writer // non-nil in compressed mode
+	version byte
+	started bool
+	n       int
+}
+
+// NewWriter creates a raw (version 1) Writer. The header is written
+// lazily on the first Append so that creating a writer is infallible.
+func NewWriter(w io.Writer) *Writer {
+	b := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{base: b, out: b, version: versionRaw}
+}
+
+// NewCompressedWriter creates a version-2 Writer whose record stream is
+// DEFLATE-compressed. Use for cold spill files where I/O volume matters
+// more than CPU.
+func NewCompressedWriter(w io.Writer) *Writer {
+	b := bufio.NewWriterSize(w, 1<<16)
+	fw, _ := flate.NewWriter(b, flate.DefaultCompression) // level is valid; err impossible
+	return &Writer{base: b, out: fw, fw: fw, version: versionCompressed}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.started {
+		return nil
+	}
+	if _, err := w.base.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := w.base.WriteByte(w.version); err != nil {
+		return err
+	}
+	w.started = true
+	return nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(key, value []byte) error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(value)))
+	if _, err := w.out.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.out.Write(key); err != nil {
+		return err
+	}
+	if _, err := w.out.Write(value); err != nil {
+		return err
+	}
+	crc := crc32.ChecksumIEEE(key)
+	crc = crc32.Update(crc, crc32.IEEETable, value)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc)
+	if _, err := w.out.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush finalizes and writes buffered data to the underlying stream. An
+// empty file (no Append calls) still gets a valid header so readers
+// accept it. For compressed writers, Flush closes the flate stream —
+// further Appends are invalid after Flush.
+func (w *Writer) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if w.fw != nil {
+		if err := w.fw.Close(); err != nil {
+			return err
+		}
+	}
+	return w.base.Flush()
+}
+
+// Reader iterates over records of a stream produced by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader creates a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) readHeader() error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: missing or truncated header", ErrCorrupt)
+		}
+		return err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	switch hdr[4] {
+	case versionRaw:
+	case versionCompressed:
+		// Everything after the header is one flate stream of records.
+		r.r = bufio.NewReaderSize(flate.NewReader(r.r), 1<<16)
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	r.header = true
+	return nil
+}
+
+// Next returns the next record, or io.EOF after the last one. The returned
+// slices are freshly allocated and owned by the caller.
+func (r *Reader) Next() (Record, error) {
+	if !r.header {
+		if err := r.readHeader(); err != nil {
+			return Record{}, err
+		}
+	}
+	keyLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: key length: %v", ErrCorrupt, err)
+	}
+	valLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: value length: %v", ErrCorrupt, err)
+	}
+	const maxLen = 1 << 30
+	if keyLen > maxLen || valLen > maxLen {
+		return Record{}, fmt.Errorf("%w: implausible record size %d/%d", ErrCorrupt, keyLen, valLen)
+	}
+	rec := Record{Key: make([]byte, keyLen), Value: make([]byte, valLen)}
+	if _, err := io.ReadFull(r.r, rec.Key); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated key: %v", ErrCorrupt, err)
+	}
+	if _, err := io.ReadFull(r.r, rec.Value); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated value: %v", ErrCorrupt, err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
+		return Record{}, fmt.Errorf("%w: truncated checksum: %v", ErrCorrupt, err)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	got := crc32.ChecksumIEEE(rec.Key)
+	got = crc32.Update(got, crc32.IEEETable, rec.Value)
+	if got != want {
+		return Record{}, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice. It is a convenience for tests
+// and small files.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,302 @@
+package sequencefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{[]byte("k1"), []byte("v1")},
+		{[]byte(""), []byte("empty key")},
+		{[]byte("empty value"), []byte("")},
+		{[]byte("big"), bytes.Repeat([]byte{0xAB}, 100000)},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec.Key, rec.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != len(recs) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i].Key, recs[i].Key) || !bytes.Equal(got[i].Value, recs[i].Value) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d records from empty file", len(got))
+	}
+}
+
+func TestMissingHeader(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader(nil))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader([]byte("NOPE\x01")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	_, err := ReadAll(bytes.NewReader([]byte("SKSF\x07")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("key"), []byte("value-to-corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a bit inside the value region (past header + varints + key).
+	data[len(data)-6] ^= 0x01
+	_, err := ReadAll(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted record read back without error: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("key"), bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) - 10, 6} {
+		_, err := ReadAll(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at %d undetected: %v", cut, err)
+		}
+	}
+}
+
+func TestNextAfterEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("first post-end Next = %v, want EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("second post-end Next = %v, want EOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pairs [][2][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range pairs {
+			if err := w.Append(p[0], p[1]); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(pairs) {
+			return false
+		}
+		for i, p := range pairs {
+			if !bytes.Equal(got[i].Key, p[0]) || !bytes.Equal(got[i].Value, p[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReturnedSlicesAreOwned(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	first, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if string(first.Key) != "k1" || string(first.Value) != "v1" {
+		t.Error("earlier record mutated by later read")
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	key := make([]byte, 16)
+	val := make([]byte, 128)
+	rng.Read(key)
+	rng.Read(val)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for j := 0; j < 100; j++ {
+			if err := w.Append(key, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadAll(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	recs := []Record{
+		{[]byte("k1"), bytes.Repeat([]byte("abc"), 1000)},
+		{[]byte(""), []byte("empty key")},
+		{[]byte("k3"), []byte{}},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec.Key, rec.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !bytes.Equal(got[i].Key, recs[i].Key) || !bytes.Equal(got[i].Value, recs[i].Value) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestCompressedActuallyCompresses(t *testing.T) {
+	payload := bytes.Repeat([]byte("repetitive payload "), 500)
+	var raw, comp bytes.Buffer
+	wr := NewWriter(&raw)
+	wc := NewCompressedWriter(&comp)
+	for i := 0; i < 20; i++ {
+		if err := wr.Append([]byte("k"), payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := wc.Append([]byte("k"), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= raw.Len()/5 {
+		t.Errorf("compressed %d bytes vs raw %d — poor ratio on repetitive data", comp.Len(), raw.Len())
+	}
+}
+
+func TestCompressedEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("records from empty compressed file: %d", len(got))
+	}
+}
+
+func TestCompressedCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	if err := w.Append([]byte("key"), bytes.Repeat([]byte("v"), 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted compressed stream read without error")
+	}
+}

@@ -1,0 +1,57 @@
+package skyjob
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/skyline"
+)
+
+func TestDistributedSkybandMatchesOracle(t *testing.T) {
+	master := startCluster(t, 3)
+	data := uniformSet(11, 800, 3)
+	for _, k := range []int{1, 2, 4} {
+		want, err := skyline.Skyband(data, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeSkyband(context.Background(), master, data, partition.Angular, k, 8, 2)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !sameMultiset(got, want) {
+			t.Errorf("k=%d: %d points, oracle %d", k, len(got), len(want))
+		}
+	}
+}
+
+func TestDistributedSkybandChainScattered(t *testing.T) {
+	master := startCluster(t, 2)
+	var data = uniformSet(12, 0, 2) // empty; build a chain instead
+	for i := 0; i < 48; i++ {
+		data = append(data, []float64{float64(i), float64(i)})
+	}
+	want, err := skyline.Skyband(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComputeSkyband(context.Background(), master, data, partition.Random, 3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, want) {
+		t.Errorf("chain 3-skyband: %d points, oracle %d (%v)", len(got), len(want), got)
+	}
+}
+
+func TestDistributedSkybandValidation(t *testing.T) {
+	master := startCluster(t, 1)
+	data := uniformSet(13, 40, 2)
+	if _, err := ComputeSkyband(context.Background(), master, data, partition.Grid, 0, 4, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ComputeSkyband(context.Background(), master, nil, partition.Grid, 2, 4, 1); err == nil {
+		t.Error("empty data accepted")
+	}
+}

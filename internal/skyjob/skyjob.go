@@ -1,0 +1,240 @@
+// Package skyjob defines the distributed skyline MapReduce jobs for the
+// rpcmr engine: the partitioning job (assign → local skyline) and the
+// merging job (single key → global skyline), mirroring the in-process
+// pipeline of package driver. Any process that links this package (master
+// or worker) has both jobs registered and can participate in a cluster.
+package skyjob
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/rpcmr"
+	"repro/internal/skyline"
+)
+
+// Job names in the rpcmr registry.
+const (
+	PartitionJobName = "skyline/partition"
+	MergeJobName     = "skyline/merge"
+)
+
+// Spec parameterizes the partitioning job; it travels to workers as JSON
+// so every worker reconstructs an identical partitioner.
+type Spec struct {
+	Scheme     partition.Scheme `json:"scheme"`
+	Dim        int              `json:"dim"`
+	Min        []float64        `json:"min"`
+	Max        []float64        `json:"max"`
+	Partitions int              `json:"partitions"`
+	// Kernel selects the sequential skyline algorithm (default BNL).
+	Kernel skyline.Algorithm `json:"kernel"`
+	// AngularSplits and AngularCuts ship a fitted (equi-depth) angular
+	// partitioner to workers; empty for other schemes.
+	AngularSplits []int         `json:"angular_splits,omitempty"`
+	AngularCuts   [][][]float64 `json:"angular_cuts,omitempty"`
+}
+
+// SpecFor fits a Spec to a dataset, following the paper's partition-count
+// rule (2 × nodes) when partitions is given directly by the caller.
+func SpecFor(data points.Set, scheme partition.Scheme, partitions int) (Spec, error) {
+	if err := data.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("skyjob: %w", err)
+	}
+	min, max := data.Bounds()
+	spec := Spec{
+		Scheme:     scheme,
+		Dim:        data.Dim(),
+		Min:        min,
+		Max:        max,
+		Partitions: partitions,
+	}
+	if scheme == partition.Angular {
+		ap, err := partition.FitAngular(data, partitions)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.AngularSplits = ap.Splits()
+		spec.AngularCuts = ap.Cuts()
+	}
+	return spec, nil
+}
+
+// Build reconstructs the partitioner described by the spec.
+func (s Spec) Build() (partition.Partitioner, error) {
+	min, max := points.Point(s.Min), points.Point(s.Max)
+	if len(min) != s.Dim || len(max) != s.Dim {
+		return nil, fmt.Errorf("skyjob: spec bounds dimension mismatch")
+	}
+	switch s.Scheme {
+	case partition.Dimensional:
+		return partition.NewDimensional(0, min[0], max[0], s.Partitions, s.Dim)
+	case partition.Grid:
+		return partition.NewGrid(min, max, s.Partitions)
+	case partition.Angular:
+		if s.AngularSplits != nil {
+			return partition.NewAngularWithCuts(min, s.AngularSplits, s.AngularCuts)
+		}
+		return partition.NewAngular(min, s.Dim, s.Partitions)
+	case partition.Random:
+		return partition.NewRandom(s.Dim, s.Partitions)
+	default:
+		return nil, fmt.Errorf("skyjob: unknown scheme %d", int(s.Scheme))
+	}
+}
+
+func init() {
+	rpcmr.RegisterJob(PartitionJobName, newPartitionJob)
+	rpcmr.RegisterJob(MergeJobName, newMergeJob)
+}
+
+// localSkylineReducer builds the reducer shared by both jobs: decode the
+// group's points, run the kernel, emit survivors under the same key.
+func localSkylineReducer(kernel skyline.Func) mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		set := make(points.Set, 0, len(values))
+		for _, v := range values {
+			p, err := points.Decode(v)
+			if err != nil {
+				return err
+			}
+			set = append(set, p)
+		}
+		for _, p := range kernel(set) {
+			emit(key, points.Encode(p))
+		}
+		return nil
+	})
+}
+
+func newPartitionJob(params []byte) (rpcmr.Job, error) {
+	var spec Spec
+	if err := json.Unmarshal(params, &spec); err != nil {
+		return rpcmr.Job{}, fmt.Errorf("skyjob: bad params: %w", err)
+	}
+	part, err := spec.Build()
+	if err != nil {
+		return rpcmr.Job{}, err
+	}
+	kernel := skyline.ByAlgorithm(spec.Kernel)
+	reducer := localSkylineReducer(kernel)
+	return rpcmr.Job{
+		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+			p, err := points.Decode(rec)
+			if err != nil {
+				return err
+			}
+			id, err := part.Assign(p)
+			if err != nil {
+				return err
+			}
+			emit(strconv.Itoa(id), rec)
+			return nil
+		}),
+		Combiner: reducer,
+		Reducer:  reducer,
+	}, nil
+}
+
+func newMergeJob(params []byte) (rpcmr.Job, error) {
+	var spec Spec
+	if err := json.Unmarshal(params, &spec); err != nil {
+		return rpcmr.Job{}, fmt.Errorf("skyjob: bad params: %w", err)
+	}
+	kernel := skyline.ByAlgorithm(spec.Kernel)
+	return rpcmr.Job{
+		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+			emit("global", rec)
+			return nil
+		}),
+		Combiner: localSkylineReducer(kernel),
+		Reducer:  localSkylineReducer(kernel),
+	}, nil
+}
+
+// Result is the outcome of a distributed skyline computation.
+type Result struct {
+	Skyline points.Set
+	// LocalSkylines maps partition id → local skyline (partition job
+	// output).
+	LocalSkylines map[int]points.Set
+	// MapTime / ReduceTime aggregate the two jobs' phases in the paper's
+	// Figure 6 sense: MapTime covers both jobs' map sides, ReduceTime
+	// both jobs' reduce sides.
+	MapTime, ReduceTime JobResultTiming
+}
+
+// JobResultTiming mirrors the rpcmr per-job split.
+type JobResultTiming struct {
+	PartitionJob, MergeJob float64 // seconds
+}
+
+// Optimality computes the paper's Eq. (5) local skyline optimality of the
+// distributed run.
+func (r *Result) Optimality() float64 {
+	return metrics.LocalSkylineOptimality(r.LocalSkylines, r.Skyline)
+}
+
+// Compute runs the two-job skyline pipeline on a live rpcmr cluster.
+func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme partition.Scheme, partitions, reducers int) (*Result, error) {
+	spec, err := SpecFor(data, scheme, partitions)
+	if err != nil {
+		return nil, err
+	}
+	params, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+	res1, err := master.Run(ctx, rpcmr.JobSpec{Name: PartitionJobName, Params: params, Reducers: reducers}, input)
+	if err != nil {
+		return nil, fmt.Errorf("skyjob: partitioning job: %w", err)
+	}
+	local := make(map[int]points.Set)
+	mergeInput := make([][]byte, 0, len(res1.Pairs))
+	for _, pair := range res1.Pairs {
+		id, err := strconv.Atoi(pair.Key)
+		if err != nil {
+			return nil, fmt.Errorf("skyjob: bad partition key %q", pair.Key)
+		}
+		p, err := points.Decode(pair.Value)
+		if err != nil {
+			return nil, err
+		}
+		local[id] = append(local[id], p)
+		mergeInput = append(mergeInput, pair.Value)
+	}
+	res2, err := master.Run(ctx, rpcmr.JobSpec{Name: MergeJobName, Params: params, Reducers: 1}, mergeInput)
+	if err != nil {
+		return nil, fmt.Errorf("skyjob: merging job: %w", err)
+	}
+	sky := make(points.Set, 0, len(res2.Pairs))
+	for _, pair := range res2.Pairs {
+		p, err := points.Decode(pair.Value)
+		if err != nil {
+			return nil, err
+		}
+		sky = append(sky, p)
+	}
+	return &Result{
+		Skyline:       sky,
+		LocalSkylines: local,
+		MapTime: JobResultTiming{
+			PartitionJob: res1.MapTime.Seconds(),
+			MergeJob:     res2.MapTime.Seconds(),
+		},
+		ReduceTime: JobResultTiming{
+			PartitionJob: res1.ReduceTime.Seconds(),
+			MergeJob:     res2.ReduceTime.Seconds(),
+		},
+	}, nil
+}

@@ -1,0 +1,51 @@
+package skyline
+
+import (
+	"sync/atomic"
+
+	"repro/internal/points"
+)
+
+// Counter tallies dominance comparisons, for validating analytic cost
+// models (the cluster simulator estimates BNL cost as n·s/2 comparisons).
+// Safe for concurrent use.
+type Counter struct {
+	n int64
+}
+
+// Comparisons returns the tally.
+func (c *Counter) Comparisons() int64 { return atomic.LoadInt64(&c.n) }
+
+// Counting wraps a window-based BNL that counts every dominance
+// comparison into c and returns the skyline. Semantics match BNL exactly.
+func Counting(c *Counter) Func {
+	return func(s points.Set) points.Set {
+		window := make(points.Set, 0, 16)
+		local := int64(0)
+		for _, p := range s {
+			dominated := false
+			w := window[:0]
+			for _, q := range window {
+				if dominated {
+					w = append(w, q)
+					continue
+				}
+				local++
+				if points.DominatesOrEqual(q, p) && !q.Equal(p) {
+					dominated = true
+					w = append(w, q)
+					continue
+				}
+				if !points.Dominates(p, q) {
+					w = append(w, q)
+				}
+			}
+			window = w
+			if !dominated {
+				window = append(window, p)
+			}
+		}
+		atomic.AddInt64(&c.n, local)
+		return window
+	}
+}

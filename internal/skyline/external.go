@@ -1,0 +1,115 @@
+package skyline
+
+import (
+	"fmt"
+
+	"repro/internal/points"
+)
+
+// BNLExternal is the original block-nested-loops algorithm of Börzsönyi
+// et al. for memory-constrained settings: the window holds at most
+// windowSize candidate points; points that neither die nor fit are
+// written to an overflow list (the disk temp file of the original) and
+// processed in a later pass. A single global event clock stamps every
+// window insertion and overflow write; a window point may be emitted as
+// skyline once its stamp proves it has been compared against every point
+// still alive:
+//
+//   - mid-pass (reading overflow from a previous pass): a window point
+//     stamped before the current record was written has met every record
+//     that follows it in the file;
+//   - end of pass: a window point stamped before the pass's first
+//     overflow write has met everything.
+//
+// With windowSize ≥ |skyline| it performs one pass and matches BNL; with
+// a tiny window it still terminates with the exact skyline at the cost of
+// extra passes — mirroring the disk-spill behaviour of the paper-era
+// implementation. windowSize must be ≥ 1.
+func BNLExternal(s points.Set, windowSize int) (points.Set, error) {
+	if windowSize < 1 {
+		return nil, fmt.Errorf("skyline: window size %d, need >= 1", windowSize)
+	}
+
+	type stamped struct {
+		p  points.Point
+		in int // event-clock stamp: window entry or overflow write
+	}
+
+	tick := 0
+	var result points.Set
+	window := make([]stamped, 0, windowSize)
+
+	// Pass 0 reads the raw input (unstamped); later passes read the
+	// previous pass's overflow, whose stamps are write times.
+	input := make([]stamped, len(s))
+	for i, p := range s {
+		input[i] = stamped{p: p, in: -1}
+	}
+
+	for pass := 0; len(input) > 0; pass++ {
+		var overflow []stamped
+		for _, cur := range input {
+			dominated := false
+			w := window[:0]
+			for _, q := range window {
+				if dominated {
+					w = append(w, q)
+					continue
+				}
+				if points.DominatesOrEqual(q.p, cur.p) && !q.p.Equal(cur.p) {
+					dominated = true
+					w = append(w, q)
+					continue
+				}
+				if !points.Dominates(cur.p, q.p) {
+					w = append(w, q)
+				}
+			}
+			window = w
+			if dominated {
+				continue
+			}
+			if len(window) >= windowSize && pass > 0 {
+				// Reading from overflow: emit window points proven done —
+				// stamped before this record was written, hence already
+				// compared with every record that follows it.
+				w := window[:0]
+				for _, q := range window {
+					if q.in < cur.in {
+						result = append(result, q.p)
+					} else {
+						w = append(w, q)
+					}
+				}
+				window = w
+			}
+			if len(window) < windowSize {
+				window = append(window, stamped{p: cur.p, in: tick})
+				tick++
+				continue
+			}
+			overflow = append(overflow, stamped{p: cur.p, in: tick})
+			tick++
+		}
+		// End of pass: window points stamped before the first overflow
+		// write have been compared against everything still alive.
+		if len(overflow) == 0 {
+			break
+		}
+		first := overflow[0].in
+		survivors := window[:0]
+		for _, q := range window {
+			if q.in < first {
+				result = append(result, q.p)
+			} else {
+				survivors = append(survivors, q)
+			}
+		}
+		window = survivors
+		input = overflow
+	}
+	for _, q := range window {
+		result = append(result, q.p)
+	}
+	return result, nil
+}

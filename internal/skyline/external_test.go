@@ -1,0 +1,120 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/points"
+)
+
+func TestBNLExternalMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(300)
+		s := make(points.Set, n)
+		for i := range s {
+			p := make(points.Point, d)
+			for j := range p {
+				p[j] = float64(rng.Intn(10)) // coarse grid: ties + duplicates
+			}
+			s[i] = p
+		}
+		want := Naive(s)
+		for _, w := range []int{1, 2, 3, 7, 64, 10000} {
+			got, err := BNLExternal(s, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMultiset(got, want) {
+				t.Fatalf("trial %d window %d: got %d points, want %d\n got: %v\nwant: %v",
+					trial, w, len(got), len(want), got, want)
+			}
+		}
+	}
+}
+
+func TestBNLExternalAntiChainTinyWindow(t *testing.T) {
+	// Worst case: nothing dominates anything, window of 1 → one emission
+	// per pass, still exact.
+	var s points.Set
+	for i := 0; i < 40; i++ {
+		s = append(s, points.Point{float64(i), float64(40 - i)})
+	}
+	got, err := BNLExternal(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 40 {
+		t.Errorf("got %d of 40 anti-chain points", len(got))
+	}
+}
+
+func TestBNLExternalChain(t *testing.T) {
+	// Everything dominated by the last point; any window works in one
+	// logical pass.
+	var s points.Set
+	for i := 20; i >= 0; i-- {
+		s = append(s, points.Point{float64(i), float64(i)})
+	}
+	got, err := BNLExternal(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBNLExternalEdgeCases(t *testing.T) {
+	if _, err := BNLExternal(points.Set{{1, 2}}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	got, err := BNLExternal(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+	got, err = BNLExternal(points.Set{{1, 1}, {1, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("duplicates with window 1: got %d, want 2", len(got))
+	}
+}
+
+func TestBNLExternalLargeWindowEqualsBNL(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := make(points.Set, 500)
+	for i := range s {
+		s[i] = points.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	got, err := BNLExternal(s, len(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, BNL(s)) {
+		t.Error("large-window external BNL diverges from in-memory BNL")
+	}
+}
+
+func BenchmarkBNLExternal(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	s := make(points.Set, 3000)
+	for i := range s {
+		s[i] = points.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	for _, w := range []int{8, 64, 1024} {
+		b.Run(map[int]string{8: "window8", 64: "window64", 1024: "window1024"}[w], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BNLExternal(s, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package skyline
+
+import (
+	"math"
+
+	"repro/internal/points"
+)
+
+// NearestNeighbor computes the skyline by the divide-and-prune procedure
+// the paper sketches in its Section IV complexity analysis (after
+// Kossmann et al.'s NN algorithm): the point nearest to the origin (in
+// the normalized space) is necessarily a skyline point; everything in its
+// dominance region is pruned; the remaining region is split into the
+// partitions not dominated by the pivot and processed recursively.
+//
+// This implementation works on in-memory sets (no spatial index), so its
+// asymptotic cost is comparable to BNL's; it exists to validate §IV's
+// reasoning — "the first nearest neighbor is part of the skyline" and
+// "the dominated region is pruned" — and as another independent oracle.
+func NearestNeighbor(s points.Set) points.Set {
+	if len(s) == 0 {
+		return nil
+	}
+	min, max := s.Bounds()
+	d := s.Dim()
+	span := make([]float64, d)
+	for j := 0; j < d; j++ {
+		span[j] = max[j] - min[j]
+		if span[j] == 0 {
+			span[j] = 1
+		}
+	}
+	var result points.Set
+	nnRecurse(s, min, span, &result)
+	return result
+}
+
+func nnRecurse(s points.Set, min points.Point, span []float64, out *points.Set) {
+	if len(s) == 0 {
+		return
+	}
+	if len(s) <= 16 {
+		*out = append(*out, BNL(s)...)
+		return
+	}
+	// Pivot: the point nearest the ideal corner in normalized L2 — it is
+	// dominated by nobody (any dominator would be strictly nearer), so it
+	// is skyline.
+	pivot := 0
+	best := math.Inf(1)
+	for i, p := range s {
+		dist := 0.0
+		for j := range p {
+			v := (p[j] - min[j]) / span[j]
+			dist += v * v
+		}
+		if dist < best {
+			best = dist
+			pivot = i
+		}
+	}
+	pv := s[pivot]
+	*out = append(*out, pv)
+	// Emit coordinate-equal duplicates alongside the pivot, prune the
+	// pivot's dominance region (the gray region of the paper's Fig. 4),
+	// and recurse on the incomparable remainder. Every future pivot is
+	// undominated in the original set: a dominator would either still be
+	// present (contradicting pivot minimality) or have been pruned by an
+	// earlier pivot that then transitively dominates this one too.
+	var rest points.Set
+	for i, p := range s {
+		if i == pivot {
+			continue
+		}
+		if p.Equal(pv) {
+			*out = append(*out, p)
+			continue
+		}
+		if points.Dominates(pv, p) {
+			continue
+		}
+		rest = append(rest, p)
+	}
+	nnRecurse(rest, min, span, out)
+}

@@ -1,0 +1,48 @@
+package skyline
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/points"
+)
+
+// Parallel computes the skyline on shared memory with `workers`
+// goroutines: the input is chunked, each chunk's skyline is computed
+// concurrently with BNL, and the partial skylines are merged with a final
+// BNL pass — the divide-and-merge structure of the MapReduce pipeline
+// without the framework, useful as a single-machine fast path and as a
+// baseline when measuring the engine's overhead. workers ≤ 0 selects
+// GOMAXPROCS.
+func Parallel(s points.Set, workers int) points.Set {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(s) < 2*workers || len(s) < 64 {
+		return BNL(s)
+	}
+	chunk := (len(s) + workers - 1) / workers
+	partials := make([]points.Set, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(s) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(s) {
+			hi = len(s)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = BNL(s[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var merged points.Set
+	for _, p := range partials {
+		merged = append(merged, p...)
+	}
+	return BNL(merged)
+}

@@ -1,0 +1,101 @@
+package skyline
+
+import (
+	"math"
+
+	"repro/internal/points"
+)
+
+// Representative selects k representative members of a skyline — the
+// recommendation use-case the paper's introduction motivates (and its
+// authors pursue in "Similarity-based Representative Skyline"): a user
+// cannot inspect hundreds of Pareto-optimal services, so return a small
+// subset spreading across the whole trade-off spectrum.
+//
+// Selection is greedy max-min (farthest-point) in the normalized attribute
+// space: start from the point with the smallest normalized sum (the most
+// "balanced bargain"), then repeatedly add the skyline point farthest from
+// the already-chosen set. The greedy rule 2-approximates the max-min
+// dispersion optimum and is deterministic.
+//
+// If k ≥ len(sky) the whole skyline is returned (copied).
+func Representative(sky points.Set, k int) points.Set {
+	if k <= 0 || len(sky) == 0 {
+		return nil
+	}
+	if k >= len(sky) {
+		return sky.Clone()
+	}
+	d := sky.Dim()
+	min, max := sky.Bounds()
+	span := make([]float64, d)
+	for j := 0; j < d; j++ {
+		span[j] = max[j] - min[j]
+		if span[j] == 0 {
+			span[j] = 1 // constant dimension: contributes nothing
+		}
+	}
+	norm := func(p points.Point) []float64 {
+		out := make([]float64, d)
+		for j := 0; j < d; j++ {
+			out[j] = (p[j] - min[j]) / span[j]
+		}
+		return out
+	}
+	normed := make([][]float64, len(sky))
+	for i, p := range sky {
+		normed[i] = norm(p)
+	}
+
+	// Seed: smallest normalized sum.
+	seed := 0
+	best := math.Inf(1)
+	for i, v := range normed {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		if s < best {
+			best = s
+			seed = i
+		}
+	}
+
+	chosen := []int{seed}
+	// minDist[i] is the distance from point i to the chosen set.
+	minDist := make([]float64, len(sky))
+	for i := range minDist {
+		minDist[i] = dist(normed[i], normed[seed])
+	}
+	for len(chosen) < k {
+		far, farDist := -1, -1.0
+		for i, dd := range minDist {
+			if dd > farDist {
+				far, farDist = i, dd
+			}
+		}
+		if far < 0 || farDist == 0 {
+			break // remaining points coincide with chosen ones
+		}
+		chosen = append(chosen, far)
+		for i := range minDist {
+			if dd := dist(normed[i], normed[far]); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	out := make(points.Set, 0, len(chosen))
+	for _, i := range chosen {
+		out = append(out, sky[i].Clone())
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

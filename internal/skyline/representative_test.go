@@ -1,0 +1,140 @@
+package skyline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/points"
+)
+
+func antiChain(n int) points.Set {
+	s := make(points.Set, n)
+	for i := range s {
+		s[i] = points.Point{float64(i), float64(n - i)}
+	}
+	return s
+}
+
+func TestRepresentativeBasics(t *testing.T) {
+	sky := antiChain(50)
+	got := Representative(sky, 5)
+	if len(got) != 5 {
+		t.Fatalf("got %d representatives, want 5", len(got))
+	}
+	for _, p := range got {
+		if !sky.Contains(p) {
+			t.Errorf("representative %v not a skyline member", p)
+		}
+	}
+	// No duplicates among representatives.
+	if len(got.Dedup()) != len(got) {
+		t.Error("duplicate representatives")
+	}
+}
+
+func TestRepresentativeEdges(t *testing.T) {
+	sky := antiChain(10)
+	if got := Representative(sky, 0); got != nil {
+		t.Errorf("k=0 gave %v", got)
+	}
+	if got := Representative(nil, 3); got != nil {
+		t.Errorf("empty skyline gave %v", got)
+	}
+	got := Representative(sky, 100)
+	if len(got) != 10 {
+		t.Errorf("k>n gave %d points", len(got))
+	}
+	got[0][0] = -99
+	if sky[0][0] == -99 {
+		t.Error("k>n result aliases input")
+	}
+	if got := Representative(sky, 1); len(got) != 1 {
+		t.Errorf("k=1 gave %d", len(got))
+	}
+}
+
+func TestRepresentativeSpreads(t *testing.T) {
+	// Representatives must cover the spectrum: with k=3 on a 0..99
+	// anti-chain, the chosen x-coordinates should span most of the range.
+	sky := antiChain(100)
+	got := Representative(sky, 3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range got {
+		lo = math.Min(lo, p[0])
+		hi = math.Max(hi, p[0])
+	}
+	if hi-lo < 70 {
+		t.Errorf("representatives span only [%g, %g] of 0..99", lo, hi)
+	}
+}
+
+func TestRepresentativeMaxMinQuality(t *testing.T) {
+	// Greedy max-min is a 2-approximation; sanity-check that the chosen
+	// set's min pairwise distance is at least half of the best found by
+	// random search.
+	rng := rand.New(rand.NewSource(41))
+	s := make(points.Set, 60)
+	for i := range s {
+		x := rng.Float64()
+		s[i] = points.Point{x, 1 - x + 0.001*rng.Float64()}
+	}
+	sky := BNL(s)
+	if len(sky) < 10 {
+		t.Skip("skyline too small for the quality check")
+	}
+	const k = 4
+	got := Representative(sky, k)
+	gotScore := minPairDist(got)
+	bestRandom := 0.0
+	for trial := 0; trial < 2000; trial++ {
+		idx := rng.Perm(len(sky))[:k]
+		var cand points.Set
+		for _, i := range idx {
+			cand = append(cand, sky[i])
+		}
+		if s := minPairDist(cand); s > bestRandom {
+			bestRandom = s
+		}
+	}
+	if gotScore < bestRandom/2 {
+		t.Errorf("greedy min-dist %g below half of random-search best %g", gotScore, bestRandom)
+	}
+}
+
+func minPairDist(s points.Set) float64 {
+	best := math.Inf(1)
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			d := 0.0
+			for x := range s[i] {
+				dd := s[i][x] - s[j][x]
+				d += dd * dd
+			}
+			best = math.Min(best, math.Sqrt(d))
+		}
+	}
+	return best
+}
+
+func TestRepresentativeAllDuplicates(t *testing.T) {
+	sky := points.Set{{1, 1}, {1, 1}, {1, 1}}
+	got := Representative(sky, 2)
+	if len(got) != 1 {
+		t.Errorf("coincident points gave %d representatives, want 1", len(got))
+	}
+}
+
+func TestRepresentativeConstantDimension(t *testing.T) {
+	// One dimension constant across the skyline must not produce NaNs.
+	sky := points.Set{{0, 5, 1}, {1, 5, 0.5}, {2, 5, 0.2}}
+	got := Representative(sky, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	for _, p := range got {
+		if p.Validate() != nil {
+			t.Errorf("invalid representative %v", p)
+		}
+	}
+}

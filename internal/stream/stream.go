@@ -1,0 +1,142 @@
+// Package stream maintains a skyline over the most recent W observations
+// of a service feed — the continuous-query counterpart of the batch
+// pipeline. The paper's introduction motivates exactly this: "the QoS of
+// selected service may get degraded rapidly" as conditions change, so a
+// selection system must track the skyline of *fresh* measurements rather
+// than of an all-time catalogue.
+//
+// The window is count-based: each Add evicts the observation made W steps
+// earlier. Skyline maintenance is incremental: an arriving point joins the
+// skyline if undominated (evicting window skyline members it dominates);
+// an expiring non-skyline point costs nothing; an expiring skyline point
+// triggers one BNL pass over the retained window, because previously
+// dominated observations may resurface.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// Windowed is a sliding-window skyline. Not safe for concurrent use; wrap
+// with a mutex if shared.
+type Windowed struct {
+	capacity int
+	buf      []points.Point // ring buffer, arrival order
+	head     int            // index of the oldest element
+	n        int            // live element count
+	sky      points.Set     // current window skyline (references buf's points)
+	// stats
+	recomputes int
+}
+
+// NewWindowed creates a window of the given capacity (≥ 1).
+func NewWindowed(capacity int) (*Windowed, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: window capacity %d, need >= 1", capacity)
+	}
+	return &Windowed{
+		capacity: capacity,
+		buf:      make([]points.Point, capacity),
+	}, nil
+}
+
+// Len returns the number of live observations in the window.
+func (w *Windowed) Len() int { return w.n }
+
+// Recomputes returns how many full skyline recomputations eviction has
+// forced — the cost diagnostic for the incremental maintenance.
+func (w *Windowed) Recomputes() int { return w.recomputes }
+
+// Skyline returns a copy of the current window skyline.
+func (w *Windowed) Skyline() points.Set {
+	out := make(points.Set, len(w.sky))
+	for i, p := range w.sky {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Add appends an observation, evicting the oldest when the window is
+// full. It returns whether the new observation is on the updated skyline.
+func (w *Windowed) Add(p points.Point) (onSkyline bool, err error) {
+	if err := p.Validate(); err != nil {
+		return false, fmt.Errorf("stream: %w", err)
+	}
+	p = p.Clone()
+
+	// Evict the oldest observation first so the new point never competes
+	// with a measurement that is about to disappear.
+	if w.n == w.capacity {
+		oldest := w.buf[w.head]
+		w.buf[w.head] = nil
+		w.head = (w.head + 1) % w.capacity
+		w.n--
+		if w.removeFromSkyline(oldest) {
+			// A frontier point left the window: resurface whoever it was
+			// suppressing.
+			w.recomputeSkyline()
+		}
+	}
+
+	// Insert the new observation into the ring.
+	idx := (w.head + w.n) % w.capacity
+	w.buf[idx] = p
+	w.n++
+
+	// Incremental skyline update.
+	dominated := false
+	kept := w.sky[:0]
+	for _, q := range w.sky {
+		if dominated {
+			kept = append(kept, q)
+			continue
+		}
+		if points.DominatesOrEqual(q, p) && !q.Equal(p) {
+			dominated = true
+			kept = append(kept, q)
+			continue
+		}
+		if !points.Dominates(p, q) {
+			kept = append(kept, q)
+		}
+	}
+	w.sky = kept
+	if !dominated {
+		w.sky = append(w.sky, p)
+	}
+	return !dominated, nil
+}
+
+// removeFromSkyline drops one coordinate-equal instance of p from the
+// skyline, reporting whether it was present.
+func (w *Windowed) removeFromSkyline(p points.Point) bool {
+	for i, q := range w.sky {
+		if q.Equal(p) {
+			w.sky = append(w.sky[:i], w.sky[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeSkyline rebuilds the skyline from the live window with BNL.
+func (w *Windowed) recomputeSkyline() {
+	w.recomputes++
+	window := make(points.Set, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		window = append(window, w.buf[(w.head+i)%w.capacity])
+	}
+	w.sky = skyline.BNL(window)
+}
+
+// Contents returns the live window in arrival order (copies).
+func (w *Windowed) Contents() points.Set {
+	out := make(points.Set, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(w.head+i)%w.capacity].Clone())
+	}
+	return out
+}

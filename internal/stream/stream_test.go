@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+func TestWindowedMatchesOracleStep(t *testing.T) {
+	// After every Add, the windowed skyline must equal the batch skyline
+	// of the window contents.
+	rng := rand.New(rand.NewSource(71))
+	w, err := NewWindowed(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 600; step++ {
+		p := points.Point{float64(rng.Intn(20)), float64(rng.Intn(20))}
+		if _, err := w.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		want := skyline.Naive(w.Contents())
+		got := w.Skyline()
+		if !sameMultiset(got, want) {
+			t.Fatalf("step %d: window skyline %d points, oracle %d", step, len(got), len(want))
+		}
+	}
+	if w.Len() != 50 {
+		t.Errorf("window holds %d, want 50", w.Len())
+	}
+	if w.Recomputes() == 0 {
+		t.Error("no eviction recomputes over 600 steps of a 50-window — suspicious")
+	}
+}
+
+func sameMultiset(a, b points.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	for _, p := range a {
+		count[points.Key(p)]++
+	}
+	for _, p := range b {
+		count[points.Key(p)]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestResurfacing(t *testing.T) {
+	// A dominated point must reappear on the skyline once its dominator
+	// slides out of the window.
+	w, err := NewWindowed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on, _ := w.Add(points.Point{1, 1}); !on {
+		t.Error("first point must be on skyline")
+	}
+	if on, _ := w.Add(points.Point{5, 5}); on {
+		t.Error("dominated point reported on skyline")
+	}
+	// Window is [ (1,1), (5,5) ]; adding anything evicts (1,1).
+	if on, _ := w.Add(points.Point{9, 9}); on {
+		t.Error("(9,9) dominated by the surviving (5,5)")
+	}
+	sky := w.Skyline()
+	if len(sky) != 1 || !sky[0].Equal(points.Point{5, 5}) {
+		t.Errorf("skyline after resurfacing = %v, want [(5,5)]", sky)
+	}
+}
+
+func TestWindowedValidation(t *testing.T) {
+	if _, err := NewWindowed(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	w, err := NewWindowed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Add(points.Point{math.NaN()}); err == nil {
+		t.Error("NaN observation accepted")
+	}
+}
+
+func TestWindowedDuplicates(t *testing.T) {
+	w, err := NewWindowed(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if on, err := w.Add(points.Point{1, 1}); err != nil || !on {
+			t.Fatalf("duplicate add %d: on=%v err=%v", i, on, err)
+		}
+	}
+	if got := w.Skyline(); len(got) != 3 {
+		t.Errorf("skyline holds %d duplicate copies, want 3", len(got))
+	}
+}
+
+func TestWindowedCapacityOne(t *testing.T) {
+	w, err := NewWindowed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		on, err := w.Add(points.Point{float64(10 - i), 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !on {
+			t.Errorf("step %d: sole window point not on skyline", i)
+		}
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestAddDoesNotAliasCaller(t *testing.T) {
+	w, err := NewWindowed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points.Point{1, 2}
+	if _, err := w.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	if got := w.Skyline(); !got[0].Equal(points.Point{1, 2}) {
+		t.Error("window aliases caller's point")
+	}
+}
+
+func BenchmarkWindowedAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	w, err := NewWindowed(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Add(points.Point{rng.Float64(), rng.Float64(), rng.Float64()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

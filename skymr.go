@@ -1,0 +1,320 @@
+// Package skymr is a from-scratch Go reproduction of "MapReduce Skyline
+// Query Processing with A New Angular Partitioning Approach" (Chen, Hwang,
+// Wu — IEEE IPDPSW 2012): scalable parallel skyline query processing over
+// a hand-rolled MapReduce engine, with the paper's three data-space
+// partitioning schemes — MR-Dim, MR-Grid, and the novel MR-Angle.
+//
+// The skyline of a multi-attribute QoS dataset is the set of services not
+// dominated by any other service, where service p dominates q when p is at
+// least as good in every attribute and strictly better in one (lower is
+// better throughout this library). The MapReduce pipeline partitions the
+// data space, computes per-partition local skylines in parallel with BNL,
+// and merges them into the global skyline — MR-Angle's hyperspherical
+// sectors make local skylines small and globally relevant, which is what
+// cuts the merge (Reduce) cost.
+//
+// # Quick start
+//
+//	data := skymr.GenerateQWS(42, 10000, 4) // or load your own Set
+//	res, err := skymr.Compute(context.Background(), data, skymr.Options{
+//		Method: skymr.Angle,
+//		Nodes:  4,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(len(res.Skyline), res.Optimality(), res.Timing.Total)
+//
+// For distributed execution over TCP see cmd/skymaster and cmd/skyworker;
+// for the paper's full evaluation harness see cmd/skybench.
+package skymr
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/qws"
+	"repro/internal/skyline"
+)
+
+// Point is one service's QoS attribute vector; lower values are better in
+// every dimension.
+type Point = points.Point
+
+// Set is an ordered collection of points.
+type Set = points.Set
+
+// Method selects the data-space partitioning scheme.
+type Method int
+
+const (
+	// Dim is MR-Dim: equal ranges along one dimension.
+	Dim Method = iota
+	// Grid is MR-Grid: a Cartesian grid with dominated-cell pruning.
+	Grid
+	// Angle is MR-Angle: the paper's novel hyperspherical sectors.
+	Angle
+	// Random is a hash-partitioned baseline (not in the paper).
+	Random
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string { return m.scheme().String() }
+
+func (m Method) scheme() partition.Scheme {
+	switch m {
+	case Dim:
+		return partition.Dimensional
+	case Grid:
+		return partition.Grid
+	case Angle:
+		return partition.Angular
+	case Random:
+		return partition.Random
+	default:
+		return partition.Scheme(-1)
+	}
+}
+
+// Methods lists the paper's three methods in presentation order.
+func Methods() []Method { return []Method{Dim, Grid, Angle} }
+
+// Kernel selects the sequential skyline algorithm used inside the
+// pipeline (local and global phases).
+type Kernel int
+
+const (
+	// BNL is block-nested-loops, the paper's kernel.
+	BNL Kernel = iota
+	// SFS is sort-filter-skyline.
+	SFS
+	// DC is divide-and-conquer.
+	DC
+)
+
+func (k Kernel) algorithm() skyline.Algorithm {
+	switch k {
+	case SFS:
+		return skyline.SFSAlgorithm
+	case DC:
+		return skyline.DCAlgorithm
+	default:
+		return skyline.BNLAlgorithm
+	}
+}
+
+// Options configures a Compute call. The zero value runs MR-Dim on 4
+// nodes with the BNL kernel; set Method for the other schemes.
+type Options struct {
+	// Method is the partitioning scheme (default Dim).
+	Method Method
+	// Nodes models the cluster size; the partition count defaults to
+	// 2 × Nodes, the paper's empirical rule. Default 4.
+	Nodes int
+	// Partitions overrides the partition count when > 0.
+	Partitions int
+	// Workers is the number of concurrent engine workers; defaults to
+	// Nodes.
+	Workers int
+	// Kernel selects the sequential skyline algorithm (default BNL).
+	Kernel Kernel
+	// DisableCombiner ships raw partitions to reducers instead of
+	// combining local skylines map-side (ablation).
+	DisableCombiner bool
+	// DisableGridPruning turns off MR-Grid's dominated-cell pruning
+	// (ablation; no effect on other methods).
+	DisableGridPruning bool
+	// SpillDir, when set, spills intermediate MapReduce data to sequence
+	// files under this existing directory instead of the heap.
+	SpillDir string
+	// HierarchicalMerge replaces the single global merge with rounds of
+	// MergeFanIn-way partial merges — the paper's §II iterative
+	// (Twister-style) extension for very large candidate sets.
+	HierarchicalMerge bool
+	// MergeFanIn is the per-round fan-in of the hierarchical merge
+	// (default 8).
+	MergeFanIn int
+}
+
+// Timing is the per-phase wall-clock breakdown of a computation.
+type Timing struct {
+	Map     time.Duration // map + combine across both jobs
+	Shuffle time.Duration
+	Reduce  time.Duration
+	Total   time.Duration
+}
+
+// Result carries the skyline and the execution evidence.
+type Result struct {
+	// Skyline is the global skyline of the input.
+	Skyline Set
+	// Method echoes the partitioning scheme used.
+	Method Method
+	// Partitions is the planned partition count.
+	Partitions int
+	// PrunedPartitions counts grid cells skipped by dominance pruning.
+	PrunedPartitions int
+	// LocalSkylines maps partition id → local skyline.
+	LocalSkylines map[int]Set
+	// PartitionCounts is the number of input points per partition.
+	PartitionCounts []int
+	// Timing is the phase breakdown summed over the two MapReduce jobs.
+	Timing Timing
+	// Counters exposes the engine's framework counters (see package
+	// mapreduce for names).
+	Counters map[string]int64
+}
+
+// Optimality computes the paper's Eq. (5) local skyline optimality of
+// this run: the average fraction of local skyline services that are also
+// globally optimal.
+func (r *Result) Optimality() float64 {
+	local := make(map[int]points.Set, len(r.LocalSkylines))
+	for id, s := range r.LocalSkylines {
+		local[id] = s
+	}
+	return metrics.LocalSkylineOptimality(local, r.Skyline)
+}
+
+// LocalSkylineTotal returns the number of points across all local
+// skylines — the volume entering the merge job.
+func (r *Result) LocalSkylineTotal() int {
+	n := 0
+	for _, s := range r.LocalSkylines {
+		n += len(s)
+	}
+	return n
+}
+
+// Compute runs the selected MapReduce skyline method over data. The input
+// must be non-empty, finite and uniform-dimensional; it is not mutated.
+func Compute(ctx context.Context, data Set, opts Options) (*Result, error) {
+	if opts.Method.scheme() < 0 {
+		return nil, fmt.Errorf("skymr: unknown method %d", int(opts.Method))
+	}
+	sky, stats, err := driver.Compute(ctx, data, driver.Options{
+		Scheme:             opts.Method.scheme(),
+		Nodes:              opts.Nodes,
+		Partitions:         opts.Partitions,
+		Workers:            opts.Workers,
+		Kernel:             opts.Kernel.algorithm(),
+		DisableCombiner:    opts.DisableCombiner,
+		DisableGridPruning: opts.DisableGridPruning,
+		SpillDir:           opts.SpillDir,
+		HierarchicalMerge:  opts.HierarchicalMerge,
+		MergeFanIn:         opts.MergeFanIn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	local := make(map[int]Set, len(stats.LocalSkylines))
+	for id, s := range stats.LocalSkylines {
+		local[id] = s
+	}
+	return &Result{
+		Skyline:          sky,
+		Method:           opts.Method,
+		Partitions:       stats.Partitions,
+		PrunedPartitions: stats.PrunedPartitions,
+		LocalSkylines:    local,
+		PartitionCounts:  stats.PartitionCounts,
+		Timing: Timing{
+			Map:     stats.Timing.Map,
+			Shuffle: stats.Timing.Shuffle,
+			Reduce:  stats.Timing.Reduce,
+			Total:   stats.Timing.Total,
+		},
+		Counters: stats.Counters,
+	}, nil
+}
+
+// ComputeSkyband runs the MapReduce k-skyband — services dominated by
+// fewer than k others — the QoS-tolerant generalization of the skyline
+// (k = 1 is exactly Compute's skyline). Same two-job structure and
+// options as Compute.
+func ComputeSkyband(ctx context.Context, data Set, k int, opts Options) (Set, error) {
+	if opts.Method.scheme() < 0 {
+		return nil, fmt.Errorf("skymr: unknown method %d", int(opts.Method))
+	}
+	band, _, err := driver.ComputeSkyband(ctx, data, k, driver.Options{
+		Scheme:     opts.Method.scheme(),
+		Nodes:      opts.Nodes,
+		Partitions: opts.Partitions,
+		Workers:    opts.Workers,
+		SpillDir:   opts.SpillDir,
+	})
+	return band, err
+}
+
+// Skyband computes the k-skyband sequentially — the single-machine
+// reference.
+func Skyband(data Set, k int) (Set, error) { return skyline.Skyband(data, k) }
+
+// Skyline computes the skyline sequentially with BNL — the single-machine
+// reference for small inputs and verification.
+func Skyline(data Set) Set { return skyline.BNL(data) }
+
+// SkylineParallel computes the skyline on shared memory with a pool of
+// goroutines (chunk → local BNL → merge). workers ≤ 0 selects GOMAXPROCS.
+func SkylineParallel(data Set, workers int) Set {
+	return skyline.Parallel(data, workers)
+}
+
+// SkylineBounded computes the skyline with the memory-bounded multi-pass
+// BNL of Börzsönyi et al.: the candidate window holds at most window
+// points, overflow is re-processed in later passes. Exact for any window
+// ≥ 1.
+func SkylineBounded(data Set, window int) (Set, error) {
+	return skyline.BNLExternal(data, window)
+}
+
+// RepresentativeSkyline picks k spread-out members of a skyline (greedy
+// max-min dispersion over normalized attributes) — a shortlist a human
+// can actually review when the full Pareto set is large.
+func RepresentativeSkyline(sky Set, k int) Set {
+	return skyline.Representative(sky, k)
+}
+
+// Dominates reports whether p dominates q (lower-is-better in every
+// dimension, strictly in at least one).
+func Dominates(p, q Point) bool { return points.Dominates(p, q) }
+
+// GenerateQWS synthesizes a QWS-like web-service QoS dataset of n services
+// over the first d of the 10 modelled attributes (see DESIGN.md for the
+// substitution rationale), oriented for minimization. For n > 10,000 the
+// base is extended by the paper's narrow-jitter resampling.
+func GenerateQWS(seed int64, n, d int) Set { return qws.Dataset(seed, n, d) }
+
+// QWSAttributeNames returns the names of the first d QWS attributes, in
+// the column order GenerateQWS uses.
+func QWSAttributeNames(d int) []string { return qws.Names(d) }
+
+// LoadQWS parses a file in the published QWS dataset format (nine QoS
+// columns plus optional name/WSDL columns), orienting every attribute for
+// minimization. It returns the point set and the service names.
+func LoadQWS(r io.Reader) (Set, []string, error) { return qws.Load(r) }
+
+// Orient converts raw data to the minimization convention: dimensions
+// flagged higher-is-better are flipped as (observed max − value). Use when
+// loading arbitrary QoS data with mixed benefit/cost attributes.
+func Orient(data Set, higherBetter []bool) (Set, error) {
+	return points.Orient(data, higherBetter)
+}
+
+// Normalize rescales every dimension to [0, 1] by observed min/max.
+// Dominance (and therefore the skyline) is preserved.
+func Normalize(data Set) (Set, error) { return points.Normalize(data) }
+
+// ReadCSV loads a point set from CSV (optionally skipping a header row).
+func ReadCSV(r io.Reader, hasHeader bool) (Set, []string, error) {
+	return points.ReadCSV(r, hasHeader)
+}
+
+// WriteCSV writes a point set as CSV with an optional header.
+func WriteCSV(w io.Writer, s Set, header []string) error {
+	return points.WriteCSV(w, s, header)
+}

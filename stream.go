@@ -1,0 +1,40 @@
+package skymr
+
+import (
+	"repro/internal/skyline"
+	"repro/internal/stream"
+)
+
+// WindowedSkyline maintains the skyline of the most recent W observations
+// of a QoS feed — the continuous-monitoring counterpart of Compute,
+// addressing the paper's concern that "the QoS of selected services may
+// get degraded rapidly": selections are always drawn from fresh
+// measurements. Not safe for concurrent use.
+type WindowedSkyline struct {
+	w *stream.Windowed
+}
+
+// NewWindowedSkyline creates a sliding window of the given capacity.
+func NewWindowedSkyline(capacity int) (*WindowedSkyline, error) {
+	w, err := stream.NewWindowed(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedSkyline{w: w}, nil
+}
+
+// Observe appends a measurement (evicting the one W steps older) and
+// reports whether it is on the updated window skyline.
+func (ws *WindowedSkyline) Observe(p Point) (onSkyline bool, err error) {
+	return ws.w.Add(p)
+}
+
+// Skyline returns a copy of the current window skyline.
+func (ws *WindowedSkyline) Skyline() Set { return ws.w.Skyline() }
+
+// Len returns the number of live observations.
+func (ws *WindowedSkyline) Len() int { return ws.w.Len() }
+
+// TopKDominating returns the k services dominating the most others — the
+// "most broadly superior" shortlist, the aggregate dual of the skyline.
+func TopKDominating(data Set, k int) Set { return skyline.TopKDominating(data, k) }
