@@ -12,10 +12,12 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/qws"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -188,4 +190,40 @@ func BenchmarkEq5Optimality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		metrics.LocalSkylineOptimality(local, res.Skyline)
 	}
+}
+
+// BenchmarkSkyline pins the telemetry layer's hot-path cost: the same
+// MR-Angle computation with telemetry absent (the library default),
+// with a metrics registry attached, and with span tracing on. The off
+// variant is the regression gate — it must match the pre-telemetry
+// engine, since disabled telemetry is a nil-check per site.
+func BenchmarkSkyline(b *testing.B) {
+	data := qws.Generate(2012, benchSmallN, 4)
+	run := func(b *testing.B, opts driver.Options, ctx context.Context) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sky, _, err := driver.Compute(ctx, data, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sky) == 0 {
+				b.Fatal("empty skyline")
+			}
+		}
+	}
+	base := driver.Options{Scheme: partition.Angular, Nodes: benchNodes}
+	b.Run("telemetry=off", func(b *testing.B) {
+		run(b, base, context.Background())
+	})
+	b.Run("telemetry=metrics", func(b *testing.B) {
+		opts := base
+		opts.Metrics = telemetry.NewRegistry()
+		run(b, opts, context.Background())
+	})
+	b.Run("telemetry=metrics+trace", func(b *testing.B) {
+		opts := base
+		opts.Metrics = telemetry.NewRegistry()
+		tr := telemetry.NewTracer()
+		run(b, opts, telemetry.WithTracer(context.Background(), tr))
+	})
 }

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	skyload [-url http://host:8080] [-publishes 1000] [-queries 1000]
-//	        [-concurrency 8] [-d 4] [-seed 1]
+//	        [-concurrency 8] [-d 4] [-seed 1] [-prom metrics.prom]
 //
 // With no -url, skyload boots an in-process registry (1,000 synthetic
 // seed services) and load-tests that, so the tool works out of the box.
+// With -prom, the client-side latency histograms are also written as a
+// Prometheus text exposition, ready for node_exporter's textfile
+// collector or offline diffing between runs.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/partition"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,15 +44,16 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
 	dim := flag.Int("d", 4, "QoS attributes of generated services (in-process mode and publish bodies)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	prom := flag.String("prom", "", "write client-side latency histograms to this file as Prometheus text (empty = off)")
 	flag.Parse()
 
-	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed); err != nil {
+	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed, *prom); err != nil {
 		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseURL string, publishes, queries, concurrency, dim int, seed int64) error {
+func run(baseURL string, publishes, queries, concurrency, dim int, seed int64, promFile string) error {
 	if concurrency < 1 {
 		return fmt.Errorf("concurrency %d, need >= 1", concurrency)
 	}
@@ -91,30 +96,33 @@ func run(baseURL string, publishes, queries, concurrency, dim int, seed int64) e
 	}
 	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
 
-	var pubLat, queryLat latency.Tracker
+	// Each worker records into its own trackers — no cross-worker lock
+	// traffic on the hot path — and the shards are merged for the report.
 	var failures int64
 	client := &http.Client{Timeout: 30 * time.Second}
 	work := make(chan op)
 	var wg sync.WaitGroup
+	pubShards := make([]latency.Tracker, concurrency)
+	queryShards := make([]latency.Tracker, concurrency)
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for o := range work {
 				start := time.Now()
 				var err error
 				if o.publish {
 					err = doPublish(client, baseURL, o.body)
-					pubLat.Observe(time.Since(start))
+					pubShards[w].Observe(time.Since(start))
 				} else {
 					err = doQuery(client, baseURL)
-					queryLat.Observe(time.Since(start))
+					queryShards[w].Observe(time.Since(start))
 				}
 				if err != nil {
 					atomic.AddInt64(&failures, 1)
 				}
 			}
-		}()
+		}(w)
 	}
 	start := time.Now()
 	for _, o := range ops {
@@ -124,15 +132,64 @@ func run(baseURL string, publishes, queries, concurrency, dim int, seed int64) e
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var pubLat, queryLat latency.Tracker
+	for w := 0; w < concurrency; w++ {
+		pubLat.Merge(&pubShards[w])
+		queryLat.Merge(&queryShards[w])
+	}
+
 	fmt.Printf("workload: %d publishes + %d queries, %d workers, %s total (%.0f ops/s)\n\n",
 		publishes, queries, concurrency, elapsed.Round(time.Millisecond),
 		float64(publishes+queries)/elapsed.Seconds())
 	pubLat.Summary().Write(os.Stdout, "publish")
 	queryLat.Summary().Write(os.Stdout, "skyline")
+	if promFile != "" {
+		if err := exportProm(promFile, &pubLat, &queryLat); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "skyload: latency histograms written to %s\n", promFile)
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d requests failed", failures)
 	}
 	return nil
+}
+
+// exportProm feeds the merged trackers into a telemetry registry
+// bucket-by-bucket and writes the Prometheus text exposition.
+func exportProm(path string, pubLat, queryLat *latency.Tracker) error {
+	bounds := make([]time.Duration, 0, 16)
+	for _, s := range telemetry.DurationBuckets() {
+		bounds = append(bounds, time.Duration(s*float64(time.Second)))
+	}
+	reg := telemetry.NewRegistry()
+	feed := func(opLabel string, tr *latency.Tracker) {
+		h := reg.Histogram("skyload_request_seconds", telemetry.DurationBuckets(),
+			telemetry.L("op", opLabel))
+		for i, n := range tr.Histogram(bounds) {
+			if n == 0 {
+				continue
+			}
+			// Represent each bucket by its upper bound (overflow by 2× the
+			// last bound) — exact per-bucket counts, approximate sum.
+			v := bounds[len(bounds)-1].Seconds() * 2
+			if i < len(bounds) {
+				v = bounds[i].Seconds()
+			}
+			h.ObserveN(v, n)
+		}
+	}
+	feed("publish", pubLat)
+	feed("skyline", queryLat)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func doPublish(client *http.Client, base string, body []byte) error {

@@ -6,7 +6,13 @@
 //
 //	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
 //	          [-partitions 8] [-reducers 4] [-min-workers 1]
+//	          [-metrics-addr 127.0.0.1:9090] [-trace run.json]
 //	          [-header] input.csv
+//
+// With -metrics-addr, the master serves /metrics (Prometheus text) and
+// /debug/pprof/ on a second listener for the run's duration. With
+// -trace, the two-job run is recorded as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
 //
 // Start workers with: skyworker -master <addr>.
 package main
@@ -15,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +29,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rpcmr"
 	"repro/internal/skyjob"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 	minWorkers := flag.Int("min-workers", 1, "wait for at least this many workers before starting")
 	header := flag.Bool("header", false, "input has a header row")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall job timeout")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -39,13 +49,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout); err != nil {
+	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout, *metricsAddr, *traceFile); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration) error {
+func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration, metricsAddr, traceFile string) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -63,7 +73,22 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		return fmt.Errorf("no data rows in %s", path)
 	}
 
-	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{Addr: addr})
+	var metrics *telemetry.Registry
+	if metricsAddr != "" {
+		metrics = telemetry.NewRegistry()
+		telemetry.RegisterProcessMetrics(metrics)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		telemetry.MountPprof(mux)
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "skymaster: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "skymaster: metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{Addr: addr, Metrics: metrics})
 	if err != nil {
 		return err
 	}
@@ -77,6 +102,12 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+
+	var tracer *telemetry.Tracer
+	if traceFile != "" {
+		tracer = telemetry.NewTracer()
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
 
 	// Progress reporter: one line per second while a job phase runs.
 	progressDone := make(chan struct{})
@@ -112,6 +143,21 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		len(res.Skyline), len(data), time.Since(start).Round(time.Millisecond),
 		res.MapTime.PartitionJob, res.ReduceTime.PartitionJob,
 		res.MapTime.MergeJob, res.ReduceTime.MergeJob)
+	if tracer != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "skymaster: trace written to %s (%d spans) — open in chrome://tracing\n",
+			traceFile, len(tracer.Spans()))
+	}
 	return skymr.WriteCSV(os.Stdout, res.Skyline, cols)
 }
 

@@ -10,9 +10,11 @@
 //
 // API:
 //
-//	POST /services  {"name": "svc-1", "qos": [120.5, 3.2, 0.7, 14]}
+//	POST /services      {"name": "svc-1", "qos": [120.5, 3.2, 0.7, 14]}
 //	GET  /skyline
 //	GET  /stats
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/pprof/  Go runtime profiles
 //
 // With -snapshot, the catalogue is loaded from the file at boot (when it
 // exists) and written back on SIGINT/SIGTERM, so a restarted registry
@@ -32,6 +34,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/partition"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,7 +65,10 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	fmt.Fprintf(os.Stderr, "skyserve: %d services (%d attributes), %s partitioning, listening on %s\n",
 		reg.Len(), reg.Dim(), scheme, addr)
 
-	srv := &http.Server{Addr: addr, Handler: reg.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	telemetry.MountPprof(mux)
+	srv := &http.Server{Addr: addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/points"
 	"repro/internal/skyline"
+	"repro/internal/telemetry"
 )
 
 // Options configures one MapReduce skyline computation.
@@ -64,6 +65,11 @@ type Options struct {
 	// MergeFanIn is the per-round fan-in of the hierarchical merge
 	// (default 8, minimum 2).
 	MergeFanIn int
+	// Metrics, when non-nil, receives skyline-level series (per-partition
+	// local skyline sizes, pruned-cell counts) and is passed through to
+	// both engine jobs for the mr_* bridge. Nil (the default) records
+	// nothing.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +122,10 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		return nil, nil, fmt.Errorf("driver: %w", err)
 	}
 	opts = opts.withDefaults()
+	ctx, rootSpan := telemetry.StartSpan(ctx, fmt.Sprintf("skyline:%s", opts.Scheme),
+		telemetry.A("scheme", fmt.Sprint(opts.Scheme)),
+		telemetry.A("points", len(data)))
+	defer rootSpan.End()
 
 	part := opts.PartitionerOverride
 	if part == nil {
@@ -201,6 +211,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		Workers:  opts.Workers,
 		Reducers: opts.Workers,
 		SpillDir: opts.SpillDir,
+		Metrics:  opts.Metrics,
 	}
 	if !opts.DisableCombiner {
 		cfg1.Combiner = localSkyline
@@ -231,6 +242,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		counts[id]++
 	}
 	stats.PartitionCounts = counts
+	publishPartitionGauges(opts.Metrics, stats)
 
 	// ---- Job 2: Merging Job -----------------------------------------
 	if opts.HierarchicalMerge {
@@ -261,6 +273,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		Workers:  opts.Workers,
 		Reducers: 1, // all local skylines share one key (paper line 12-15)
 		SpillDir: opts.SpillDir,
+		Metrics:  opts.Metrics,
 	}
 	if !opts.DisableCombiner {
 		// Pre-merge each map task's share before the single reducer sees
@@ -289,5 +302,26 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 	for k, v := range res2.Counters.Snapshot() {
 		stats.Counters[k] += v
 	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Gauge("skyline_global_size").Set(float64(len(global)))
+	}
 	return global, stats, nil
+}
+
+// publishPartitionGauges exports the partition-level shape of a run:
+// per-partition local skyline sizes and point counts (the paper's load
+// balance picture), plus the pruned-cell total for MR-Grid.
+func publishPartitionGauges(reg *telemetry.Registry, stats *Stats) {
+	if reg == nil {
+		return
+	}
+	for id, ls := range stats.LocalSkylines {
+		reg.Gauge("skyline_partition_local_size",
+			telemetry.L("partition", strconv.Itoa(id))).Set(float64(len(ls)))
+	}
+	for id, n := range stats.PartitionCounts {
+		reg.Gauge("skyline_partition_points",
+			telemetry.L("partition", strconv.Itoa(id))).Set(float64(n))
+	}
+	reg.Gauge("skyline_pruned_partitions").Set(float64(stats.PrunedPartitions))
 }

@@ -81,6 +81,7 @@ func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair
 			Workers:  opts.Workers,
 			Reducers: minInt(opts.Workers, nextGroups),
 			SpillDir: opts.SpillDir,
+			Metrics:  opts.Metrics,
 		}
 		res, err := mapreduce.Run(ctx, cfg, input, mapper, reducer)
 		if err != nil {

@@ -25,6 +25,42 @@ func (t *Tracker) Observe(d time.Duration) {
 	t.mu.Unlock()
 }
 
+// Merge folds another tracker's samples into t, so per-worker trackers
+// can be combined into one report without sharing a lock on the hot
+// path. The other tracker is left unchanged.
+func (t *Tracker) Merge(other *Tracker) {
+	if other == nil || other == t {
+		return
+	}
+	other.mu.Lock()
+	samples := append([]time.Duration(nil), other.samples...)
+	other.mu.Unlock()
+	t.mu.Lock()
+	t.samples = append(t.samples, samples...)
+	t.sorted = false
+	t.mu.Unlock()
+}
+
+// Histogram buckets the samples by the given upper bounds (which must be
+// ascending). The result has len(bounds)+1 entries; the last counts
+// samples above every bound. The layout matches what
+// telemetry.Histogram.ObserveN expects, so a load tool can feed a
+// tracker into a metrics registry bucket-by-bucket.
+func (t *Tracker) Histogram(bounds []time.Duration) []int64 {
+	counts := make([]int64, len(bounds)+1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sortLocked()
+	i := 0
+	for _, d := range t.samples {
+		for i < len(bounds) && d > bounds[i] {
+			i++
+		}
+		counts[i]++
+	}
+	return counts
+}
+
 // Count returns the number of samples.
 func (t *Tracker) Count() int {
 	t.mu.Lock()

@@ -1,0 +1,109 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestMerge(t *testing.T) {
+	var a, b Tracker
+	for i := 1; i <= 5; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 6; i <= 10; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 10 {
+		t.Fatalf("merged count = %d, want 10", a.Count())
+	}
+	if got := a.Percentile(1); got != 10*time.Millisecond {
+		t.Errorf("max after merge = %v, want 10ms", got)
+	}
+	if b.Count() != 5 {
+		t.Errorf("source tracker mutated: count = %d, want 5", b.Count())
+	}
+	a.Merge(nil) // must not panic
+	a.Merge(&a)  // self-merge must not double
+	if a.Count() != 10 {
+		t.Errorf("count after nil/self merge = %d, want 10", a.Count())
+	}
+}
+
+func TestMergeConcurrent(t *testing.T) {
+	var total Tracker
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Tracker
+			for i := 0; i < 100; i++ {
+				local.Observe(time.Millisecond)
+			}
+			total.Merge(&local)
+		}()
+	}
+	wg.Wait()
+	if total.Count() != 800 {
+		t.Errorf("count = %d, want 800", total.Count())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var tr Tracker
+	for _, ms := range []int{1, 2, 2, 5, 50} {
+		tr.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	bounds := []time.Duration{2 * time.Millisecond, 10 * time.Millisecond}
+	got := tr.Histogram(bounds)
+	want := []int64{3, 1, 1} // ≤2ms: 1,2,2 — ≤10ms: 5 — over: 50
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHistogramFeedsTelemetry: the bucket layout must slot into a
+// telemetry histogram via ObserveN without losing samples.
+func TestHistogramFeedsTelemetry(t *testing.T) {
+	var tr Tracker
+	for i := 1; i <= 20; i++ {
+		tr.Observe(time.Duration(i) * time.Millisecond)
+	}
+	bounds := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond}
+	counts := tr.Histogram(bounds)
+
+	reg := telemetry.NewRegistry()
+	fb := make([]float64, len(bounds))
+	for i, b := range bounds {
+		fb[i] = b.Seconds()
+	}
+	h := reg.Histogram("load_seconds", fb)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		v := fb[len(fb)-1] * 2 // overflow representative
+		if i < len(fb) {
+			v = fb[i]
+		}
+		h.ObserveN(v, n)
+	}
+	snap := h.Snapshot()
+	if snap.Count != int64(tr.Count()) {
+		t.Errorf("telemetry count = %d, tracker count = %d", snap.Count, tr.Count())
+	}
+	for i, n := range counts {
+		if snap.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], n)
+		}
+	}
+}

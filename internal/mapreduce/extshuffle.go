@@ -101,6 +101,7 @@ func (m *mergeStream) next() (group, bool, error) {
 		g.values = append(g.values, head.value)
 		if m.counters != nil {
 			m.counters.Add(CounterShuffle, 1)
+			m.counters.Add(CounterShuffleBytes, int64(len(key)+len(head.value)))
 		}
 		rec, err := m.readers[head.src].Next()
 		if err == io.EOF {

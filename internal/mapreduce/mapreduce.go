@@ -22,8 +22,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Pair is one key-value record flowing between phases.
@@ -97,6 +100,10 @@ type Config struct {
 	CompressSpill bool
 	// Trace, when non-nil, receives job/phase/task lifecycle events.
 	Trace EventSink
+	// Metrics, when non-nil, receives the job's framework counters and
+	// per-phase latency histograms under the mr_* namespace after each
+	// run. Nil (the default) costs nothing on the hot path.
+	Metrics *telemetry.Registry
 }
 
 func (c Config) withDefaults(inputLen int) Config {
@@ -188,17 +195,18 @@ func (c *Counters) Snapshot() map[string]int64 {
 
 // Framework counter names.
 const (
-	CounterMapIn      = "mr.map.records.in"
-	CounterMapOut     = "mr.map.records.out"
-	CounterCombineIn  = "mr.combine.records.in"
-	CounterCombineOut = "mr.combine.records.out"
-	CounterShuffle    = "mr.shuffle.records"
-	CounterReduceIn   = "mr.reduce.records.in"
-	CounterReduceOut  = "mr.reduce.records.out"
-	CounterGroups     = "mr.reduce.groups"
-	CounterMapRetries = "mr.map.task.retries"
-	CounterRedRetries = "mr.reduce.task.retries"
-	CounterSpillBytes = "mr.spill.bytes"
+	CounterMapIn        = "mr.map.records.in"
+	CounterMapOut       = "mr.map.records.out"
+	CounterCombineIn    = "mr.combine.records.in"
+	CounterCombineOut   = "mr.combine.records.out"
+	CounterShuffle      = "mr.shuffle.records"
+	CounterShuffleBytes = "mr.shuffle.bytes"
+	CounterReduceIn     = "mr.reduce.records.in"
+	CounterReduceOut    = "mr.reduce.records.out"
+	CounterGroups       = "mr.reduce.groups"
+	CounterMapRetries   = "mr.map.task.retries"
+	CounterRedRetries   = "mr.reduce.task.retries"
+	CounterSpillBytes   = "mr.spill.bytes"
 )
 
 // Run executes a MapReduce job over the input records and returns its
@@ -211,6 +219,15 @@ func Run(ctx context.Context, cfg Config, input [][]byte, mapper Mapper, reducer
 	counters := NewCounters()
 	start := time.Now()
 	cfg.emit("job-start", "", -1, "")
+	ctx, jobSpan := telemetry.StartSpan(ctx, "mr-job:"+cfg.Name,
+		telemetry.A("job", cfg.Name), telemetry.A("workers", cfg.Workers),
+		telemetry.A("reducers", cfg.Reducers), telemetry.A("records", len(input)))
+	fail := func(err error) (*Result, error) {
+		cfg.emit("job-end", "", -1, err.Error())
+		jobSpan.SetAttr("error", err.Error())
+		jobSpan.End()
+		return nil, err
+	}
 
 	// --- Split ---------------------------------------------------------
 	var splits [][][]byte
@@ -224,13 +241,16 @@ func Run(ctx context.Context, cfg Config, input [][]byte, mapper Mapper, reducer
 
 	// --- Map (+ combine) ------------------------------------------------
 	cfg.emit("phase-start", "map", -1, "")
+	mapCtx, mapSpan := telemetry.StartSpan(ctx, "map", telemetry.A("tasks", len(splits)))
 	mapStart := time.Now()
-	taskOut, combineDur, err := runMapPhase(ctx, cfg, splits, mapper, counters)
+	taskOut, combineDur, err := runMapPhase(mapCtx, cfg, splits, mapper, counters)
+	mapSpan.End()
 	if err != nil {
-		cfg.emit("job-end", "", -1, err.Error())
-		return nil, err
+		return fail(err)
 	}
 	mapDur := time.Since(mapStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "map", Task: -1,
+		Duration: mapDur, Records: counters.Get(CounterMapOut)})
 
 	// --- Shuffle ---------------------------------------------------------
 	// In-memory jobs group eagerly here; spilled jobs only set up the
@@ -238,26 +258,33 @@ func Run(ctx context.Context, cfg Config, input [][]byte, mapper Mapper, reducer
 	// reduce tasks (its cost lands in the Reduce timing, as it would on a
 	// real cluster where reducers pull map outputs).
 	cfg.emit("phase-start", "shuffle", -1, "")
+	_, shuffleSpan := telemetry.StartSpan(ctx, "shuffle")
 	shuffleStart := time.Now()
 	sources, err := buildGroupSources(cfg, taskOut, counters)
+	shuffleSpan.End()
 	if err != nil {
-		cfg.emit("job-end", "", -1, err.Error())
-		return nil, err
+		return fail(err)
 	}
 	shuffleDur := time.Since(shuffleStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "shuffle", Task: -1,
+		Duration: shuffleDur, Records: counters.Get(CounterShuffle)})
 
 	// --- Reduce ----------------------------------------------------------
 	cfg.emit("phase-start", "reduce", -1, "")
+	redCtx, reduceSpan := telemetry.StartSpan(ctx, "reduce", telemetry.A("tasks", cfg.Reducers))
 	reduceStart := time.Now()
-	pairs, err := runReducePhase(ctx, cfg, sources, reducer, counters)
+	pairs, err := runReducePhase(redCtx, cfg, sources, reducer, counters)
+	reduceSpan.End()
 	if err != nil {
-		cfg.emit("job-end", "", -1, err.Error())
-		return nil, err
+		return fail(err)
 	}
 	reduceDur := time.Since(reduceStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "reduce", Task: -1,
+		Duration: reduceDur, Records: counters.Get(CounterReduceOut)})
 	cfg.emit("job-end", "", -1, "")
+	jobSpan.End()
 
-	return &Result{
+	res := &Result{
 		Pairs:    pairs,
 		Counters: counters,
 		Timing: Timing{
@@ -267,7 +294,39 @@ func Run(ctx context.Context, cfg Config, input [][]byte, mapper Mapper, reducer
 			Reduce:  reduceDur,
 			Total:   time.Since(start),
 		},
-	}, nil
+	}
+	bridgeMetrics(cfg, res)
+	return res, nil
+}
+
+// bridgeMetrics folds one finished job's counters and phase timings
+// into the telemetry registry: counter names translate 1:1 from the
+// dotted framework names ("mr.map.records.in" →
+// "mr_map_records_in_total"), phase wall times land in the
+// mr_phase_seconds histogram, and every series carries a job label.
+func bridgeMetrics(cfg Config, res *Result) {
+	reg := cfg.Metrics
+	if reg == nil {
+		return
+	}
+	job := telemetry.L("job", cfg.Name)
+	for name, v := range res.Counters.Snapshot() {
+		reg.Counter(strings.ReplaceAll(name, ".", "_")+"_total", job).Add(v)
+	}
+	buckets := telemetry.DurationBuckets()
+	for _, p := range []struct {
+		phase string
+		d     time.Duration
+	}{
+		{"map", res.Timing.Map},
+		{"combine", res.Timing.Combine},
+		{"shuffle", res.Timing.Shuffle},
+		{"reduce", res.Timing.Reduce},
+		{"total", res.Timing.Total},
+	} {
+		reg.Histogram("mr_phase_seconds", buckets, job, telemetry.L("phase", p.phase)).Observe(p.d.Seconds())
+	}
+	reg.Counter("mr_jobs_total", job).Inc()
 }
 
 // taskOutput is one map task's output, partitioned by reducer.
@@ -281,9 +340,13 @@ func runMapPhase(ctx context.Context, cfg Config, splits [][][]byte, mapper Mapp
 	var combineNanos int64
 	var combineMu sync.Mutex
 
-	err := runTasks(ctx, cfg.Workers, len(splits), func(task int) error {
+	err := runTasks(ctx, cfg.Workers, len(splits), func(worker, task int) error {
 		var lastErr error
 		cfg.emit("task-start", "map", task, "")
+		_, span := telemetry.StartSpan(ctx, "map-task", telemetry.A("task", task),
+			telemetry.A("records", len(splits[task])))
+		span.SetTrack(worker + 1)
+		taskStart := time.Now()
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			if attempt > 1 {
 				counters.Add(CounterMapRetries, 1)
@@ -295,12 +358,18 @@ func runMapPhase(ctx context.Context, cfg Config, splits [][][]byte, mapper Mapp
 				combineMu.Lock()
 				combineNanos += int64(cd)
 				combineMu.Unlock()
-				cfg.emit("task-end", "map", task, "")
+				span.End()
+				cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task,
+					Worker: worker + 1, Duration: time.Since(taskStart),
+					Records: int64(len(splits[task]))})
 				return nil
 			}
 			lastErr = err
 		}
-		cfg.emit("task-end", "map", task, lastErr.Error())
+		span.SetAttr("error", lastErr.Error())
+		span.End()
+		cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task, Err: lastErr.Error(),
+			Worker: worker + 1, Duration: time.Since(taskStart)})
 		return fmt.Errorf("mapreduce: %s: map task %d failed after %d attempt(s): %w",
 			cfg.Name, task, cfg.MaxAttempts, lastErr)
 	})
@@ -405,6 +474,7 @@ func shuffle(cfg Config, tasks []taskOutput, counters *Counters) ([][]group, err
 		}
 		perReducer[r][p.Key] = append(perReducer[r][p.Key], p.Value)
 		counters.Add(CounterShuffle, 1)
+		counters.Add(CounterShuffleBytes, int64(len(p.Key)+len(p.Value)))
 	}
 	for _, t := range tasks {
 		if t.files != nil {
@@ -445,11 +515,14 @@ func shuffle(cfg Config, tasks []taskOutput, counters *Counters) ([][]group, err
 
 func runReducePhase(ctx context.Context, cfg Config, sources []groupSource, reducer Reducer, counters *Counters) ([]Pair, error) {
 	outs := make([][]Pair, cfg.Reducers)
-	err := runTasks(ctx, cfg.Workers, cfg.Reducers, func(r int) error {
+	err := runTasks(ctx, cfg.Workers, cfg.Reducers, func(worker, r int) error {
 		src := sources[r]
 		defer src.close()
 		var lastErr error
 		cfg.emit("task-start", "reduce", r, "")
+		_, span := telemetry.StartSpan(ctx, "reduce-task", telemetry.A("task", r))
+		span.SetTrack(worker + 1)
+		taskStart := time.Now()
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			if attempt > 1 {
 				counters.Add(CounterRedRetries, 1)
@@ -462,12 +535,19 @@ func runReducePhase(ctx context.Context, cfg Config, sources []groupSource, redu
 			out, err := runReduceTask(reducer, src, counters)
 			if err == nil {
 				outs[r] = out
-				cfg.emit("task-end", "reduce", r, "")
+				span.SetAttr("records", len(out))
+				span.End()
+				cfg.emitEvent(Event{Kind: "task-end", Phase: "reduce", Task: r,
+					Worker: worker + 1, Duration: time.Since(taskStart),
+					Records: int64(len(out))})
 				return nil
 			}
 			lastErr = err
 		}
-		cfg.emit("task-end", "reduce", r, lastErr.Error())
+		span.SetAttr("error", lastErr.Error())
+		span.End()
+		cfg.emitEvent(Event{Kind: "task-end", Phase: "reduce", Task: r, Err: lastErr.Error(),
+			Worker: worker + 1, Duration: time.Since(taskStart)})
 		return fmt.Errorf("mapreduce: %s: reduce task %d failed after %d attempt(s): %w",
 			cfg.Name, r, cfg.MaxAttempts, lastErr)
 	})
@@ -508,9 +588,11 @@ func runReduceTask(reducer Reducer, src groupSource, counters *Counters) ([]Pair
 	return out, nil
 }
 
-// runTasks executes fn(0..n-1) on a pool of `workers` goroutines, stopping
-// at the first error or context cancellation.
-func runTasks(ctx context.Context, workers, n int, fn func(i int) error) error {
+// runTasks executes fn(worker, 0..n-1) on a pool of `workers`
+// goroutines, stopping at the first error or context cancellation. The
+// worker index identifies the executing pool slot, so callers can
+// build per-worker timelines.
+func runTasks(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -522,15 +604,15 @@ func runTasks(ctx context.Context, workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range tasks {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					errc <- err
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	var firstErr error
 feed:

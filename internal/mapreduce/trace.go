@@ -15,8 +15,8 @@ type Event struct {
 	Time time.Time `json:"time"`
 	// Job is the Config.Name of the job.
 	Job string `json:"job"`
-	// Kind is one of "job-start", "phase-start", "task-start",
-	// "task-end", "task-retry", "job-end".
+	// Kind is one of "job-start", "phase-start", "phase-end",
+	// "task-start", "task-end", "task-retry", "job-end".
 	Kind string `json:"kind"`
 	// Phase is "map", "shuffle" or "reduce" for phase/task events.
 	Phase string `json:"phase,omitempty"`
@@ -24,6 +24,18 @@ type Event struct {
 	Task int `json:"task"`
 	// Err carries the failure message of a task-retry event.
 	Err string `json:"err,omitempty"`
+	// Worker is the 1-based worker slot that executed a task (0 when
+	// unknown or not applicable), so event streams can be folded into
+	// per-worker timelines.
+	Worker int `json:"worker,omitempty"`
+	// Duration is the wall time of the finished task or phase, set on
+	// "task-end" and "phase-end" events.
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Records counts what flowed through: input records for a map
+	// task-end, output pairs for a reduce task-end, and the phase's
+	// framework-counter volume for phase-end events (map out, shuffle
+	// records, reduce out).
+	Records int64 `json:"records,omitempty"`
 }
 
 // EventSink receives engine events. Implementations must be safe for
@@ -75,17 +87,18 @@ func (s *JSONSink) Emit(e Event) {
 	s.mu.Unlock()
 }
 
-// emit sends an event if a sink is configured.
+// emit sends a bare lifecycle event if a sink is configured.
 func (c Config) emit(kind, phase string, task int, errMsg string) {
+	c.emitEvent(Event{Kind: kind, Phase: phase, Task: task, Err: errMsg})
+}
+
+// emitEvent stamps and sends a pre-filled event if a sink is
+// configured — the path for events carrying worker/duration/records.
+func (c Config) emitEvent(e Event) {
 	if c.Trace == nil {
 		return
 	}
-	c.Trace.Emit(Event{
-		Time:  time.Now(),
-		Job:   c.Name,
-		Kind:  kind,
-		Phase: phase,
-		Task:  task,
-		Err:   errMsg,
-	})
+	e.Time = time.Now()
+	e.Job = c.Name
+	c.Trace.Emit(e)
 }

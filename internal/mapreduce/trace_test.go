@@ -47,8 +47,38 @@ func TestTraceLifecycle(t *testing.T) {
 	if kinds["phase-start"] != 3 {
 		t.Errorf("phase-start = %d, want 3 (map, shuffle, reduce)", kinds["phase-start"])
 	}
+	if kinds["phase-end"] != 3 {
+		t.Errorf("phase-end = %d, want 3 (map, shuffle, reduce)", kinds["phase-end"])
+	}
 	if kinds["task-start"] != 4 || kinds["task-end"] != 4 { // 2 map + 2 reduce
 		t.Errorf("task events = %v", kinds)
+	}
+	// Every phase must close with a duration; shuffle is symmetric with
+	// map and reduce now.
+	endPhases := map[string]bool{}
+	for _, e := range events {
+		if e.Kind == "phase-end" {
+			endPhases[e.Phase] = true
+			if e.Duration <= 0 {
+				t.Errorf("phase-end %s has no duration", e.Phase)
+			}
+		}
+		if e.Kind == "task-end" {
+			if e.Worker <= 0 {
+				t.Errorf("task-end %s/%d has no worker slot", e.Phase, e.Task)
+			}
+			if e.Duration <= 0 {
+				t.Errorf("task-end %s/%d has no duration", e.Phase, e.Task)
+			}
+			if e.Phase == "map" && e.Records != 1 { // SplitSize: 1
+				t.Errorf("map task-end records = %d, want 1", e.Records)
+			}
+		}
+	}
+	for _, phase := range []string{"map", "shuffle", "reduce"} {
+		if !endPhases[phase] {
+			t.Errorf("no phase-end for %s", phase)
+		}
 	}
 	// First event is job-start, last is job-end.
 	if events[0].Kind != "job-start" || events[len(events)-1].Kind != "job-end" {

@@ -1,0 +1,153 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestMetricsEndpoint: /metrics serves a parseable exposition carrying
+// request counters, sampled registry gauges, and process metrics.
+func TestMetricsEndpoint(t *testing.T) {
+	r := newRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	// Generate one request per instrumented endpoint first.
+	if _, err := http.Get(srv.URL + "/skyline"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := scrape(t, srv.URL)
+	if samples[`registry_requests_total{endpoint="skyline"}`] < 1 {
+		t.Error("no skyline request counted")
+	}
+	if samples[`registry_request_seconds_count{endpoint="stats"}`] < 1 {
+		t.Error("no stats latency observed")
+	}
+	if got := samples["registry_services"]; got != 40 {
+		t.Errorf("registry_services = %v, want 40 (seed size)", got)
+	}
+	// The index retains only local-skyline points, so its size sits
+	// between the skyline and the full service count.
+	if samples["registry_skyline_size"] <= 0 ||
+		samples["registry_index_points"] < samples["registry_skyline_size"] ||
+		samples["registry_index_points"] > 40 {
+		t.Errorf("sampled gauges wrong: skyline=%v index=%v",
+			samples["registry_skyline_size"], samples["registry_index_points"])
+	}
+	if samples["process_goroutines"] <= 0 {
+		t.Error("no process metrics in exposition")
+	}
+}
+
+// TestConcurrentScrape: concurrent publishes, stat reads and scrapes
+// must be race-free (run under -race), every scrape must parse, and the
+// request counters must be monotonic across scrapes.
+func TestConcurrentScrape(t *testing.T) {
+	r := newRegistry(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	const writers, rounds = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := Service{
+					Name: fmt.Sprintf("load-%d-%d", w, i),
+					QoS:  []float64{float64(w + 1), float64(i + 1)},
+				}
+				body, _ := json.Marshal(s)
+				resp, err := http.Post(srv.URL+"/services", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Get(srv.URL + "/stats")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	var prev map[string]float64
+	for i := 0; i < rounds; i++ {
+		samples := scrape(t, srv.URL)
+		for name, v := range prev {
+			if counterLike(name) && samples[name] < v {
+				t.Fatalf("counter %s went backwards: %v -> %v", name, v, samples[name])
+			}
+		}
+		prev = samples
+	}
+	wg.Wait()
+
+	final := scrape(t, srv.URL)
+	if got := final[`registry_requests_total{endpoint="services"}`]; got != writers*rounds {
+		t.Errorf("services requests counted = %v, want %d", got, writers*rounds)
+	}
+	if got := final["registry_services"]; got != 40+writers*rounds {
+		t.Errorf("registry_services = %v, want %d", got, 40+writers*rounds)
+	}
+}
+
+// counterLike reports whether a series name is cumulative by Prometheus
+// convention (counters and histogram components, all monotonic).
+func counterLike(name string) bool {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suffix := range []string{"_total", "_count", "_sum", "_bucket"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, body)
+	}
+	return samples
+}

@@ -13,10 +13,12 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/driver"
 	"repro/internal/partition"
 	"repro/internal/points"
+	"repro/internal/telemetry"
 )
 
 // Service is one published web service.
@@ -34,6 +36,7 @@ type Registry struct {
 	dim      int
 	ix       *driver.Index
 	services map[string]Service
+	tele     *telemetry.Registry
 }
 
 // New builds a registry seeded with initial services (at least one is
@@ -62,8 +65,23 @@ func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry
 	if err != nil {
 		return nil, err
 	}
-	return &Registry{dim: dim, ix: ix, services: services}, nil
+	r := &Registry{dim: dim, ix: ix, services: services, tele: telemetry.NewRegistry()}
+	telemetry.RegisterProcessMetrics(r.tele)
+	// The registry's shape is sampled at scrape time rather than tracked
+	// on every publish, so gauges never drift from the index.
+	r.tele.OnScrape(func(t *telemetry.Registry) {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		t.Gauge("registry_services").Set(float64(len(r.services)))
+		t.Gauge("registry_skyline_size").Set(float64(len(r.ix.Global())))
+		t.Gauge("registry_index_points").Set(float64(r.ix.Size()))
+	})
+	return r, nil
 }
+
+// Metrics returns the registry's telemetry surface, for embedding into a
+// larger exposition or asserting on in tests.
+func (r *Registry) Metrics() *telemetry.Registry { return r.tele }
 
 // Dim returns the registry's attribute dimensionality.
 func (r *Registry) Dim() int { return r.dim }
@@ -130,11 +148,13 @@ type statsResponse struct {
 //	POST /services          {"name": ..., "qos": [...]} → {"in_skyline": bool}
 //	GET  /skyline           → [{"name": ..., "qos": [...]}, ...]
 //	GET  /stats             → {"services": n, "skyline_size": k, ...}
+//	GET  /metrics           → Prometheus text exposition
 //	GET  /dashboard         → HTML status page for operators
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/dashboard", r.serveDashboard)
-	mux.HandleFunc("/services", func(w http.ResponseWriter, req *http.Request) {
+	mux.Handle("/metrics", r.tele.Handler())
+	mux.HandleFunc("/dashboard", r.instrument("dashboard", r.serveDashboard))
+	mux.HandleFunc("/services", r.instrument("services", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -150,15 +170,15 @@ func (r *Registry) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, map[string]bool{"in_skyline": in})
-	})
-	mux.HandleFunc("/skyline", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("/skyline", r.instrument("skyline", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
 		writeJSON(w, r.Skyline())
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("/stats", r.instrument("stats", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -172,8 +192,22 @@ func (r *Registry) Handler() http.Handler {
 		}
 		r.mu.RUnlock()
 		writeJSON(w, resp)
-	})
+	}))
 	return mux
+}
+
+// instrument wraps an endpoint with a request counter and a latency
+// histogram, both labelled by endpoint.
+func (r *Registry) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := r.tele.Counter("registry_requests_total", telemetry.L("endpoint", endpoint))
+	seconds := r.tele.Histogram("registry_request_seconds", telemetry.DurationBuckets(),
+		telemetry.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		requests.Inc()
+		h(w, req)
+		seconds.Observe(time.Since(start).Seconds())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/telemetry"
 )
 
 // MasterConfig tunes master behaviour.
@@ -25,6 +26,14 @@ type MasterConfig struct {
 	// MaxTaskAttempts bounds re-executions of one task before the job is
 	// failed. Defaults to 5.
 	MaxTaskAttempts int
+	// LivenessWindow is how recently a worker must have called in to
+	// count as live in Status. Defaults to 10s; tune it to the cluster's
+	// poll interval so a slow-but-healthy worker is not reported dead.
+	LivenessWindow time.Duration
+	// Metrics, when non-nil, receives master-side series: per-worker
+	// task latency histograms (rpcmr_task_seconds), retry/liveness
+	// counters, and job counts. Nil (the default) records nothing.
+	Metrics *telemetry.Registry
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -40,6 +49,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.MaxTaskAttempts <= 0 {
 		c.MaxTaskAttempts = 5
 	}
+	if c.LivenessWindow <= 0 {
+		c.LivenessWindow = 10 * time.Second
+	}
 	return c
 }
 
@@ -53,6 +65,11 @@ type Master struct {
 	workers  map[string]time.Time // last-seen times
 	job      *jobState            // nil when idle
 	shutdown bool
+	// Cumulative counters across all jobs (mu held): task re-executions
+	// from failure reports, and lease expiries (a worker presumed dead
+	// or stalled while holding a task).
+	taskRetries    int64
+	workerFailures int64
 }
 
 // jobState tracks one running job.
@@ -66,11 +83,12 @@ type jobState struct {
 	mapOut    [][][]WirePair
 	groups    [][]Group
 	out       []WirePair
-	mapStart  time.Time
-	mapDur    time.Duration
-	redStart  time.Time
-	finished  chan struct{}
-	err       error
+	mapStart   time.Time
+	mapDur     time.Duration
+	shuffleDur time.Duration // master-side grouping in startReducePhase
+	redStart   time.Time
+	finished   chan struct{}
+	err        error
 }
 
 // taskState tracks one task of the current phase.
@@ -81,6 +99,10 @@ type taskState struct {
 	deadline time.Time
 	complete bool
 	failures int
+	// startedAt and worker describe the current assignment, for task
+	// latency measurement.
+	startedAt time.Time
+	worker    string
 }
 
 // JobSpec identifies the job to run.
@@ -172,15 +194,34 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	if _, err := lookupJob(spec.Name, spec.Params); err != nil {
 		return nil, err
 	}
+	ctx, jobSpan := telemetry.StartSpan(ctx, "rpcmr-job:"+spec.Name,
+		telemetry.A("job", spec.Name), telemetry.A("reducers", spec.Reducers),
+		telemetry.A("records", len(input)))
+	jobStart := time.Now()
+	endJob := func(result string, err error) {
+		if err != nil {
+			jobSpan.SetAttr("error", err.Error())
+		}
+		jobSpan.End()
+		if reg := m.cfg.Metrics; reg != nil {
+			reg.Counter("rpcmr_jobs_total", telemetry.L("job", spec.Name), telemetry.L("result", result)).Inc()
+			reg.Histogram("rpcmr_job_seconds", telemetry.DurationBuckets(),
+				telemetry.L("job", spec.Name)).Observe(time.Since(jobStart).Seconds())
+		}
+	}
 
 	m.mu.Lock()
 	if m.shutdown {
 		m.mu.Unlock()
-		return nil, errors.New("rpcmr: master is shut down")
+		err := errors.New("rpcmr: master is shut down")
+		endJob("rejected", err)
+		return nil, err
 	}
 	if m.job != nil {
 		m.mu.Unlock()
-		return nil, errors.New("rpcmr: a job is already running")
+		err := errors.New("rpcmr: a job is already running")
+		endJob("rejected", err)
+		return nil, err
 	}
 	js := &jobState{
 		spec:     spec,
@@ -222,6 +263,7 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 		}
 		m.job = nil
 		m.mu.Unlock()
+		endJob("cancelled", ctx.Err())
 		return nil, ctx.Err()
 	case <-js.finished:
 	}
@@ -230,8 +272,19 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	m.job = nil
 	m.mu.Unlock()
 	if js.err != nil {
+		endJob("error", js.err)
 		return nil, js.err
 	}
+	// Scheduling spans: the map/shuffle/reduce boundaries are observed
+	// inside RPC handlers, so record them after the fact as children of
+	// the job span.
+	redDur := time.Since(js.redStart)
+	telemetry.RecordSpan(ctx, "map", js.mapStart, js.mapDur,
+		telemetry.A("tasks", len(js.splitData)))
+	telemetry.RecordSpan(ctx, "shuffle", js.mapStart.Add(js.mapDur), js.shuffleDur)
+	telemetry.RecordSpan(ctx, "reduce", js.redStart, redDur,
+		telemetry.A("tasks", spec.Reducers))
+	endJob("ok", nil)
 	pairs := make([]mapreduce.Pair, len(js.out))
 	for i, p := range js.out {
 		pairs[i] = mapreduce.Pair{Key: p.Key, Value: p.Value}
@@ -240,7 +293,7 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	// per-task emission order within a key survives) for deterministic
 	// output across runs.
 	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
-	return &JobResult{Pairs: pairs, MapTime: js.mapDur, ReduceTime: time.Since(js.redStart)}, nil
+	return &JobResult{Pairs: pairs, MapTime: js.mapDur, ReduceTime: redDur}, nil
 }
 
 // startReducePhase (mu held) transitions from map to reduce: group map
@@ -248,7 +301,7 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 func (m *Master) startReducePhase(js *jobState) {
 	js.mapDur = time.Since(js.mapStart)
 	js.phase = TaskReduce
-	js.redStart = time.Now()
+	shuffleStart := time.Now()
 	js.groups = make([][]Group, js.spec.Reducers)
 	for r := 0; r < js.spec.Reducers; r++ {
 		order := []string{}
@@ -272,6 +325,8 @@ func (m *Master) startReducePhase(js *jobState) {
 		js.groups[r] = gs
 	}
 	js.mapOut = nil
+	js.shuffleDur = time.Since(shuffleStart)
+	js.redStart = time.Now()
 	js.tasks = js.tasks[:0]
 	js.pending = js.pending[:0]
 	js.done = 0
@@ -291,7 +346,8 @@ func (m *Master) finish(js *jobState, err error) {
 }
 
 // requeueExpired (mu held) returns lease-expired running tasks to the
-// pending queue.
+// pending queue. A lease expiry is counted both as a task retry and as
+// a worker failure: the holder is presumed dead or stalled.
 func (m *Master) requeueExpired(js *jobState) {
 	now := time.Now()
 	for _, t := range js.tasks {
@@ -299,6 +355,11 @@ func (m *Master) requeueExpired(js *jobState) {
 			t.running = false
 			t.attempt++
 			t.failures++
+			m.countRetry(t.worker, "lease-expiry")
+			m.workerFailures++
+			if reg := m.cfg.Metrics; reg != nil {
+				reg.Counter("rpcmr_worker_failures_total", telemetry.L("worker", t.worker)).Inc()
+			}
 			if t.failures >= m.cfg.MaxTaskAttempts {
 				m.finish(js, fmt.Errorf("rpcmr: task %d exceeded %d attempts (lease expiry)",
 					t.id, m.cfg.MaxTaskAttempts))
@@ -308,3 +369,8 @@ func (m *Master) requeueExpired(js *jobState) {
 		}
 	}
 }
+
+// Metrics returns the registry configured on the master (nil when
+// telemetry is off) so pipelines built on the cluster — e.g.
+// skyjob.Compute — can publish into the same exposition surface.
+func (m *Master) Metrics() *telemetry.Registry { return m.cfg.Metrics }

@@ -3,6 +3,8 @@ package rpcmr
 import (
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MasterService is the net/rpc surface of a Master. All methods follow the
@@ -49,6 +51,8 @@ func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	t := js.tasks[id]
 	t.running = true
 	t.deadline = time.Now().Add(m.cfg.TaskLease)
+	t.startedAt = time.Now()
+	t.worker = args.WorkerID
 
 	reply.Kind = js.phase
 	reply.TaskID = id
@@ -87,6 +91,7 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 		t.running = false
 		t.attempt++
 		t.failures++
+		m.countRetry(args.WorkerID, "report")
 		if t.failures >= m.cfg.MaxTaskAttempts {
 			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
 			return nil
@@ -96,6 +101,7 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	}
 	t.complete = true
 	t.running = false
+	m.observeTask(t, "map", args.WorkerID)
 	js.mapOut[args.TaskID] = args.Partitions
 	js.done++
 	reply.Accepted = true
@@ -130,6 +136,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 		t.running = false
 		t.attempt++
 		t.failures++
+		m.countRetry(args.WorkerID, "report")
 		if t.failures >= m.cfg.MaxTaskAttempts {
 			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
 			return nil
@@ -139,6 +146,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	}
 	t.complete = true
 	t.running = false
+	m.observeTask(t, "reduce", args.WorkerID)
 	js.out = append(js.out, args.Pairs...)
 	js.done++
 	reply.Accepted = true
@@ -146,6 +154,29 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 		m.finish(js, nil)
 	}
 	return nil
+}
+
+// countRetry (mu held) books one task re-execution. cause is "report"
+// (the worker returned an error) or "lease-expiry" (the worker went
+// silent holding the task).
+func (m *Master) countRetry(worker, cause string) {
+	m.taskRetries++
+	if reg := m.cfg.Metrics; reg != nil {
+		reg.Counter("rpcmr_task_retries_total",
+			telemetry.L("cause", cause), telemetry.L("worker", worker)).Inc()
+	}
+}
+
+// observeTask (mu held) records one successfully finished task's
+// latency into the per-worker histogram.
+func (m *Master) observeTask(t *taskState, kind, worker string) {
+	reg := m.cfg.Metrics
+	if reg == nil || t.startedAt.IsZero() {
+		return
+	}
+	reg.Histogram("rpcmr_task_seconds", telemetry.DurationBuckets(),
+		telemetry.L("kind", kind), telemetry.L("worker", worker)).
+		Observe(time.Since(t.startedAt).Seconds())
 }
 
 // WorkerTaskError reports a task that failed deterministically on workers.

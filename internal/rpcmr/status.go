@@ -8,7 +8,8 @@ import "time"
 type Status struct {
 	// Workers is the number of distinct registered workers.
 	Workers int
-	// LiveWorkers counts workers seen within the liveness window.
+	// LiveWorkers counts workers seen within the liveness window
+	// (MasterConfig.LivenessWindow, 10s by default).
 	LiveWorkers int
 	// JobRunning reports whether a job is in flight.
 	JobRunning bool
@@ -20,20 +21,30 @@ type Status struct {
 	TasksTotal, TasksDone int
 	// Pending is the current phase's queue length (excludes running).
 	Pending int
+	// TaskRetries is the cumulative count of task re-executions across
+	// all jobs, whatever the cause (worker error reports and lease
+	// expiries alike).
+	TaskRetries int64
+	// WorkerFailures is the cumulative count of lease expiries — tasks
+	// whose worker went silent while holding them. A climbing
+	// TaskRetries with flat WorkerFailures means a flaky job or worker
+	// that still reports in; both climbing together means workers are
+	// dying or stalling.
+	WorkerFailures int64
 }
-
-// livenessWindow is how recently a worker must have called in to count as
-// live.
-const livenessWindow = 10 * time.Second
 
 // Status returns a snapshot of master state.
 func (m *Master) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := Status{Workers: len(m.workers)}
+	st := Status{
+		Workers:        len(m.workers),
+		TaskRetries:    m.taskRetries,
+		WorkerFailures: m.workerFailures,
+	}
 	now := time.Now()
 	for _, seen := range m.workers {
-		if now.Sub(seen) <= livenessWindow {
+		if now.Sub(seen) <= m.cfg.LivenessWindow {
 			st.LiveWorkers++
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/points"
 	"repro/internal/rpcmr"
 	"repro/internal/skyline"
+	"repro/internal/telemetry"
 )
 
 // Job names in the rpcmr registry.
@@ -182,6 +183,9 @@ func (r *Result) Optimality() float64 {
 }
 
 // Compute runs the two-job skyline pipeline on a live rpcmr cluster.
+// With a tracer in ctx it records a root span with Partitioning/Merging
+// children; with a registry on the master it publishes per-partition
+// local skyline sizes alongside the cluster's own series.
 func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme partition.Scheme, partitions, reducers int) (*Result, error) {
 	spec, err := SpecFor(data, scheme, partitions)
 	if err != nil {
@@ -191,11 +195,18 @@ func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme 
 	if err != nil {
 		return nil, err
 	}
+	ctx, rootSpan := telemetry.StartSpan(ctx, fmt.Sprintf("skyline:%s", scheme),
+		telemetry.A("scheme", fmt.Sprint(scheme)),
+		telemetry.A("points", len(data)),
+		telemetry.A("partitions", partitions))
+	defer rootSpan.End()
 	input := make([][]byte, len(data))
 	for i, p := range data {
 		input[i] = points.Encode(p)
 	}
-	res1, err := master.Run(ctx, rpcmr.JobSpec{Name: PartitionJobName, Params: params, Reducers: reducers}, input)
+	partCtx, partSpan := telemetry.StartSpan(ctx, "partitioning-job")
+	res1, err := master.Run(partCtx, rpcmr.JobSpec{Name: PartitionJobName, Params: params, Reducers: reducers}, input)
+	partSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("skyjob: partitioning job: %w", err)
 	}
@@ -213,7 +224,15 @@ func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme 
 		local[id] = append(local[id], p)
 		mergeInput = append(mergeInput, pair.Value)
 	}
-	res2, err := master.Run(ctx, rpcmr.JobSpec{Name: MergeJobName, Params: params, Reducers: 1}, mergeInput)
+	if reg := master.Metrics(); reg != nil {
+		for id, ls := range local {
+			reg.Gauge("skyline_partition_local_size",
+				telemetry.L("partition", strconv.Itoa(id))).Set(float64(len(ls)))
+		}
+	}
+	mergeCtx, mergeSpan := telemetry.StartSpan(ctx, "merging-job")
+	res2, err := master.Run(mergeCtx, rpcmr.JobSpec{Name: MergeJobName, Params: params, Reducers: 1}, mergeInput)
+	mergeSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("skyjob: merging job: %w", err)
 	}
@@ -224,6 +243,9 @@ func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme 
 			return nil, err
 		}
 		sky = append(sky, p)
+	}
+	if reg := master.Metrics(); reg != nil {
+		reg.Gauge("skyline_global_size").Set(float64(len(sky)))
 	}
 	return &Result{
 		Skyline:       sky,

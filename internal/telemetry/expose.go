@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every series in the Prometheus text format
+// (version 0.0.4): families sorted by name with one # TYPE line each,
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runHooks()
+
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return seriesID(all[i].name, all[i].labels) < seriesID(all[j].name, all[j].labels)
+	})
+
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind)
+			lastFamily = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", seriesID(s.name, s.labels), s.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", seriesID(s.name, s.labels), formatFloat(s.gauge.Value()))
+		case kindHistogram:
+			writeHistogram(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, s *series) {
+	snap := s.hist.Snapshot()
+	cum := int64(0)
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatFloat(snap.Bounds[i])
+		}
+		labels := append(append([]Label{}, s.labels...), L("le", le))
+		fmt.Fprintf(w, "%s %d\n", seriesID(s.name+"_bucket", labels), cum)
+	}
+	fmt.Fprintf(w, "%s %s\n", seriesID(s.name+"_sum", s.labels), formatFloat(snap.Sum))
+	fmt.Fprintf(w, "%s %d\n", seriesID(s.name+"_count", s.labels), snap.Count)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// MountPprof registers the net/http/pprof handlers under /debug/pprof/
+// on mux — the one call a binary needs for live profiling.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ParsePrometheus is a minimal parser for the text format this package
+// writes — enough for tests and for scraping our own endpoints. It
+// returns sample name (labels included, exactly as rendered) → value,
+// skipping comment lines.
+func ParsePrometheus(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("telemetry: line %d: no value in %q", ln+1, line)
+		}
+		name, valText := line[:sp], line[sp+1:]
+		var v float64
+		switch valText {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valText, 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: bad value %q: %v", ln+1, valText, err)
+			}
+		}
+		out[name] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics installs a scrape hook that refreshes the
+// standard Go process gauges on every exposition or snapshot:
+//
+//	process_goroutines              live goroutine count
+//	process_heap_alloc_bytes        bytes of allocated heap objects
+//	process_heap_objects            live heap object count
+//	process_gc_runs_total           completed GC cycles
+//	process_gc_pause_seconds_total  cumulative stop-the-world pause
+//	process_uptime_seconds          seconds since registration
+//
+// The hook calls runtime.ReadMemStats, which briefly stops the world —
+// scrape cadence, not request cadence.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	r.OnScrape(func(r *Registry) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.Gauge("process_goroutines").Set(float64(runtime.NumGoroutine()))
+		r.Gauge("process_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+		r.Gauge("process_heap_objects").Set(float64(ms.HeapObjects))
+		r.Gauge("process_gc_runs_total").Set(float64(ms.NumGC))
+		r.Gauge("process_gc_pause_seconds_total").Set(float64(ms.PauseTotalNs) / 1e9)
+		r.Gauge("process_uptime_seconds").Set(time.Since(start).Seconds())
+	})
+}

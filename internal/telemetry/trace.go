@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values must be
+// JSON-marshalable (numbers, strings, bools).
+type Attr struct {
+	Key   string
+	Value interface{}
+}
+
+// A is shorthand for constructing an Attr.
+func A(key string, value interface{}) Attr { return Attr{Key: key, Value: value} }
+
+// SpanData is one finished span as recorded by a Tracer.
+type SpanData struct {
+	// ID and Parent link spans into a tree; Parent is 0 for roots.
+	ID, Parent uint64
+	// Name is the operation label ("map", "partitioning-job", ...).
+	Name string
+	// Track groups spans onto rows in the Chrome trace view: 0 inherits
+	// the parent's track, so engines put each worker slot on its own
+	// track to get the per-worker timeline of a real cluster.
+	Track int
+	Start time.Time
+	// Duration is the span's wall time (explicitly recorded spans may
+	// predate their recording).
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Tracer accumulates finished spans. Safe for concurrent use. Tracers
+// are installed into a context with WithTracer; everything downstream
+// of that context records into it.
+type Tracer struct {
+	nextID atomic.Uint64
+	mu     sync.Mutex
+	spans  []SpanData
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one in-flight operation. A nil *Span is the off state: every
+// method no-ops, so call sites never branch on whether tracing is on.
+// A Span's mutating methods must be called from the goroutine that
+// started it, before End.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer installs t as the context's trace destination.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, preferring the one carried
+// by the current span; nil when tracing is off.
+func TracerFrom(ctx context.Context) *Tracer {
+	if s, ok := ctx.Value(spanKey).(*Span); ok && s != nil {
+		return s.tracer
+	}
+	if t, ok := ctx.Value(tracerKey).(*Tracer); ok {
+		return t
+	}
+	return nil
+}
+
+// SpanFrom returns the context's current span (nil when none).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan begins a span named name under the context's current span
+// (if any) and returns a derived context carrying the new span. When
+// the context has no tracer, it returns ctx unchanged and a nil span —
+// the fast path costs two context lookups and nothing else.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var t *Tracer
+	if parent != nil {
+		t = parent.tracer
+	} else {
+		t = TracerFrom(ctx)
+	}
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		data: SpanData{
+			ID:    t.nextID.Add(1),
+			Name:  name,
+			Start: time.Now(),
+			Attrs: attrs,
+		},
+	}
+	if parent != nil {
+		s.data.Parent = parent.data.ID
+		s.data.Track = parent.data.Track
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key string, value interface{}) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetTrack pins the span (and, by inheritance, its children) to a
+// Chrome-trace row.
+func (s *Span) SetTrack(track int) {
+	if s == nil {
+		return
+	}
+	s.data.Track = track
+}
+
+// End finishes the span and records it. End is idempotent-unsafe by
+// design (call exactly once); ending a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.data.Duration = time.Since(s.data.Start)
+	s.tracer.record(s.data)
+}
+
+// RecordSpan records an already-finished interval as a child of the
+// context's current span — for phases whose boundaries are observed
+// after the fact (e.g. the master's shuffle happens inside an RPC
+// handler with no context). No-op when tracing is off.
+func RecordSpan(ctx context.Context, name string, start time.Time, d time.Duration, attrs ...Attr) {
+	parent := SpanFrom(ctx)
+	var t *Tracer
+	if parent != nil {
+		t = parent.tracer
+	} else {
+		t = TracerFrom(ctx)
+	}
+	if t == nil {
+		return
+	}
+	data := SpanData{
+		ID:       t.nextID.Add(1),
+		Name:     name,
+		Start:    start,
+		Duration: d,
+		Attrs:    attrs,
+	}
+	if parent != nil {
+		data.Parent = parent.data.ID
+		data.Track = parent.data.Track
+	}
+	t.record(data)
+}
+
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, d)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, in completion order.
+func (t *Tracer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event).
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    int64                  `json:"ts"`  // microseconds
+	Dur   int64                  `json:"dur"` // microseconds
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event
+// JSON ({"traceEvents": [...]}), loadable in chrome://tracing or
+// https://ui.perfetto.dev. Timestamps are relative to the earliest
+// span; each span's Track becomes a thread row, and parent/span IDs
+// ride along in args for tooling.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]interface{}{"span_id": s.ID}
+		if s.Parent != 0 {
+			args["parent_id"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    s.Start.Sub(epoch).Microseconds(),
+			Dur:   s.Duration.Microseconds(),
+			PID:   1,
+			TID:   s.Track,
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}

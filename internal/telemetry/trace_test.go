@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartSpanOffIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "op")
+	if s != nil {
+		t.Fatal("span without tracer should be nil")
+	}
+	if ctx2 != ctx {
+		t.Error("context should be unchanged on the off path")
+	}
+	// All methods must be safe on the nil span.
+	s.SetAttr("k", 1)
+	s.SetTrack(3)
+	s.End()
+	RecordSpan(ctx, "x", time.Now(), time.Millisecond)
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "job", A("n", 10))
+	cctx, child := StartSpan(ctx, "map")
+	_, grand := StartSpan(cctx, "task")
+	grand.SetTrack(2)
+	grand.End()
+	child.End()
+	RecordSpan(ctx, "shuffle", time.Now().Add(-time.Millisecond), time.Millisecond)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["map"].Parent != byName["job"].ID {
+		t.Error("map span not parented to job")
+	}
+	if byName["task"].Parent != byName["map"].ID {
+		t.Error("task span not parented to map")
+	}
+	if byName["shuffle"].Parent != byName["job"].ID {
+		t.Error("recorded span not parented to job")
+	}
+	if byName["task"].Track != 2 {
+		t.Errorf("task track = %d, want 2", byName["task"].Track)
+	}
+	if byName["job"].Parent != 0 {
+		t.Error("root has a parent")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "worker")
+			s.SetTrack(i)
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Spans()); got != 17 {
+		t.Errorf("got %d spans, want 17", got)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "pipeline")
+	_, child := StartSpan(ctx, "phase")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string                 `json:"name"`
+			Phase string                 `json:"ph"`
+			TS    int64                  `json:"ts"`
+			Dur   int64                  `json:"dur"`
+			Args  map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			t.Errorf("event %q phase = %q", e.Name, e.Phase)
+		}
+		if e.TS < 0 {
+			t.Errorf("event %q has negative ts", e.Name)
+		}
+		if _, ok := e.Args["span_id"]; !ok {
+			t.Errorf("event %q missing span_id arg", e.Name)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "a")
+	s.End()
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Error("Reset left spans behind")
+	}
+}
