@@ -9,6 +9,7 @@ package skymr
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/cluster"
@@ -16,7 +17,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/points"
 	"repro/internal/qws"
+	"repro/internal/skyline"
 	"repro/internal/telemetry"
 )
 
@@ -192,11 +195,13 @@ func BenchmarkEq5Optimality(b *testing.B) {
 	}
 }
 
-// BenchmarkSkyline pins the telemetry layer's hot-path cost: the same
-// MR-Angle computation with telemetry absent (the library default),
-// with a metrics registry attached, and with span tracing on. The off
-// variant is the regression gate — it must match the pre-telemetry
-// engine, since disabled telemetry is a nil-check per site.
+// BenchmarkSkyline pins the telemetry layer's hot-path cost and the
+// kernel-path split: the same MR-Angle computation with telemetry absent
+// (the library default, flat kernels), with a metrics registry attached,
+// with span tracing on, and with the ClassicKernel escape hatch. The off
+// variant is the regression gate; kernel=classic vs kernel=flat is the
+// quick-scale version of the comparison cmd/benchgate records in
+// BENCH_kernels.json at the paper's n=100k, d=6 configuration.
 func BenchmarkSkyline(b *testing.B) {
 	data := qws.Generate(2012, benchSmallN, 4)
 	run := func(b *testing.B, opts driver.Options, ctx context.Context) {
@@ -226,4 +231,133 @@ func BenchmarkSkyline(b *testing.B) {
 		tr := telemetry.NewTracer()
 		run(b, opts, telemetry.WithTracer(context.Background(), tr))
 	})
+	b.Run("kernel=flat", func(b *testing.B) {
+		run(b, base, context.Background())
+	})
+	b.Run("kernel=classic", func(b *testing.B) {
+		opts := base
+		opts.ClassicKernel = true
+		run(b, opts, context.Background())
+	})
+}
+
+// benchKernelDims spans a specialized dimension (2, 6) and the generic
+// fallback (10) for the flat-kernel micro-benchmarks.
+var benchKernelDims = []int{2, 6, 10}
+
+// benchRows draws n quantized random rows of dimension d (ties common,
+// like real QoS data after discretization).
+func benchRows(seed int64, n, d int) []points.Point {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]points.Point, n)
+	for i := range rows {
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(64))
+		}
+		rows[i] = p
+	}
+	return rows
+}
+
+// BenchmarkDominance isolates the single pairwise test: the full classic
+// BNL window probe (dominated? strictly-dominates? — up to three generic
+// scans, exactly the sequence in skyline.BNL's inner loop) versus one
+// call of the dimension-specialized relation kernel over block rows.
+//
+// Read this one carefully: at 1024 rows everything sits in L1 either way,
+// so what remains is dispatch — the flat side pays an indirect call
+// through the relFunc pointer (~1ns/pair here) that direct calls to the
+// points predicates don't. That overhead is real but fixed; the flat
+// path's wins (contiguous layout at real working-set sizes, one pass for
+// the full four-way relation, swap-delete eviction) scale with n and d,
+// which is why BenchmarkLocalSkyline and BenchmarkMergeTree favour flat
+// while this micro slightly favours classic.
+func BenchmarkDominance(b *testing.B) {
+	for _, d := range benchKernelDims {
+		rows := benchRows(2012, 1024, d)
+		b.Run(fmt.Sprintf("d=%d/classic", d), func(b *testing.B) {
+			sink := false
+			for i := 0; i < b.N; i++ {
+				p, q := rows[i%1024], rows[(i*7+1)%1024]
+				sink = (points.DominatesOrEqual(q, p) && !q.Equal(p)) || points.Dominates(p, q)
+			}
+			_ = sink
+		})
+		rel := skyline.RelationKernel(d)
+		blk, ok := points.BlockOf(points.Set(rows))
+		if !ok {
+			b.Fatal("mixed-dimension bench rows")
+		}
+		b.Run(fmt.Sprintf("d=%d/flat", d), func(b *testing.B) {
+			var sink skyline.Relation
+			for i := 0; i < b.N; i++ {
+				sink = rel(blk.Row(i%1024), blk.Row((i*7+1)%1024))
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkLocalSkyline is the partitioning job's reducer workload: one
+// full local-skyline computation, classic BNL versus the flat block BNL.
+func BenchmarkLocalSkyline(b *testing.B) {
+	for _, d := range benchKernelDims {
+		data := qws.Dataset(2012, benchLargeN, d)
+		b.Run(fmt.Sprintf("d=%d/classic", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(skyline.BNL(data)) == 0 {
+					b.Fatal("empty skyline")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/flat", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(skyline.FlatBNL(data)) == 0 {
+					b.Fatal("empty skyline")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeTree is the merging job's reducer workload: fold 16
+// partial skylines into the global one, sequential concat+BNL versus the
+// parallel merge tree.
+func BenchmarkMergeTree(b *testing.B) {
+	const chunks = 16
+	for _, d := range benchKernelDims {
+		data := qws.Dataset(2012, benchLargeN, d)
+		partials := make([]points.Set, 0, chunks)
+		step := (len(data) + chunks - 1) / chunks
+		for lo := 0; lo < len(data); lo += step {
+			hi := lo + step
+			if hi > len(data) {
+				hi = len(data)
+			}
+			partials = append(partials, skyline.FlatBNL(data[lo:hi]))
+		}
+		b.Run(fmt.Sprintf("d=%d/classic", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var union points.Set
+				for _, p := range partials {
+					union = append(union, p...)
+				}
+				if len(skyline.BNL(union)) == 0 {
+					b.Fatal("empty skyline")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("d=%d/flat", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(skyline.MergeSkylines(context.Background(), partials, 0)) == 0 {
+					b.Fatal("empty skyline")
+				}
+			}
+		})
+	}
 }

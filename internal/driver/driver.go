@@ -18,6 +18,8 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/mapreduce"
 	"repro/internal/partition"
@@ -45,6 +47,13 @@ type Options struct {
 	// skyline function (e.g. the R-tree BBS from package rtree, which has
 	// no Algorithm enum value because it carries index state).
 	KernelOverride skyline.Func
+	// ClassicKernel forces the classic points.Set kernels instead of the
+	// default flat-memory block kernels (contiguous coordinates,
+	// dimension-specialized dominance, parallel merge tree). The two paths
+	// produce identical skylines; this is the escape hatch for comparison
+	// runs and for exotic inputs. Ignored when KernelOverride is set (an
+	// override is always classic-path).
+	ClassicKernel bool
 	// PartitionerOverride, when non-nil, replaces the Scheme-fitted
 	// partitioner with a pre-built one (experimental partitioners such as
 	// the angular+radial hybrid). Scheme is then only a label.
@@ -83,6 +92,23 @@ func (o Options) withDefaults() Options {
 		o.Workers = o.Nodes
 	}
 	return o
+}
+
+// flatPath reports whether the options select the flat block kernels.
+func (o Options) flatPath() bool {
+	return !o.ClassicKernel && o.KernelOverride == nil
+}
+
+// kernelFunc resolves the sequential Set-typed kernel: the override when
+// given, otherwise the flat or classic implementation of o.Kernel.
+func (o Options) kernelFunc() skyline.Func {
+	if o.KernelOverride != nil {
+		return o.KernelOverride
+	}
+	if o.ClassicKernel {
+		return skyline.ByAlgorithm(o.Kernel)
+	}
+	return skyline.ByAlgorithmFlat(o.Kernel)
 }
 
 // Stats reports what happened inside one computation.
@@ -165,9 +191,17 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		}
 	}
 
-	kernel := opts.KernelOverride
-	if kernel == nil {
-		kernel = skyline.ByAlgorithm(opts.Kernel)
+	// Kernel selection: the flat block path is the default; ClassicKernel
+	// (or a KernelOverride, which is inherently Set-typed) restores the
+	// classic kernels. The dominance-test delta of the whole computation is
+	// bridged into the registry on every exit path.
+	flat := opts.flatPath()
+	kernel := opts.kernelFunc()
+	if reg := opts.Metrics; reg != nil {
+		domBefore := skyline.DominanceTests()
+		defer func() {
+			reg.Counter("skyline_dominance_tests_total").Add(skyline.DominanceTests() - domBefore)
+		}()
 	}
 
 	// ---- Job 1: Partitioning Job ------------------------------------
@@ -176,36 +210,48 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		input[i] = points.Encode(p)
 	}
 
-	counts := make([]int, part.Partitions())
+	// Occupancy is counted here in the mapper (atomically — map tasks run
+	// concurrently) rather than by a second full Assign pass after the
+	// job: the angular transform per point is the pipeline's single
+	// largest cost, and the histogram re-ran all of it just for
+	// diagnostics.
+	occCounts := make([]int64, part.Partitions())
+	// The mapper runs once per input point from several goroutines; the
+	// pooled scratch removes the per-record Decode allocation (the decoded
+	// point lives only for one Assign) and the precomputed key table the
+	// per-record strconv.Itoa one.
+	keys := make([]string, part.Partitions())
+	for id := range keys {
+		keys[id] = strconv.Itoa(id)
+	}
+	scratch := sync.Pool{New: func() any {
+		p := make(points.Point, 0, data.Dim())
+		return &p
+	}}
 	mapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
-		p, err := points.Decode(rec)
+		buf := scratch.Get().(*points.Point)
+		p, err := points.DecodeInto(*buf, rec)
 		if err != nil {
 			return err
 		}
 		id, err := part.Assign(p)
+		*buf = p[:0]
+		scratch.Put(buf)
 		if err != nil {
 			return err
 		}
+		atomic.AddInt64(&occCounts[id], 1)
 		if pruned != nil && pruned[id] {
 			return nil // cell provably dominated: drop at the source
 		}
-		emit(strconv.Itoa(id), rec)
+		emit(keys[id], rec)
 		return nil
 	})
-	localSkyline := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
-		set := make(points.Set, 0, len(values))
-		for _, v := range values {
-			p, err := points.Decode(v)
-			if err != nil {
-				return err
-			}
-			set = append(set, p)
-		}
-		for _, p := range kernel(set) {
-			emit(key, points.Encode(p))
-		}
-		return nil
-	})
+	var flatKernel skyline.BlockFunc
+	if flat {
+		flatKernel = skyline.BlockByAlgorithm(opts.Kernel)
+	}
+	localSkyline := skylineReducer(kernel, flatKernel)
 	cfg1 := mapreduce.Config{
 		Name:     fmt.Sprintf("%s-partitioning", opts.Scheme),
 		Workers:  opts.Workers,
@@ -233,13 +279,10 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		}
 		stats.LocalSkylines[id] = append(stats.LocalSkylines[id], p)
 	}
-	// Occupancy histogram (cheap, for diagnostics and tests).
-	for _, p := range data {
-		id, err := part.Assign(p)
-		if err != nil {
-			return nil, nil, err
-		}
-		counts[id]++
+	// Occupancy histogram, accumulated by the mapper during the job.
+	counts := make([]int, len(occCounts))
+	for id := range occCounts {
+		counts[id] = int(atomic.LoadInt64(&occCounts[id]))
 	}
 	stats.PartitionCounts = counts
 	publishPartitionGauges(opts.Metrics, stats)
@@ -249,7 +292,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		stats.PartitionJob = res1.Timing
 		stats.Timing = res1.Timing
 		var mergeTiming mapreduce.Timing
-		global, err := hierarchicalMerge(ctx, opts, res1.Pairs, kernel, &mergeTiming)
+		global, err := hierarchicalMerge(ctx, opts, res1.Pairs, localSkyline, &mergeTiming)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -280,7 +323,15 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		// it, trimming the serial merge input.
 		cfg2.Combiner = localSkyline
 	}
-	res2, err := mapreduce.Run(ctx, cfg2, mergeInput, identity, localSkyline)
+	// The single global reduce is the pipeline's serial bottleneck; on the
+	// flat path it runs the parallel merge tree (chunked block BNL, then
+	// pairwise cross-filter merges across goroutines) instead of one
+	// sequential BNL over the whole candidate union.
+	mergeReduce := localSkyline
+	if flat {
+		mergeReduce = mergeTreeReducer(ctx, opts.Workers)
+	}
+	res2, err := mapreduce.Run(ctx, cfg2, mergeInput, identity, mergeReduce)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -306,6 +357,63 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		reg.Gauge("skyline_global_size").Set(float64(len(global)))
 	}
 	return global, stats, nil
+}
+
+// skylineReducer builds the local-skyline reducer shared by both jobs and
+// the hierarchical merge rounds: decode the group's points, run the
+// kernel, emit survivors under the same key. With a flat kernel the
+// values decode straight into one contiguous block — no per-point
+// allocation — and the block kernel's survivors are re-encoded from rows.
+func skylineReducer(classic skyline.Func, flat skyline.BlockFunc) mapreduce.Reducer {
+	if flat != nil {
+		return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+			blk := points.NewBlock(0, len(values))
+			for _, v := range values {
+				if err := points.AppendDecode(blk, v); err != nil {
+					return err
+				}
+			}
+			sky := flat(blk)
+			for i := 0; i < sky.Len(); i++ {
+				emit(key, points.Encode(points.Point(sky.Row(i))))
+			}
+			return nil
+		})
+	}
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		set := make(points.Set, 0, len(values))
+		for _, v := range values {
+			p, err := points.Decode(v)
+			if err != nil {
+				return err
+			}
+			set = append(set, p)
+		}
+		for _, p := range classic(set) {
+			emit(key, points.Encode(p))
+		}
+		return nil
+	})
+}
+
+// mergeTreeReducer is the flat path's global reducer: all candidates land
+// under one key, get chunk-skylined concurrently and folded by the
+// parallel merge tree. ctx carries the run's tracer so each merge level
+// records a span.
+func mergeTreeReducer(ctx context.Context, workers int) mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		blk := points.NewBlock(0, len(values))
+		for _, v := range values {
+			if err := points.AppendDecode(blk, v); err != nil {
+				return err
+			}
+		}
+		sky := skyline.ParallelBlock(ctx, blk, workers)
+		for i := 0; i < sky.Len(); i++ {
+			emit(key, points.Encode(points.Point(sky.Row(i))))
+		}
+		return nil
+	})
 }
 
 // publishPartitionGauges exports the partition-level shape of a run:

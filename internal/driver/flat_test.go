@@ -1,0 +1,79 @@
+package driver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/qws"
+	"repro/internal/skyline"
+	"repro/internal/telemetry"
+)
+
+// TestFlatMatchesClassic runs the full pipeline twice — default flat path
+// and the ClassicKernel escape hatch — across schemes and kernels and
+// requires identical skylines.
+func TestFlatMatchesClassic(t *testing.T) {
+	data := qws.Dataset(7, 1500, 5)
+	for _, scheme := range []partition.Scheme{partition.Dimensional, partition.Grid, partition.Angular} {
+		for _, kernel := range []skyline.Algorithm{skyline.BNLAlgorithm, skyline.SFSAlgorithm} {
+			flatSky, _, err := Compute(context.Background(), data,
+				Options{Scheme: scheme, Nodes: 4, Kernel: kernel})
+			if err != nil {
+				t.Fatalf("%v/%v flat: %v", scheme, kernel, err)
+			}
+			classicSky, _, err := Compute(context.Background(), data,
+				Options{Scheme: scheme, Nodes: 4, Kernel: kernel, ClassicKernel: true})
+			if err != nil {
+				t.Fatalf("%v/%v classic: %v", scheme, kernel, err)
+			}
+			if len(flatSky) != len(classicSky) {
+				t.Fatalf("%v/%v: flat %d points, classic %d", scheme, kernel, len(flatSky), len(classicSky))
+			}
+			for _, p := range flatSky {
+				if !classicSky.Contains(p) {
+					t.Fatalf("%v/%v: flat point %v missing from classic skyline", scheme, kernel, p)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatHierarchicalMerge covers the flat reducers inside the iterative
+// merge rounds.
+func TestFlatHierarchicalMerge(t *testing.T) {
+	data := qws.Dataset(8, 1200, 4)
+	want, _, err := Compute(context.Background(), data,
+		Options{Scheme: partition.Angular, Nodes: 4, ClassicKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Compute(context.Background(), data,
+		Options{Scheme: partition.Angular, Nodes: 4, HierarchicalMerge: true, MergeFanIn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hierarchical flat merge: %d points, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if !want.Contains(p) {
+			t.Fatalf("hierarchical flat merge produced stray point %v", p)
+		}
+	}
+}
+
+// TestDominanceCounterBridged: a run with a registry must surface the
+// flat kernels' dominance-test delta as skyline_dominance_tests_total.
+func TestDominanceCounterBridged(t *testing.T) {
+	data := qws.Dataset(9, 800, 4)
+	reg := telemetry.NewRegistry()
+	_, _, err := Compute(context.Background(), data,
+		Options{Scheme: partition.Angular, Nodes: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("skyline_dominance_tests_total").Value(); v <= 0 {
+		t.Fatalf("skyline_dominance_tests_total = %d, want > 0", v)
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/mapreduce"
 	"repro/internal/points"
-	"repro/internal/skyline"
 )
 
 // The paper notes (§II) that when the number of services is too large for
@@ -21,8 +20,10 @@ import (
 
 // hierarchicalMerge runs iterative merge rounds over the local skyline
 // pairs (partition key → encoded point) and returns the global skyline.
-// Each round is one MapReduce job; timings accumulate into total.
-func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair, kernel skyline.Func, total *mapreduce.Timing) (points.Set, error) {
+// Each round is one MapReduce job; timings accumulate into total. reducer
+// is the per-group skyline reducer built by skylineReducer — flat or
+// classic, matching the partitioning job's kernel path.
+func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair, reducer mapreduce.Reducer, total *mapreduce.Timing) (points.Set, error) {
 	fanIn := opts.MergeFanIn
 	if fanIn < 2 {
 		fanIn = 8
@@ -38,21 +39,6 @@ func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair
 	if groups == 0 {
 		return nil, nil
 	}
-
-	reducer := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
-		set := make(points.Set, 0, len(values))
-		for _, v := range values {
-			p, err := points.Decode(v)
-			if err != nil {
-				return err
-			}
-			set = append(set, p)
-		}
-		for _, p := range kernel(set) {
-			emit(key, points.Encode(p))
-		}
-		return nil
-	})
 
 	round := 0
 	for {

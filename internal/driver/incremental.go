@@ -44,7 +44,7 @@ func BuildIndex(ctx context.Context, data points.Set, opts Options) (*Index, err
 	}
 	return &Index{
 		part:   part,
-		kernel: skyline.ByAlgorithm(opts.Kernel),
+		kernel: opts.kernelFunc(),
 		local:  local,
 		global: global.Clone(),
 	}, nil

@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/points"
 	"repro/internal/sequencefile"
-	"repro/internal/skyline"
 )
 
 // Index snapshots let a long-running registry restart without recomputing
@@ -134,7 +133,7 @@ func LoadIndex(ctx context.Context, r io.Reader, opts Options) (*Index, error) {
 	// the restored index is exactly the saved one.
 	ix.mu.Lock()
 	ix.local = local
-	ix.global = skyline.ByAlgorithm(opts.Kernel)(union)
+	ix.global = opts.kernelFunc()(union)
 	ix.mu.Unlock()
 	return ix, nil
 }

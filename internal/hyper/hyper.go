@@ -44,10 +44,17 @@ func ToHyperspherical(p points.Point) (Coordinates, error) {
 	if n < 2 {
 		return Coordinates{}, fmt.Errorf("hyper: need dimension >= 2, got %d", n)
 	}
-	// suffix[i] = sqrt(p[i]² + ... + p[n−1]²), computed back to front.
+	// suffix[i] = sqrt(p[i]² + ... + p[n−1]²), computed back to front from
+	// a running sum of squares. One Sqrt per element instead of the Hypot
+	// chain — Hypot's overflow guard costs ~4× per call and QoS data is
+	// nowhere near the ±1e154 range where the guard matters (the transform
+	// of such input degrades to +Inf radius and π/2 angles, still finite
+	// and bucketable).
 	suffix := make([]float64, n+1)
+	s := 0.0
 	for i := n - 1; i >= 0; i-- {
-		suffix[i] = math.Hypot(p[i], suffix[i+1])
+		s += p[i] * p[i]
+		suffix[i] = math.Sqrt(s)
 	}
 	c := Coordinates{R: suffix[0], Angles: make([]float64, n-1)}
 	for i := 0; i < n-1; i++ {

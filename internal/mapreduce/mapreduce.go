@@ -381,12 +381,19 @@ func runMapPhase(ctx context.Context, cfg Config, splits [][][]byte, mapper Mapp
 
 func runMapTask(cfg Config, task int, records [][]byte, mapper Mapper, counters *Counters) (taskOutput, time.Duration, error) {
 	parts := make([][]Pair, cfg.Reducers)
+	// Pre-size each bucket for the common one-emit-per-record mapper;
+	// selective mappers just leave slack.
+	for r := range parts {
+		parts[r] = make([]Pair, 0, len(records)/cfg.Reducers+1)
+	}
 	emit := func(key string, value []byte) {
 		r := partitionOf(key, cfg.Reducers)
 		parts[r] = append(parts[r], Pair{Key: key, Value: value})
 	}
+	// One counter update per task, not per record — the mutex-protected
+	// map add is measurable at millions of records.
+	counters.Add(CounterMapIn, int64(len(records)))
 	for _, rec := range records {
-		counters.Add(CounterMapIn, 1)
 		if err := mapper.Map(rec, emit); err != nil {
 			return taskOutput{}, 0, err
 		}
@@ -468,13 +475,14 @@ func shuffle(cfg Config, tasks []taskOutput, counters *Counters) ([][]group, err
 	for r := range perReducer {
 		perReducer[r] = make(map[string][][]byte)
 	}
+	var shufRecs, shufBytes int64
 	add := func(r int, p Pair) {
 		if _, ok := perReducer[r][p.Key]; !ok {
 			orders[r] = append(orders[r], p.Key)
 		}
 		perReducer[r][p.Key] = append(perReducer[r][p.Key], p.Value)
-		counters.Add(CounterShuffle, 1)
-		counters.Add(CounterShuffleBytes, int64(len(p.Key)+len(p.Value)))
+		shufRecs++
+		shufBytes += int64(len(p.Key) + len(p.Value))
 	}
 	for _, t := range tasks {
 		if t.files != nil {
@@ -501,6 +509,8 @@ func shuffle(cfg Config, tasks []taskOutput, counters *Counters) ([][]group, err
 			}
 		}
 	}
+	counters.Add(CounterShuffle, shufRecs)
+	counters.Add(CounterShuffleBytes, shufBytes)
 	out := make([][]group, cfg.Reducers)
 	for r := range out {
 		sort.Strings(orders[r])

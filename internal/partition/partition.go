@@ -117,13 +117,22 @@ func New(scheme Scheme, data points.Set, want int) (Partitioner, error) {
 	case Grid:
 		return NewGrid(min, max, want)
 	case Angular:
-		return FitAngular(data, want)
+		// Fit on a bounded deterministic sample: quantile cuts from a few
+		// thousand points match the full-data cuts to well under a sector
+		// width, and the full fit's angle transform over n points was the
+		// single most expensive prologue in the pipeline. Small inputs
+		// (≤ sample size) take the exact fit unchanged.
+		return FitAngularSampled(data, want, angularFitSample, 1)
 	case Random:
 		return NewRandom(data.Dim(), want)
 	default:
 		return nil, fmt.Errorf("partition: unknown scheme %d", int(scheme))
 	}
 }
+
+// angularFitSample is the sample size New uses to fit angular quantile
+// cuts. Datasets at or below this size are fitted exactly.
+const angularFitSample = 4096
 
 // splitCounts factors a target partition count into per-axis split counts
 // over m axes, as evenly as possible: starting from all ones, it repeatedly
@@ -399,25 +408,69 @@ func (a *AngularPartitioner) Splits() []int {
 	return out
 }
 
-// Assign implements Partitioner.
+// assignStackDim bounds the dimension for which Assign works entirely on
+// stack buffers; higher dimensions fall back to heap slices.
+const assignStackDim = 16
+
+// Assign implements Partitioner. This is the pipeline's per-point hot
+// path (the mapper calls it for every input point), so it inlines the
+// hyperspherical transform instead of calling hyper.ToHyperspherical:
+// same Hypot/Atan2 arithmetic in the same order — bucket boundaries are
+// bit-identical — but with stack buffers instead of three heap
+// allocations, no redundant re-validation, and no Atan2 for angles the
+// partitioner never splits on (splitCounts leaves most axes at one split
+// once want ≪ 2^(d−1); an unsplit angle contributes id·1+0 regardless of
+// its value).
 func (a *AngularPartitioner) Assign(pt points.Point) (int, error) {
-	if err := checkPoint(pt, a.d); err != nil {
-		return 0, err
+	if len(pt) != a.d {
+		return 0, checkPoint(pt, a.d)
 	}
-	shifted := make(points.Point, a.d)
+	var sbuf [assignStackDim]float64
+	var nbuf [assignStackDim + 1]float64
+	shifted, suffix := sbuf[:a.d], nbuf[:a.d+1]
+	if a.d > assignStackDim {
+		shifted, suffix = make([]float64, a.d), make([]float64, a.d+1)
+	}
+	// Input validity is checked through the transform itself rather than a
+	// per-coordinate Validate pass up front: NaN and +Inf coordinates
+	// survive the shift and poison the sum of squares, and −Inf (which the
+	// clamp would otherwise erase) is flagged where it appears. Only the
+	// poisoned slow path pays for Validate's error message.
+	bad := false
 	for i := range pt {
 		v := pt[i] - a.offset[i]
 		if v < 0 {
+			if math.IsInf(v, -1) {
+				bad = true
+			}
 			v = 0 // clamp unseen below-range values; preserves sector order
 		}
 		shifted[i] = v
 	}
-	c, err := hyper.ToHyperspherical(shifted)
-	if err != nil {
-		return 0, err
+	// suffix[i] = sqrt(shifted[i]² + ... + shifted[d−1]²), exactly as
+	// hyper.ToHyperspherical computes it (running sum of squares + Sqrt) —
+	// the fitted cuts and this lookup must agree bit-for-bit on the
+	// boundary tie rule.
+	suffix[a.d] = 0
+	s := 0.0
+	for i := a.d - 1; i >= 0; i-- {
+		s += shifted[i] * shifted[i]
+		suffix[i] = math.Sqrt(s)
+	}
+	if bad || !(suffix[0] <= math.MaxFloat64) { // NaN or +Inf radius
+		if err := pt.Validate(); err != nil {
+			return 0, err
+		}
+		// Finite input whose squares overflow: keep going — the +Inf
+		// suffix yields π/2 angles, still clamped into boundary sectors.
 	}
 	id := 0
-	for i, ang := range c.Angles {
+	for i := 0; i < a.d-1; i++ {
+		k := a.splits[i]
+		if k <= 1 {
+			continue // id = id·1 + 0: the angle's value cannot matter
+		}
+		ang := math.Atan2(suffix[i+1], shifted[i])
 		var b int
 		if a.cuts != nil && a.cuts[i] != nil {
 			cell := a.cuts[i][id]
@@ -428,9 +481,9 @@ func (a *AngularPartitioner) Assign(pt points.Point) (int, error) {
 				b++
 			}
 		} else {
-			b = bucket(ang, 0, hyper.MaxAngle, a.splits[i])
+			b = bucket(ang, 0, hyper.MaxAngle, k)
 		}
-		id = id*a.splits[i] + b
+		id = id*k + b
 	}
 	return id, nil
 }

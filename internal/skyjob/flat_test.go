@@ -1,0 +1,99 @@
+package skyjob
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// collectReducer runs a reducer over encoded values and decodes what it
+// emits.
+func collectReducer(t *testing.T, r mapreduce.Reducer, s points.Set) points.Set {
+	t.Helper()
+	values := make([][]byte, len(s))
+	for i, p := range s {
+		values[i] = points.Encode(p)
+	}
+	var out points.Set
+	err := r.Reduce("global", values, func(key string, value []byte) {
+		p, err := points.Decode(value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFlatAndClassicReducersAgree: the worker-side reducers of both
+// kernel paths must emit the same skyline multiset for local groups and
+// for the global merge.
+func TestFlatAndClassicReducersAgree(t *testing.T) {
+	s := points.Set{{3, 1}, {1, 3}, {2, 2}, {1, 3}, {4, 4}, {0, 5}}
+	want := skyline.Naive(s)
+	flatSpec := Spec{Kernel: skyline.BNLAlgorithm}
+	classicSpec := Spec{Kernel: skyline.BNLAlgorithm, ClassicKernel: true}
+	for name, r := range map[string]mapreduce.Reducer{
+		"flat-local":    flatSpec.localReducer(),
+		"classic-local": classicSpec.localReducer(),
+		"flat-merge":    flatSpec.mergeReducer(),
+		"classic-merge": classicSpec.mergeReducer(),
+	} {
+		got := collectReducer(t, r, s)
+		if len(got) != len(want) {
+			t.Fatalf("%s emitted %d points, oracle %d", name, len(got), len(want))
+		}
+		sortSet(got)
+		sortSet(want)
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("%s diverged at %d: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func sortSet(s points.Set) {
+	sort.Slice(s, func(i, j int) bool {
+		for k := range s[i] {
+			if s[i][k] != s[j][k] {
+				return s[i][k] < s[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// TestSpecClassicKernelTravels: the escape hatch must survive the JSON
+// trip to workers.
+func TestSpecClassicKernelTravels(t *testing.T) {
+	in := Spec{Kernel: skyline.SFSAlgorithm, ClassicKernel: true, Dim: 3}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.ClassicKernel || out.Kernel != skyline.SFSAlgorithm {
+		t.Fatalf("spec did not round-trip: %+v", out)
+	}
+	// Default specs must omit the field entirely (wire compatibility with
+	// pre-flat workers, which ignore unknown fields anyway).
+	def, _ := json.Marshal(Spec{})
+	var m map[string]interface{}
+	if err := json.Unmarshal(def, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["classic_kernel"]; ok {
+		t.Fatal("zero spec serialized classic_kernel")
+	}
+}

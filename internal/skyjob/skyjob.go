@@ -36,6 +36,11 @@ type Spec struct {
 	Partitions int              `json:"partitions"`
 	// Kernel selects the sequential skyline algorithm (default BNL).
 	Kernel skyline.Algorithm `json:"kernel"`
+	// ClassicKernel forces the classic points.Set kernels on every worker
+	// instead of the default flat block path (contiguous coordinates,
+	// dimension-specialized dominance, merge-tree global reduce). Both
+	// paths produce identical skylines.
+	ClassicKernel bool `json:"classic_kernel,omitempty"`
 	// AngularSplits and AngularCuts ship a fitted (equi-depth) angular
 	// partitioner to workers; empty for other schemes.
 	AngularSplits []int         `json:"angular_splits,omitempty"`
@@ -95,20 +100,59 @@ func init() {
 	rpcmr.RegisterJob(MergeJobName, newMergeJob)
 }
 
-// localSkylineReducer builds the reducer shared by both jobs: decode the
-// group's points, run the kernel, emit survivors under the same key.
-func localSkylineReducer(kernel skyline.Func) mapreduce.Reducer {
+// localReducer builds the local-skyline reducer of the spec's kernel
+// path. On the default flat path the group's values decode straight into
+// one contiguous block (no per-point allocation) and the block kernel's
+// survivors are re-encoded from rows; ClassicKernel restores the original
+// Set-typed decode-kernel-encode loop.
+func (s Spec) localReducer() mapreduce.Reducer {
+	if s.ClassicKernel {
+		kernel := skyline.ByAlgorithm(s.Kernel)
+		return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+			set := make(points.Set, 0, len(values))
+			for _, v := range values {
+				p, err := points.Decode(v)
+				if err != nil {
+					return err
+				}
+				set = append(set, p)
+			}
+			for _, p := range kernel(set) {
+				emit(key, points.Encode(p))
+			}
+			return nil
+		})
+	}
+	kernel := skyline.BlockByAlgorithm(s.Kernel)
+	return blockReducer(func(blk *points.Block) *points.Block { return kernel(blk) })
+}
+
+// mergeReducer is the merging job's final reducer: on the flat path the
+// single "global" group runs the parallel merge tree (chunked block
+// skylines folded pairwise across goroutines) instead of one sequential
+// kernel pass; the classic path keeps the paper's single-reducer kernel.
+func (s Spec) mergeReducer() mapreduce.Reducer {
+	if s.ClassicKernel {
+		return s.localReducer()
+	}
+	return blockReducer(func(blk *points.Block) *points.Block {
+		return skyline.ParallelBlock(context.Background(), blk, 0)
+	})
+}
+
+// blockReducer wraps a block kernel into the decode-into-block reducer
+// shape shared by the flat-path jobs.
+func blockReducer(kernel func(*points.Block) *points.Block) mapreduce.Reducer {
 	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
-		set := make(points.Set, 0, len(values))
+		blk := points.NewBlock(0, len(values))
 		for _, v := range values {
-			p, err := points.Decode(v)
-			if err != nil {
+			if err := points.AppendDecode(blk, v); err != nil {
 				return err
 			}
-			set = append(set, p)
 		}
-		for _, p := range kernel(set) {
-			emit(key, points.Encode(p))
+		sky := kernel(blk)
+		for i := 0; i < sky.Len(); i++ {
+			emit(key, points.Encode(points.Point(sky.Row(i))))
 		}
 		return nil
 	})
@@ -123,8 +167,7 @@ func newPartitionJob(params []byte) (rpcmr.Job, error) {
 	if err != nil {
 		return rpcmr.Job{}, err
 	}
-	kernel := skyline.ByAlgorithm(spec.Kernel)
-	reducer := localSkylineReducer(kernel)
+	reducer := spec.localReducer()
 	return rpcmr.Job{
 		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
 			p, err := points.Decode(rec)
@@ -148,14 +191,13 @@ func newMergeJob(params []byte) (rpcmr.Job, error) {
 	if err := json.Unmarshal(params, &spec); err != nil {
 		return rpcmr.Job{}, fmt.Errorf("skyjob: bad params: %w", err)
 	}
-	kernel := skyline.ByAlgorithm(spec.Kernel)
 	return rpcmr.Job{
 		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
 			emit("global", rec)
 			return nil
 		}),
-		Combiner: localSkylineReducer(kernel),
-		Reducer:  localSkylineReducer(kernel),
+		Combiner: spec.localReducer(),
+		Reducer:  spec.mergeReducer(),
 	}, nil
 }
 

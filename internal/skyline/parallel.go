@@ -1,48 +1,87 @@
 package skyline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/points"
 )
 
-// Parallel computes the skyline on shared memory with `workers`
-// goroutines: the input is chunked, each chunk's skyline is computed
-// concurrently with BNL, and the partial skylines are merged with a final
-// BNL pass — the divide-and-merge structure of the MapReduce pipeline
-// without the framework, useful as a single-machine fast path and as a
-// baseline when measuring the engine's overhead. workers ≤ 0 selects
-// GOMAXPROCS.
-func Parallel(s points.Set, workers int) points.Set {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// parallelCutoff is the input size below which Parallel runs the flat
+// sequential kernel instead of fanning out. Measured with
+// BenchmarkMergeTree/BenchmarkLocalSkyline on the benchmark machine (see
+// BENCH_kernels.json): below ~256 points the goroutine spawn plus the
+// merge-tree cross-filters cost more than the saved kernel time; the old
+// 64-point cutoff left 64–256 in a regime where fan-out still lost.
+const parallelCutoff = 256
+
+// normWorkers resolves a caller-supplied worker count: non-positive means
+// GOMAXPROCS, and every request is capped at GOMAXPROCS — the kernels are
+// pure CPU, so goroutines beyond the core count only add scheduling
+// overhead (and on one core they would force the tournament merge, which
+// does strictly more comparisons than the sequential fold).
+func normWorkers(workers int) int {
+	g := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > g {
+		return g
 	}
-	if workers == 1 || len(s) < 2*workers || len(s) < 64 {
+	return workers
+}
+
+// Parallel computes the skyline on shared memory with `workers`
+// goroutines: the input is copied into one flat block, each chunk's
+// skyline is computed concurrently with the block BNL kernel, and the
+// partial skylines are folded by the parallel merge tree — the
+// divide-and-merge structure of the MapReduce pipeline without the
+// framework, useful as a single-machine fast path and as a baseline when
+// measuring the engine's overhead. workers ≤ 0 selects GOMAXPROCS.
+func Parallel(s points.Set, workers int) points.Set {
+	return ParallelCtx(context.Background(), s, workers)
+}
+
+// ParallelCtx is Parallel with a context: a telemetry tracer in ctx
+// receives one span per merge-tree level.
+func ParallelCtx(ctx context.Context, s points.Set, workers int) points.Set {
+	workers = normWorkers(workers)
+	if workers == 1 || len(s) < 2*workers || len(s) < parallelCutoff {
+		return FlatBNL(s)
+	}
+	src, ok := points.BlockOf(s)
+	if !ok {
+		// Mixed dimensionalities: only the classic kernels handle them.
 		return BNL(s)
 	}
-	chunk := (len(s) + workers - 1) / workers
-	partials := make([]points.Set, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(s) {
-			break
-		}
+	return ParallelBlock(ctx, src, workers).ToSet()
+}
+
+// ParallelBlock is the flat-path core shared by ParallelCtx and the
+// merging-job reducers: chunk the block across workers goroutines, run
+// the block BNL on each chunk, then fold the partial skylines with the
+// parallel merge tree. The input block is read, never mutated.
+func ParallelBlock(ctx context.Context, src *points.Block, workers int) *points.Block {
+	workers = normWorkers(workers)
+	n := src.Len()
+	if workers == 1 || n < 2*workers || n < parallelCutoff {
+		return BlockBNL(src)
+	}
+	chunk := (n + workers - 1) / workers
+	partials := make([]*points.Block, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
-		if hi > len(s) {
-			hi = len(s)
+		if hi > n {
+			hi = n
 		}
+		partials = append(partials, src.Slice(lo, hi))
+	}
+	var wg sync.WaitGroup
+	for i, part := range partials {
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(i int, part *points.Block) {
 			defer wg.Done()
-			partials[w] = BNL(s[lo:hi])
-		}(w, lo, hi)
+			partials[i] = BlockBNL(part)
+		}(i, part)
 	}
 	wg.Wait()
-	var merged points.Set
-	for _, p := range partials {
-		merged = append(merged, p...)
-	}
-	return BNL(merged)
+	return mergeTree(ctx, partials, workers)
 }

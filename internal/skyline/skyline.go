@@ -48,7 +48,9 @@ func (a Algorithm) String() string {
 
 // Func is the signature shared by all sequential skyline kernels: it
 // returns the subset of s not dominated by any other point of s. The
-// result holds references to (not copies of) the input points. Duplicate
+// classic kernels return references to (not copies of) the input points;
+// the flat-memory kernels (FlatBNL, FlatSFS) return fresh coordinate-equal
+// points, and their result order is unspecified. Duplicate
 // coordinate-equal points are all retained if undominated, matching BNL's
 // classical behaviour.
 type Func func(s points.Set) points.Set
@@ -107,14 +109,21 @@ func BNL(s points.Set) points.Set {
 // SFS computes the skyline by first sorting on the monotone sum score and
 // then filtering: once sorted, no later point can dominate an earlier one,
 // so each point is only compared against the already-accepted skyline.
+// The sum key is computed once per point into a slice — calling Sum()
+// inside the comparator would redo the O(d) reduction O(n log n) times.
 func SFS(s points.Set) points.Set {
-	sorted := make(points.Set, len(s))
-	copy(sorted, s)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return sorted[i].Sum() < sorted[j].Sum()
+	keys := make([]float64, len(s))
+	order := make([]int, len(s))
+	for i, p := range s {
+		keys[i] = p.Sum()
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return keys[order[i]] < keys[order[j]]
 	})
 	sky := make(points.Set, 0, 16)
-	for _, p := range sorted {
+	for _, i := range order {
+		p := s[i]
 		dominated := false
 		for _, q := range sky {
 			if points.DominatesOrEqual(q, p) && !q.Equal(p) {

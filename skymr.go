@@ -122,6 +122,12 @@ type Options struct {
 	Workers int
 	// Kernel selects the sequential skyline algorithm (default BNL).
 	Kernel Kernel
+	// ClassicKernel forces the classic per-point kernels instead of the
+	// default flat-memory block kernels (contiguous coordinates,
+	// dimension-specialized dominance tests, parallel merge tree). Both
+	// paths produce identical skylines; see DESIGN.md "Flat-memory
+	// kernel layer".
+	ClassicKernel bool
 	// DisableCombiner ships raw partitions to reducers instead of
 	// combining local skylines map-side (ablation).
 	DisableCombiner bool
@@ -202,6 +208,7 @@ func Compute(ctx context.Context, data Set, opts Options) (*Result, error) {
 		Partitions:         opts.Partitions,
 		Workers:            opts.Workers,
 		Kernel:             opts.Kernel.algorithm(),
+		ClassicKernel:      opts.ClassicKernel,
 		DisableCombiner:    opts.DisableCombiner,
 		DisableGridPruning: opts.DisableGridPruning,
 		SpillDir:           opts.SpillDir,
