@@ -16,7 +16,13 @@
 //
 // Usage:
 //
-//	benchgate [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
+//	benchgate [-suite kernels|shuffle] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
+//
+// The shuffle suite (-suite shuffle) compares the classic Pair shuffle
+// against the block-framed path at the same configuration — records/s,
+// shuffle payload bytes, and allocations per point — and writes
+// BENCH_shuffle.json, gating on a 1.5x framed throughput advantage plus
+// reduced allocs/point.
 package main
 
 import (
@@ -93,11 +99,28 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	min := flag.Float64("min", 1.5, "minimum acceptable kernel-row speedup (flat over classic)")
 	quick := flag.Bool("quick", false, "CI mode: n=20000, 2 runs, report only (no gate)")
-	out := flag.String("out", "BENCH_kernels.json", "report path")
+	suite := flag.String("suite", "kernels", "which suite to run: kernels or shuffle")
+	out := flag.String("out", "", "report path (default BENCH_kernels.json / BENCH_shuffle.json per suite)")
 	flag.Parse()
 
+	if *out == "" {
+		if *suite == "shuffle" {
+			*out = "BENCH_shuffle.json"
+		} else {
+			*out = "BENCH_kernels.json"
+		}
+	}
 	if *quick {
 		*n, *runs = 20000, 2
+	}
+	switch *suite {
+	case "shuffle":
+		shuffleSuite(*n, *d, *nodes, *runs, *min, *quick, *out)
+		return
+	case "kernels":
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels or shuffle)\n", *suite)
+		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: n=%d d=%d nodes=%d runs=%d\n", *n, *d, *nodes, *runs)
 	data := qws.Dataset(2012, *n, *d)

@@ -54,6 +54,13 @@ type Options struct {
 	// runs and for exotic inputs. Ignored when KernelOverride is set (an
 	// override is always classic-path).
 	ClassicKernel bool
+	// ClassicShuffle forces the classic per-Pair shuffle (string keys, one
+	// Pair per point) instead of the default block-framed shuffle, which
+	// moves packed point frames between phases. Implied by ClassicKernel
+	// or KernelOverride — frames only exist on the flat block path. Both
+	// shuffles produce identical skylines; this is the escape hatch
+	// mirroring ClassicKernel.
+	ClassicShuffle bool
 	// PartitionerOverride, when non-nil, replaces the Scheme-fitted
 	// partitioner with a pre-built one (experimental partitioners such as
 	// the angular+radial hybrid). Scheme is then only a label.
@@ -202,6 +209,13 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		defer func() {
 			reg.Counter("skyline_dominance_tests_total").Add(skyline.DominanceTests() - domBefore)
 		}()
+	}
+
+	// Frame shuffle is the default on the flat path: intermediate data
+	// moves as packed point frames instead of per-point Pairs.
+	// ClassicShuffle restores the Pair path below as the escape hatch.
+	if flat && !opts.ClassicShuffle {
+		return computeFramed(ctx, data, opts, part, pruned, stats)
 	}
 
 	// ---- Job 1: Partitioning Job ------------------------------------

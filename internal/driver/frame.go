@@ -1,0 +1,196 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mapreduce"
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// computeFramed is Compute's default flat-path body: the same two-job
+// pipeline routed through the block-framed shuffle. Points travel as
+// packed frames keyed by integer partition id — no string keys, no
+// per-point Pair allocation — the local-skyline combiner runs directly
+// on each assembled block before its frame is sealed, and reducers
+// ingest whole frames into contiguous blocks. Occupancy counting, grid
+// pruning, spilling and the hierarchical merge all behave exactly as on
+// the classic path.
+func computeFramed(ctx context.Context, data points.Set, opts Options, part partition.Partitioner, pruned []bool, stats *Stats) (points.Set, *Stats, error) {
+	blockKernel := skyline.BlockByAlgorithm(opts.Kernel)
+
+	// ---- Job 1: Partitioning Job ------------------------------------
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+
+	occCounts := make([]int64, part.Partitions())
+	scratch := sync.Pool{New: func() any {
+		p := make(points.Point, 0, data.Dim())
+		return &p
+	}}
+	mapper := mapreduce.FrameMapperFunc(func(rec []byte, emit mapreduce.EmitPoint) error {
+		buf := scratch.Get().(*points.Point)
+		p, err := points.DecodeInto(*buf, rec)
+		if err != nil {
+			return err
+		}
+		id, assignErr := part.Assign(p)
+		if assignErr == nil {
+			atomic.AddInt64(&occCounts[id], 1)
+			if pruned == nil || !pruned[id] {
+				// emit copies the coordinates into the partition's block
+				// immediately, so the scratch point can be recycled.
+				emit(id, p)
+			}
+		}
+		*buf = p[:0]
+		scratch.Put(buf)
+		return assignErr
+	})
+	localSkyline := mapreduce.FrameReducerFunc(func(partition int, blk *points.Block, emit mapreduce.EmitPoint) error {
+		sky := blockKernel(blk)
+		for i := 0; i < sky.Len(); i++ {
+			emit(partition, sky.Row(i))
+		}
+		return nil
+	})
+	var combiner mapreduce.FrameCombiner
+	if !opts.DisableCombiner {
+		combiner = func(partition int, blk *points.Block) (*points.Block, error) {
+			return blockKernel(blk), nil
+		}
+	}
+	cfg1 := mapreduce.Config{
+		Name:     fmt.Sprintf("%s-partitioning", opts.Scheme),
+		Workers:  opts.Workers,
+		Reducers: opts.Workers,
+		SpillDir: opts.SpillDir,
+		Metrics:  opts.Metrics,
+	}
+	res1, err := mapreduce.RunFrames(ctx, cfg1, input, mapper, combiner, localSkyline)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for id, blk := range res1.Blocks {
+		if id < 0 || id >= part.Partitions() {
+			return nil, nil, fmt.Errorf("driver: bad partition id %d in frame output", id)
+		}
+		stats.LocalSkylines[id] = blk.ToSet()
+	}
+	counts := make([]int, len(occCounts))
+	for id := range occCounts {
+		counts[id] = int(atomic.LoadInt64(&occCounts[id]))
+	}
+	stats.PartitionCounts = counts
+	publishPartitionGauges(opts.Metrics, stats)
+
+	// ---- Job 2: Merging Job -----------------------------------------
+	if opts.HierarchicalMerge {
+		// The iterative merge rounds run on the classic Pair plumbing
+		// (group-prefixed records); feed them the frame job's local
+		// skylines in ascending partition order for determinism.
+		stats.PartitionJob = res1.Timing
+		stats.Timing = res1.Timing
+		var pairs []mapreduce.Pair
+		for _, id := range sortedBlockIDs(res1.Blocks) {
+			key := strconv.Itoa(id)
+			blk := res1.Blocks[id]
+			for i := 0; i < blk.Len(); i++ {
+				pairs = append(pairs, mapreduce.Pair{
+					Key: key, Value: points.Encode(points.Point(blk.Row(i)))})
+			}
+		}
+		reducer := skylineReducer(opts.kernelFunc(), blockKernel)
+		var mergeTiming mapreduce.Timing
+		global, err := hierarchicalMerge(ctx, opts, pairs, reducer, &mergeTiming)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.MergeJob = mergeTiming
+		stats.Timing.Add(mergeTiming)
+		stats.Counters = res1.Counters.Snapshot()
+		return global, stats, nil
+	}
+
+	var mergeInput [][]byte
+	for _, id := range sortedBlockIDs(res1.Blocks) {
+		blk := res1.Blocks[id]
+		for i := 0; i < blk.Len(); i++ {
+			mergeInput = append(mergeInput, points.Encode(points.Point(blk.Row(i))))
+		}
+	}
+	identity := mapreduce.FrameMapperFunc(func(rec []byte, emit mapreduce.EmitPoint) error {
+		buf := scratch.Get().(*points.Point)
+		p, err := points.DecodeInto(*buf, rec)
+		if err != nil {
+			return err
+		}
+		emit(0, p) // paper line 13: output(null, si) — one global partition
+		*buf = p[:0]
+		scratch.Put(buf)
+		return nil
+	})
+	cfg2 := mapreduce.Config{
+		Name:     fmt.Sprintf("%s-merging", opts.Scheme),
+		Workers:  opts.Workers,
+		Reducers: 1, // all local skylines share one partition (paper line 12-15)
+		SpillDir: opts.SpillDir,
+		Metrics:  opts.Metrics,
+	}
+	var mergeCombiner mapreduce.FrameCombiner
+	if !opts.DisableCombiner {
+		mergeCombiner = func(partition int, blk *points.Block) (*points.Block, error) {
+			return blockKernel(blk), nil
+		}
+	}
+	// The single global reduce runs the parallel merge tree on the
+	// assembled candidate block.
+	mergeReduce := mapreduce.FrameReducerFunc(func(partition int, blk *points.Block, emit mapreduce.EmitPoint) error {
+		sky := skyline.ParallelBlock(ctx, blk, opts.Workers)
+		for i := 0; i < sky.Len(); i++ {
+			emit(partition, sky.Row(i))
+		}
+		return nil
+	})
+	res2, err := mapreduce.RunFrames(ctx, cfg2, mergeInput, identity, mergeCombiner, mergeReduce)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var global points.Set
+	if blk := res2.Blocks[0]; blk != nil {
+		global = blk.ToSet()
+	}
+
+	stats.PartitionJob = res1.Timing
+	stats.MergeJob = res2.Timing
+	stats.Timing = res1.Timing
+	stats.Timing.Add(res2.Timing)
+	stats.Counters = res1.Counters.Snapshot()
+	for k, v := range res2.Counters.Snapshot() {
+		stats.Counters[k] += v
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Gauge("skyline_global_size").Set(float64(len(global)))
+	}
+	return global, stats, nil
+}
+
+// sortedBlockIDs returns a frame result's partition ids ascending.
+func sortedBlockIDs(blocks map[int]*points.Block) []int {
+	ids := make([]int, 0, len(blocks))
+	for id := range blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,553 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/points"
+	"repro/internal/telemetry"
+)
+
+// Block-framed shuffle: an alternative engine path that moves packed
+// point frames (points.AppendFrame's partition + count + contiguous
+// coordinates) between phases instead of per-point Pairs. Mappers emit
+// (integer partition, coords) into pooled per-reducer frame builders —
+// no string keys, no per-point Pair or value allocation — combiners run
+// directly on the assembled blocks before a frame is sealed, and
+// reducers ingest whole frames into contiguous blocks with zero
+// per-point allocation. The classic Pair path in mapreduce.go stays as
+// the reference implementation and escape hatch.
+
+// EmitPoint is the frame-path emit callback: it appends one point to the
+// partition's building block, copying coords immediately, so callers may
+// reuse the slice. Valid only for the duration of the Map/Reduce call.
+type EmitPoint func(partition int, coords []float64)
+
+// FrameMapper transforms one input record into zero or more
+// (partition, point) emissions. Must be safe for concurrent use.
+type FrameMapper interface {
+	MapFrame(record []byte, emit EmitPoint) error
+}
+
+// FrameMapperFunc adapts a function to the FrameMapper interface.
+type FrameMapperFunc func(record []byte, emit EmitPoint) error
+
+// MapFrame implements FrameMapper.
+func (f FrameMapperFunc) MapFrame(record []byte, emit EmitPoint) error { return f(record, emit) }
+
+// FrameCombiner folds one partition's assembled block map-side, before
+// the frame is sealed — the paper's local-skyline combiner running
+// directly on contiguous memory. It may return its argument (mutated or
+// not) or a fresh block; the engine treats the input block as consumed.
+// Must be safe for concurrent use.
+type FrameCombiner func(partition int, block *points.Block) (*points.Block, error)
+
+// FrameReducer folds one partition's fully assembled block into zero or
+// more output points. Must be safe for concurrent use.
+type FrameReducer interface {
+	ReduceFrame(partition int, block *points.Block, emit EmitPoint) error
+}
+
+// FrameReducerFunc adapts a function to the FrameReducer interface.
+type FrameReducerFunc func(partition int, block *points.Block, emit EmitPoint) error
+
+// ReduceFrame implements FrameReducer.
+func (f FrameReducerFunc) ReduceFrame(partition int, block *points.Block, emit EmitPoint) error {
+	return f(partition, block, emit)
+}
+
+// FrameStats tallies one frame-path task, in the same units as the
+// framework counters: record counts are points, byte counts are frame
+// payload bytes (header + coordinates — never the transport envelope).
+type FrameStats struct {
+	MapOut       int64
+	CombineIn    int64
+	CombineOut   int64
+	CombineNanos int64
+	ShuffleRecs  int64
+	ShuffleBytes int64
+	Groups       int64
+	ReduceIn     int64
+	ReduceOut    int64
+}
+
+// add accumulates o into s.
+func (s *FrameStats) add(o FrameStats) {
+	s.MapOut += o.MapOut
+	s.CombineIn += o.CombineIn
+	s.CombineOut += o.CombineOut
+	s.CombineNanos += o.CombineNanos
+	s.ShuffleRecs += o.ShuffleRecs
+	s.ShuffleBytes += o.ShuffleBytes
+	s.Groups += o.Groups
+	s.ReduceIn += o.ReduceIn
+	s.ReduceOut += o.ReduceOut
+}
+
+// FrameResult is the outcome of a successful frame job.
+type FrameResult struct {
+	// Blocks maps partition id → that partition's reduce output. Contents
+	// are deterministic: frames are assembled in reduce-task (and within a
+	// task, map-task) order.
+	Blocks   map[int]*points.Block
+	Counters *Counters
+	Timing   Timing
+}
+
+// ---------------------------------------------------------------------------
+// Frame builders (map side)
+
+// frameBuilder accumulates one map task's emissions as per-partition
+// blocks. Builders and their blocks are pooled: a task borrows one,
+// seals it into immutable frame streams, and returns it, so steady-state
+// mapping allocates nothing per point.
+type frameBuilder struct {
+	blocks  []*points.Block // indexed by partition id; nil until touched
+	touched []int           // partition ids with at least one emission
+	err     error           // sticky emit-side error (negative partition)
+}
+
+var frameBuilderPool = sync.Pool{New: func() any { return new(frameBuilder) }}
+
+func (fb *frameBuilder) add(partition int, coords []float64) {
+	if partition < 0 {
+		if fb.err == nil {
+			fb.err = fmt.Errorf("mapreduce: negative partition id %d emitted", partition)
+		}
+		return
+	}
+	for partition >= len(fb.blocks) {
+		fb.blocks = append(fb.blocks, nil)
+	}
+	blk := fb.blocks[partition]
+	if blk == nil {
+		blk = points.NewBlock(0, 0)
+		fb.blocks[partition] = blk
+	}
+	if blk.Len() == 0 {
+		fb.touched = append(fb.touched, partition)
+	}
+	blk.AppendRow(coords)
+}
+
+// reset clears touched blocks (keeping their capacity) for pooling.
+func (fb *frameBuilder) reset() {
+	for _, p := range fb.touched {
+		if fb.blocks[p] != nil {
+			fb.blocks[p].Clear()
+		}
+	}
+	fb.touched = fb.touched[:0]
+	fb.err = nil
+}
+
+// seal encodes every touched partition's block into per-reducer frame
+// streams (partition p goes to reducer p mod reducers), in ascending
+// partition order for determinism.
+func (fb *frameBuilder) seal(reducers int) (streams [][]byte, recs, bytes int64) {
+	streams = make([][]byte, reducers)
+	sort.Ints(fb.touched)
+	for _, p := range fb.touched {
+		blk := fb.blocks[p]
+		if blk == nil || blk.Len() == 0 {
+			continue
+		}
+		r := p % reducers
+		before := len(streams[r])
+		streams[r] = points.AppendFrame(streams[r], p, blk)
+		recs += int64(blk.Len())
+		bytes += int64(len(streams[r]) - before)
+	}
+	return streams, recs, bytes
+}
+
+// BuildFrames runs the frame mapper (and optional combiner) over one map
+// task's records, returning one sealed frame stream per reducer plus the
+// task's tallies. It is the map-side half of the frame shuffle, shared
+// by the in-process engine and the rpcmr workers so both move identical
+// bytes.
+func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner FrameCombiner) ([][]byte, FrameStats, error) {
+	if reducers < 1 {
+		reducers = 1
+	}
+	fb := frameBuilderPool.Get().(*frameBuilder)
+	defer func() {
+		fb.reset()
+		frameBuilderPool.Put(fb)
+	}()
+	var st FrameStats
+	// Hoist the method value: evaluating fb.add in the loop would allocate
+	// one funcval per record.
+	add := fb.add
+	for _, rec := range records {
+		if err := mapper.MapFrame(rec, add); err != nil {
+			return nil, st, err
+		}
+	}
+	if fb.err != nil {
+		return nil, st, fb.err
+	}
+	for _, p := range fb.touched {
+		st.MapOut += int64(fb.blocks[p].Len())
+	}
+	if combiner != nil {
+		cs := time.Now()
+		for _, p := range fb.touched {
+			blk := fb.blocks[p]
+			if blk.Len() == 0 {
+				continue
+			}
+			st.CombineIn += int64(blk.Len())
+			out, err := combiner(p, blk)
+			if err != nil {
+				return nil, st, fmt.Errorf("frame combiner: %w", err)
+			}
+			fb.blocks[p] = out
+			st.CombineOut += int64(out.Len())
+		}
+		st.CombineNanos = time.Since(cs).Nanoseconds()
+	}
+	streams, recs, bytes := fb.seal(reducers)
+	st.ShuffleRecs, st.ShuffleBytes = recs, bytes
+	return streams, st, nil
+}
+
+// AssembleFrames decodes frame streams into per-partition blocks,
+// appending in stream order — zero allocation per point, one block per
+// distinct partition. Exported so frame consumers outside the engine
+// (the rpcmr master, pipeline drivers) decode output streams the same
+// way reduce tasks do.
+func AssembleFrames(streams [][]byte) (map[int]*points.Block, error) {
+	parts := make(map[int]*points.Block)
+	for _, stream := range streams {
+		for len(stream) > 0 {
+			// Peek the owning partition, then decode straight into its block.
+			p, _, err := points.FrameCount(stream)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: bad frame: %w", err)
+			}
+			blk := parts[p]
+			if blk == nil {
+				blk = points.NewBlock(0, 0)
+				parts[p] = blk
+			}
+			if _, rest, err := points.DecodeFrame(blk, stream); err != nil {
+				return nil, fmt.Errorf("mapreduce: bad frame: %w", err)
+			} else {
+				stream = rest
+			}
+		}
+	}
+	return parts, nil
+}
+
+// sortedPartitions returns the map's keys ascending.
+func sortedPartitions(parts map[int]*points.Block) []int {
+	ids := make([]int, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ReduceFrames assembles per-partition blocks from the given frame
+// streams, runs the reducer on each partition in ascending id order, and
+// seals the emitted points back into one output frame stream. Shared by
+// the in-process engine's reduce tasks and the rpcmr workers.
+func ReduceFrames(streams [][]byte, reducer FrameReducer) ([]byte, FrameStats, error) {
+	var st FrameStats
+	parts, err := AssembleFrames(streams)
+	if err != nil {
+		return nil, st, err
+	}
+	fb := frameBuilderPool.Get().(*frameBuilder)
+	defer func() {
+		fb.reset()
+		frameBuilderPool.Put(fb)
+	}()
+	for _, p := range sortedPartitions(parts) {
+		blk := parts[p]
+		st.Groups++
+		st.ReduceIn += int64(blk.Len())
+		if err := reducer.ReduceFrame(p, blk, fb.add); err != nil {
+			return nil, st, err
+		}
+	}
+	if fb.err != nil {
+		return nil, st, fb.err
+	}
+	// Seal with a single "reducer" so every output partition lands in one
+	// stream, ascending by partition id.
+	out, recs, _ := fb.seal(1)
+	st.ReduceOut = recs
+	return out[0], st, nil
+}
+
+// ---------------------------------------------------------------------------
+// In-process frame job execution
+
+// frameTaskOutput is one map task's sealed output.
+type frameTaskOutput struct {
+	streams [][]byte // per reducer; nil when spilled
+	files   []string // spill file per reducer; nil when in memory
+	recs    int64    // points entering the shuffle
+	bytes   int64    // frame payload bytes entering the shuffle
+	// combineNanos rides along so the map phase can sum combiner time
+	// without another channel.
+	combineNanos int64
+}
+
+// RunFrames executes a frame-shuffle MapReduce job: the same
+// split → map → (combine) → shuffle → reduce pipeline as Run, with the
+// intermediate data moving as packed frames instead of Pairs. Phase
+// timing, counters, events and metrics bridging match Run's semantics;
+// the shuffle-byte counter reports frame payload bytes (header +
+// coordinates). Config.Combiner is ignored on this path — pass the
+// frame combiner explicitly.
+func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapper, combiner FrameCombiner, reducer FrameReducer) (*FrameResult, error) {
+	if mapper == nil || reducer == nil {
+		return nil, fmt.Errorf("mapreduce: %s: mapper and reducer must be non-nil", cfg.Name)
+	}
+	cfg = cfg.withDefaults(len(input))
+	counters := NewCounters()
+	start := time.Now()
+	cfg.emit("job-start", "", -1, "")
+	ctx, jobSpan := telemetry.StartSpan(ctx, "mr-job:"+cfg.Name,
+		telemetry.A("job", cfg.Name), telemetry.A("workers", cfg.Workers),
+		telemetry.A("reducers", cfg.Reducers), telemetry.A("records", len(input)),
+		telemetry.A("shuffle", "frames"))
+	fail := func(err error) (*FrameResult, error) {
+		cfg.emit("job-end", "", -1, err.Error())
+		jobSpan.SetAttr("error", err.Error())
+		jobSpan.End()
+		return nil, err
+	}
+
+	// --- Split ---------------------------------------------------------
+	var splits [][][]byte
+	for off := 0; off < len(input); off += cfg.SplitSize {
+		end := off + cfg.SplitSize
+		if end > len(input) {
+			end = len(input)
+		}
+		splits = append(splits, input[off:end])
+	}
+
+	// --- Map (+ combine) -----------------------------------------------
+	cfg.emit("phase-start", "map", -1, "")
+	mapCtx, mapSpan := telemetry.StartSpan(ctx, "map", telemetry.A("tasks", len(splits)))
+	mapStart := time.Now()
+	outputs, combineDur, err := runFrameMapPhase(mapCtx, cfg, splits, mapper, combiner, counters)
+	mapSpan.End()
+	// Spill files must not outlive the job, whatever happens after this
+	// point.
+	defer removeFrameSpills(outputs)
+	if err != nil {
+		return fail(err)
+	}
+	mapDur := time.Since(mapStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "map", Task: -1,
+		Duration: mapDur, Records: counters.Get(CounterMapOut)})
+
+	// --- Shuffle ---------------------------------------------------------
+	// Frames are already partitioned per reducer when map tasks seal them,
+	// so the in-memory shuffle is zero-copy: this phase only books the
+	// counters. (Spilled frames are read back inside the reduce tasks,
+	// landing in Reduce time like the classic external shuffle.)
+	cfg.emit("phase-start", "shuffle", -1, "")
+	_, shuffleSpan := telemetry.StartSpan(ctx, "shuffle")
+	shuffleStart := time.Now()
+	var shufRecs, shufBytes int64
+	for _, out := range outputs {
+		shufRecs += out.recs
+		shufBytes += out.bytes
+	}
+	counters.Add(CounterShuffle, shufRecs)
+	counters.Add(CounterShuffleBytes, shufBytes)
+	shuffleSpan.End()
+	shuffleDur := time.Since(shuffleStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "shuffle", Task: -1,
+		Duration: shuffleDur, Records: shufRecs})
+
+	// --- Reduce ----------------------------------------------------------
+	cfg.emit("phase-start", "reduce", -1, "")
+	redCtx, reduceSpan := telemetry.StartSpan(ctx, "reduce", telemetry.A("tasks", cfg.Reducers))
+	reduceStart := time.Now()
+	blocks, err := runFrameReducePhase(redCtx, cfg, outputs, reducer, counters)
+	reduceSpan.End()
+	if err != nil {
+		return fail(err)
+	}
+	reduceDur := time.Since(reduceStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "reduce", Task: -1,
+		Duration: reduceDur, Records: counters.Get(CounterReduceOut)})
+	cfg.emit("job-end", "", -1, "")
+	jobSpan.End()
+
+	res := &FrameResult{
+		Blocks:   blocks,
+		Counters: counters,
+		Timing: Timing{
+			Map:     mapDur,
+			Combine: combineDur,
+			Shuffle: shuffleDur,
+			Reduce:  reduceDur,
+			Total:   time.Since(start),
+		},
+	}
+	bridgeCounters(cfg, counters, res.Timing)
+	return res, nil
+}
+
+func runFrameMapPhase(ctx context.Context, cfg Config, splits [][][]byte, mapper FrameMapper, combiner FrameCombiner, counters *Counters) ([]frameTaskOutput, time.Duration, error) {
+	outputs := make([]frameTaskOutput, len(splits))
+	var combineNanos int64
+	var combineMu sync.Mutex
+
+	err := runTasks(ctx, cfg.Workers, len(splits), func(worker, task int) error {
+		var lastErr error
+		cfg.emit("task-start", "map", task, "")
+		_, span := telemetry.StartSpan(ctx, "map-task", telemetry.A("task", task),
+			telemetry.A("records", len(splits[task])))
+		span.SetTrack(worker + 1)
+		taskStart := time.Now()
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				counters.Add(CounterMapRetries, 1)
+				cfg.emit("task-retry", "map", task, lastErr.Error())
+			}
+			out, err := runFrameMapTask(cfg, task, splits[task], mapper, combiner, counters)
+			if err == nil {
+				outputs[task] = out
+				combineMu.Lock()
+				combineNanos += out.combineNanos
+				combineMu.Unlock()
+				span.End()
+				cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task,
+					Worker: worker + 1, Duration: time.Since(taskStart),
+					Records: int64(len(splits[task]))})
+				return nil
+			}
+			lastErr = err
+		}
+		span.SetAttr("error", lastErr.Error())
+		span.End()
+		cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task, Err: lastErr.Error(),
+			Worker: worker + 1, Duration: time.Since(taskStart)})
+		return fmt.Errorf("mapreduce: %s: map task %d failed after %d attempt(s): %w",
+			cfg.Name, task, cfg.MaxAttempts, lastErr)
+	})
+	if err != nil {
+		return outputs, 0, err
+	}
+	return outputs, time.Duration(combineNanos), nil
+}
+
+func runFrameMapTask(cfg Config, task int, records [][]byte, mapper FrameMapper, combiner FrameCombiner, counters *Counters) (frameTaskOutput, error) {
+	counters.Add(CounterMapIn, int64(len(records)))
+	streams, st, err := BuildFrames(records, cfg.Reducers, mapper, combiner)
+	if err != nil {
+		return frameTaskOutput{}, err
+	}
+	counters.Add(CounterMapOut, st.MapOut)
+	if st.CombineIn > 0 {
+		counters.Add(CounterCombineIn, st.CombineIn)
+		counters.Add(CounterCombineOut, st.CombineOut)
+	}
+	out := frameTaskOutput{recs: st.ShuffleRecs, bytes: st.ShuffleBytes, combineNanos: st.CombineNanos}
+	if cfg.SpillDir == "" {
+		out.streams = streams
+		return out, nil
+	}
+	files, err := spillFrameStreams(cfg, task, streams, counters)
+	if err != nil {
+		return frameTaskOutput{}, err
+	}
+	out.files = files
+	return out, nil
+}
+
+func runFrameReducePhase(ctx context.Context, cfg Config, outputs []frameTaskOutput, reducer FrameReducer, counters *Counters) (map[int]*points.Block, error) {
+	outStreams := make([][]byte, cfg.Reducers)
+	err := runTasks(ctx, cfg.Workers, cfg.Reducers, func(worker, r int) error {
+		var lastErr error
+		cfg.emit("task-start", "reduce", r, "")
+		_, span := telemetry.StartSpan(ctx, "reduce-task", telemetry.A("task", r))
+		span.SetTrack(worker + 1)
+		taskStart := time.Now()
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				counters.Add(CounterRedRetries, 1)
+				cfg.emit("task-retry", "reduce", r, lastErr.Error())
+			}
+			out, st, err := runFrameReduceTask(cfg, r, outputs, reducer)
+			if err == nil {
+				outStreams[r] = out
+				counters.Add(CounterGroups, st.Groups)
+				counters.Add(CounterReduceIn, st.ReduceIn)
+				counters.Add(CounterReduceOut, st.ReduceOut)
+				span.SetAttr("records", int(st.ReduceOut))
+				span.End()
+				cfg.emitEvent(Event{Kind: "task-end", Phase: "reduce", Task: r,
+					Worker: worker + 1, Duration: time.Since(taskStart),
+					Records: st.ReduceOut})
+				return nil
+			}
+			lastErr = err
+		}
+		span.SetAttr("error", lastErr.Error())
+		span.End()
+		cfg.emitEvent(Event{Kind: "task-end", Phase: "reduce", Task: r, Err: lastErr.Error(),
+			Worker: worker + 1, Duration: time.Since(taskStart)})
+		return fmt.Errorf("mapreduce: %s: reduce task %d failed after %d attempt(s): %w",
+			cfg.Name, r, cfg.MaxAttempts, lastErr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Decode the per-task output streams into the result blocks, in
+	// reduce-task order for determinism.
+	blocks, err := AssembleFrames(outStreams)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s: assembling reduce output: %w", cfg.Name, err)
+	}
+	return blocks, nil
+}
+
+// runFrameReduceTask gathers reducer r's frame streams (memory or spill)
+// in map-task order and folds them.
+func runFrameReduceTask(cfg Config, r int, outputs []frameTaskOutput, reducer FrameReducer) ([]byte, FrameStats, error) {
+	var streams [][]byte
+	for _, out := range outputs {
+		if out.files != nil {
+			if r < len(out.files) && out.files[r] != "" {
+				frames, err := readFrameSpill(out.files[r])
+				if err != nil {
+					return nil, FrameStats{}, fmt.Errorf("mapreduce: %s: reading frame spill: %w", cfg.Name, err)
+				}
+				streams = append(streams, frames...)
+			}
+			continue
+		}
+		if r < len(out.streams) && len(out.streams[r]) > 0 {
+			streams = append(streams, out.streams[r])
+		}
+	}
+	return ReduceFrames(streams, reducer)
+}
+
+// removeFrameSpills deletes every spill file of a finished frame job.
+func removeFrameSpills(outputs []frameTaskOutput) {
+	for _, out := range outputs {
+		for _, f := range out.files {
+			if f != "" {
+				_ = os.Remove(f)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/points"
+)
+
+// frameTestData builds a deterministic point set with duplicates.
+func frameTestData(n, d int, seed int64) points.Set {
+	rng := rand.New(rand.NewSource(seed))
+	set := make(points.Set, 0, n)
+	for i := 0; i < n; i++ {
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(50)) // coarse grid → duplicates
+		}
+		set = append(set, p)
+	}
+	// Exact duplicates of the first few points.
+	for i := 0; i < n/10 && i < len(set); i++ {
+		dup := make(points.Point, d)
+		copy(dup, set[i])
+		set = append(set, dup)
+	}
+	return set
+}
+
+// identityFrameJob routes each point to partition coords[0] mod parts and
+// re-emits it unchanged in the reducer — shuffle machinery only.
+func identityFrameJob(parts int) (FrameMapper, FrameReducer) {
+	mapper := FrameMapperFunc(func(rec []byte, emit EmitPoint) error {
+		p, err := points.Decode(rec)
+		if err != nil {
+			return err
+		}
+		emit(int(p[0])%parts, p)
+		return nil
+	})
+	reducer := FrameReducerFunc(func(partition int, blk *points.Block, emit EmitPoint) error {
+		for i := 0; i < blk.Len(); i++ {
+			emit(partition, blk.Row(i))
+		}
+		return nil
+	})
+	return mapper, reducer
+}
+
+// classicEquivalent runs the same routing through the Pair path.
+func classicEquivalent(t *testing.T, data points.Set, parts, reducers int, spill string) map[int]points.Set {
+	t.Helper()
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		p, err := points.Decode(rec)
+		if err != nil {
+			return err
+		}
+		emit(strconv.Itoa(int(p[0])%parts), rec)
+		return nil
+	})
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		for _, v := range values {
+			emit(key, v)
+		}
+		return nil
+	})
+	res, err := Run(context.Background(), Config{Name: "classic", Workers: 4, Reducers: reducers, SpillDir: spill}, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int]points.Set)
+	for _, pair := range res.Pairs {
+		id, err := strconv.Atoi(pair.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := points.Decode(pair.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = append(out[id], p)
+	}
+	return out
+}
+
+func sortSet(s points.Set) {
+	sort.Slice(s, func(i, j int) bool {
+		a, b := s[i], s[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func requireSameSets(t *testing.T, want, got map[int]points.Set) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("partition count: want %d, got %d", len(want), len(got))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("partition %d missing", id)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("partition %d: want %d points, got %d", id, len(w), len(g))
+		}
+		sortSet(w)
+		sortSet(g)
+		for i := range w {
+			for k := range w[i] {
+				if w[i][k] != g[i][k] {
+					t.Fatalf("partition %d point %d differs: %v vs %v", id, i, w[i], g[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunFramesMatchesClassic shuffles the same dataset (duplicates
+// included) through both paths and requires identical per-partition
+// multisets, in memory and in spill mode.
+func TestRunFramesMatchesClassic(t *testing.T) {
+	data := frameTestData(2000, 4, 1)
+	const parts, reducers = 7, 3
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+	mapper, reducer := identityFrameJob(parts)
+
+	for _, spill := range []bool{false, true} {
+		name := map[bool]string{false: "memory", true: "spill"}[spill]
+		t.Run(name, func(t *testing.T) {
+			dir := ""
+			if spill {
+				dir = t.TempDir()
+			}
+			res, err := RunFrames(context.Background(),
+				Config{Name: "frames", Workers: 4, Reducers: reducers, SpillDir: dir},
+				input, mapper, nil, reducer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[int]points.Set)
+			for id, blk := range res.Blocks {
+				got[id] = blk.ToSet()
+			}
+			classicDir := ""
+			if spill {
+				classicDir = t.TempDir()
+			}
+			want := classicEquivalent(t, data, parts, reducers, classicDir)
+			requireSameSets(t, want, got)
+
+			if res.Counters.Get(CounterShuffle) != int64(len(data)) {
+				t.Errorf("shuffle records = %d, want %d", res.Counters.Get(CounterShuffle), len(data))
+			}
+			// Frame payload bytes: strictly more than raw coords (headers),
+			// far less than 2× coords.
+			coords := int64(len(data) * 4 * 8)
+			if b := res.Counters.Get(CounterShuffleBytes); b <= coords || b > coords*2 {
+				t.Errorf("shuffle bytes = %d, want in (%d, %d]", b, coords, coords*2)
+			}
+		})
+	}
+}
+
+// TestRunFramesCombiner checks the combiner runs on assembled blocks
+// map-side and shrinks what crosses the shuffle.
+func TestRunFramesCombiner(t *testing.T) {
+	data := frameTestData(1000, 3, 2)
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+	mapper, reducer := identityFrameJob(4)
+	// Combiner keeps only the first point of each block.
+	combiner := func(partition int, blk *points.Block) (*points.Block, error) {
+		if blk.Len() > 1 {
+			blk.Truncate(1)
+		}
+		return blk, nil
+	}
+	res, err := RunFrames(context.Background(),
+		Config{Name: "comb", Workers: 2, Reducers: 2, SplitSize: 100},
+		input, mapper, combiner, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CounterCombineIn) != int64(len(data)) {
+		t.Errorf("combine in = %d, want %d", res.Counters.Get(CounterCombineIn), len(data))
+	}
+	shuffled := res.Counters.Get(CounterShuffle)
+	if shuffled >= int64(len(data)) || shuffled == 0 {
+		t.Errorf("combiner did not shrink shuffle: %d of %d", shuffled, len(data))
+	}
+	if res.Counters.Get(CounterCombineOut) != shuffled {
+		t.Errorf("combine out %d != shuffle records %d", res.Counters.Get(CounterCombineOut), shuffled)
+	}
+}
+
+// TestFrameSpillByteIdentical seals streams, spills them, and requires
+// read-back to reproduce the exact frame bytes.
+func TestFrameSpillByteIdentical(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		cfg := Config{Name: "spillrt", SpillDir: t.TempDir(), CompressSpill: compress, Reducers: 3}
+		blk1 := points.NewBlock(0, 0)
+		blk1.AppendRow([]float64{1, 2})
+		blk1.AppendRow([]float64{3, 4})
+		blk2 := points.NewBlock(0, 0)
+		blk2.AppendRow([]float64{5, 6})
+		var stream []byte
+		stream = points.AppendFrame(stream, 0, blk1)
+		stream = points.AppendFrame(stream, 3, blk2)
+		streams := [][]byte{stream, nil, nil}
+
+		counters := NewCounters()
+		files, err := spillFrameStreams(cfg, 0, streams, counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if files[1] != "" || files[2] != "" {
+			t.Fatal("empty streams produced files")
+		}
+		frames, err := readFrameSpill(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) != 2 {
+			t.Fatalf("read %d frames, want 2", len(frames))
+		}
+		if !bytes.Equal(bytes.Join(frames, nil), stream) {
+			t.Fatalf("compress=%v: spill round trip not byte-identical", compress)
+		}
+		if counters.Get(CounterSpillBytes) == 0 {
+			t.Error("no spill bytes counted")
+		}
+	}
+}
+
+// TestRunFramesErrors covers mapper, combiner and reducer failures plus
+// the negative-partition guard: errors, never panics.
+func TestRunFramesErrors(t *testing.T) {
+	input := [][]byte{points.Encode(points.Point{1, 2})}
+	okMapper, okReducer := identityFrameJob(2)
+	boom := errors.New("boom")
+
+	cases := []struct {
+		name     string
+		mapper   FrameMapper
+		combiner FrameCombiner
+		reducer  FrameReducer
+	}{
+		{"mapper", FrameMapperFunc(func(rec []byte, emit EmitPoint) error { return boom }), nil, okReducer},
+		{"combiner", okMapper, func(int, *points.Block) (*points.Block, error) { return nil, boom }, okReducer},
+		{"reducer", okMapper, nil, FrameReducerFunc(func(int, *points.Block, EmitPoint) error { return boom })},
+		{"negative-partition", FrameMapperFunc(func(rec []byte, emit EmitPoint) error {
+			emit(-1, []float64{1, 2})
+			return nil
+		}), nil, okReducer},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunFrames(context.Background(), Config{Name: tc.name},
+				input, tc.mapper, tc.combiner, tc.reducer)
+			if err == nil {
+				t.Fatal("no error")
+			}
+		})
+	}
+}
+
+// TestRunFramesRetry: a mapper that fails once per task succeeds under
+// MaxAttempts=2 and books the retry counter.
+func TestRunFramesRetry(t *testing.T) {
+	data := frameTestData(100, 2, 3)
+	input := make([][]byte, len(data))
+	for i, p := range data {
+		input[i] = points.Encode(p)
+	}
+	var failed Counters
+	failed.m = map[string]int64{}
+	mapper := FrameMapperFunc(func(rec []byte, emit EmitPoint) error {
+		p, err := points.Decode(rec)
+		if err != nil {
+			return err
+		}
+		// Fail the first time any mapper sees the zero-index sentinel.
+		failed.mu.Lock()
+		first := failed.m["n"] == 0
+		failed.m["n"]++
+		failed.mu.Unlock()
+		if first {
+			return errors.New("transient")
+		}
+		emit(int(p[0])%3, p)
+		return nil
+	})
+	_, reducer := identityFrameJob(3)
+	res, err := RunFrames(context.Background(),
+		Config{Name: "retry", MaxAttempts: 3, SplitSize: 50}, input, mapper, nil, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CounterMapRetries) == 0 {
+		t.Error("no retry counted")
+	}
+	total := 0
+	for _, blk := range res.Blocks {
+		total += blk.Len()
+	}
+	// The failed record was re-mapped on retry; every input survives exactly once.
+	if total != len(data) {
+		t.Errorf("output %d points, want %d", total, len(data))
+	}
+}
+
+// TestRunFramesEmptyInput degenerates gracefully.
+func TestRunFramesEmptyInput(t *testing.T) {
+	mapper, reducer := identityFrameJob(2)
+	res, err := RunFrames(context.Background(), Config{Name: "empty"}, nil, mapper, nil, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 0 {
+		t.Fatalf("blocks = %d, want 0", len(res.Blocks))
+	}
+}

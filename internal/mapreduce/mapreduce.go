@@ -195,11 +195,16 @@ func (c *Counters) Snapshot() map[string]int64 {
 
 // Framework counter names.
 const (
-	CounterMapIn        = "mr.map.records.in"
-	CounterMapOut       = "mr.map.records.out"
-	CounterCombineIn    = "mr.combine.records.in"
-	CounterCombineOut   = "mr.combine.records.out"
-	CounterShuffle      = "mr.shuffle.records"
+	CounterMapIn      = "mr.map.records.in"
+	CounterMapOut     = "mr.map.records.out"
+	CounterCombineIn  = "mr.combine.records.in"
+	CounterCombineOut = "mr.combine.records.out"
+	CounterShuffle    = "mr.shuffle.records"
+	// CounterShuffleBytes counts the payload bytes crossing the shuffle —
+	// key + value bytes on the classic Pair path, frame bytes (header +
+	// coordinates) on the frame path — never the transport envelope (gob
+	// framing, RPC headers), so in-process and rpcmr runs, and the
+	// paper's Fig. 6 shuffle volumes, compare like-for-like.
 	CounterShuffleBytes = "mr.shuffle.bytes"
 	CounterReduceIn     = "mr.reduce.records.in"
 	CounterReduceOut    = "mr.reduce.records.out"
@@ -305,12 +310,18 @@ func Run(ctx context.Context, cfg Config, input [][]byte, mapper Mapper, reducer
 // "mr_map_records_in_total"), phase wall times land in the
 // mr_phase_seconds histogram, and every series carries a job label.
 func bridgeMetrics(cfg Config, res *Result) {
+	bridgeCounters(cfg, res.Counters, res.Timing)
+}
+
+// bridgeCounters is the engine-path-agnostic body of bridgeMetrics,
+// shared with the frame-shuffle path.
+func bridgeCounters(cfg Config, counters *Counters, timing Timing) {
 	reg := cfg.Metrics
 	if reg == nil {
 		return
 	}
 	job := telemetry.L("job", cfg.Name)
-	for name, v := range res.Counters.Snapshot() {
+	for name, v := range counters.Snapshot() {
 		reg.Counter(strings.ReplaceAll(name, ".", "_")+"_total", job).Add(v)
 	}
 	buckets := telemetry.DurationBuckets()
@@ -318,11 +329,11 @@ func bridgeMetrics(cfg Config, res *Result) {
 		phase string
 		d     time.Duration
 	}{
-		{"map", res.Timing.Map},
-		{"combine", res.Timing.Combine},
-		{"shuffle", res.Timing.Shuffle},
-		{"reduce", res.Timing.Reduce},
-		{"total", res.Timing.Total},
+		{"map", timing.Map},
+		{"combine", timing.Combine},
+		{"shuffle", timing.Shuffle},
+		{"reduce", timing.Reduce},
+		{"total", timing.Total},
 	} {
 		reg.Histogram("mr_phase_seconds", buckets, job, telemetry.L("phase", p.phase)).Observe(p.d.Seconds())
 	}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/points"
 	"repro/internal/sequencefile"
 )
 
@@ -48,6 +50,78 @@ func spillTask(cfg Config, task int, parts [][]Pair, counters *Counters) ([]stri
 		files[r] = name
 	}
 	return files, nil
+}
+
+// frameSpillFileName names frame-path spill runs distinctly from the
+// classic .seq runs so the two paths can never collide in one SpillDir.
+func frameSpillFileName(cfg Config, task, reducer int) string {
+	return filepath.Join(cfg.SpillDir, fmt.Sprintf("%s-m%05d-r%03d.fseq", cfg.Name, task, reducer))
+}
+
+// spillFrameStreams writes one map task's sealed frame streams to disk,
+// one sequence file per non-empty reducer, one length-prefixed record
+// per frame (empty key, frame bytes as the value) — whole frames, not
+// per-point entries, so read-back is byte-identical to what was sealed.
+func spillFrameStreams(cfg Config, task int, streams [][]byte, counters *Counters) ([]string, error) {
+	files := make([]string, len(streams))
+	for r, stream := range streams {
+		if len(stream) == 0 {
+			continue
+		}
+		name := frameSpillFileName(cfg, task, r)
+		f, err := os.Create(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: creating frame spill: %w", cfg.Name, err)
+		}
+		var w *sequencefile.Writer
+		if cfg.CompressSpill {
+			w = sequencefile.NewCompressedWriter(f)
+		} else {
+			w = sequencefile.NewWriter(f)
+		}
+		for len(stream) > 0 {
+			n, err := points.FrameLen(stream)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("mapreduce: %s: splitting frame stream: %w", cfg.Name, err)
+			}
+			if err := w.Append(nil, stream[:n]); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("mapreduce: %s: writing frame spill: %w", cfg.Name, err)
+			}
+			stream = stream[n:]
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("mapreduce: %s: flushing frame spill: %w", cfg.Name, err)
+		}
+		if info, err := f.Stat(); err == nil {
+			counters.Add(CounterSpillBytes, info.Size())
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: closing frame spill: %w", cfg.Name, err)
+		}
+		files[r] = name
+	}
+	return files, nil
+}
+
+// readFrameSpill loads one frame spill file back as the frames it was
+// written from, in order.
+func readFrameSpill(name string) ([][]byte, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := sequencefile.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, len(recs))
+	for i, rec := range recs {
+		frames[i] = rec.Value
+	}
+	return frames, nil
 }
 
 // readSpill loads one spill file back into pairs.

@@ -105,6 +105,14 @@ func (b *Block) Truncate(n int) { b.coords = b.coords[:n*b.dim] }
 // Reset empties the block, keeping capacity and dimension for reuse.
 func (b *Block) Reset() { b.coords = b.coords[:0] }
 
+// Clear empties the block and forgets its dimension, keeping capacity —
+// the pooled-builder reset, where the next use may carry a different
+// dimensionality.
+func (b *Block) Clear() {
+	b.coords = b.coords[:0]
+	b.dim = 0
+}
+
 // Slice returns a read-only view of rows [lo, hi) sharing the backing
 // array — the chunking primitive of the parallel kernels. Mutating the
 // view or the parent afterwards is undefined.

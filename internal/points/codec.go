@@ -162,7 +162,9 @@ func DecodeSet(b []byte) (Set, error) {
 
 // canonicalUvarint reports whether value v would re-encode to exactly n
 // bytes — rejecting padded (non-minimal) varints so the wire format
-// round-trips byte-for-byte.
+// round-trips byte-for-byte. The scratch array stays on the stack; this
+// runs once per decoded point on the shuffle hot path.
 func canonicalUvarint(v uint64, n int) bool {
-	return len(binary.AppendUvarint(nil, v)) == n
+	var tmp [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(tmp[:], v) == n
 }

@@ -1,0 +1,168 @@
+package points
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Frame wire format (version 1) — the unit of the block-framed shuffle.
+// A frame packs every point of one partition that one map task produced
+// into a single record with a 4-field header and a contiguous coordinate
+// payload in the Block's SoA layout:
+//
+//	version   byte     1
+//	partition uvarint  owning partition id
+//	count     uvarint  number of points
+//	dim       uvarint  coordinates per point (0 only when count is 0)
+//	coords    [count*dim*8]byte  little-endian float64, row-major
+//
+// Frames are self-delimiting, so a shuffle "stream" is just frames
+// back-to-back; DecodeFrame consumes one frame and returns the rest.
+// The leading version byte gates format evolution: readers reject
+// unknown versions instead of misparsing them.
+const FrameVersion = 1
+
+// maxFrameDim mirrors the per-point codec's plausibility bound.
+const maxFrameDim = 1 << 20
+
+// AppendFrame appends the encoding of one frame — every row of blk, owned
+// by partition id — onto dst and returns the extended slice. An empty
+// block encodes as a valid zero-count frame.
+func AppendFrame(dst []byte, partition int, blk *Block) []byte {
+	if partition < 0 {
+		panic(fmt.Sprintf("points: negative partition id %d in frame", partition))
+	}
+	n := blk.Len()
+	dst = append(dst, FrameVersion)
+	dst = binary.AppendUvarint(dst, uint64(partition))
+	dst = binary.AppendUvarint(dst, uint64(n))
+	if n == 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(blk.dim))
+	// Grow once for the whole payload, then store with indexed writes —
+	// one capacity check per frame instead of one per coordinate.
+	lo := len(dst)
+	need := lo + len(blk.coords)*8
+	if cap(dst) < need {
+		grown := make([]byte, lo, need+need/2)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	for i, v := range blk.coords {
+		binary.LittleEndian.PutUint64(dst[lo+i*8:], math.Float64bits(v))
+	}
+	return dst
+}
+
+// frameHeader parses and validates a frame header, returning the owning
+// partition, point count, dimension and the header's encoded length.
+// Validation rejects unknown versions, non-canonical varints, implausible
+// dimensions, and counts that could not fit in the remaining bytes — the
+// last check bounds every later allocation by the input length, so a
+// lying header can never cause over-allocation.
+func frameHeader(b []byte) (partition int, count, dim uint64, hdrLen int, err error) {
+	if len(b) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("points: empty frame")
+	}
+	if b[0] != FrameVersion {
+		return 0, 0, 0, 0, fmt.Errorf("points: unsupported frame version %d", b[0])
+	}
+	off := 1
+	part, n := binary.Uvarint(b[off:])
+	if n <= 0 || !canonicalUvarint(part, n) {
+		return 0, 0, 0, 0, fmt.Errorf("points: bad frame partition")
+	}
+	off += n
+	const maxPartition = 1 << 31
+	if part > maxPartition {
+		return 0, 0, 0, 0, fmt.Errorf("points: implausible frame partition %d", part)
+	}
+	count, n = binary.Uvarint(b[off:])
+	if n <= 0 || !canonicalUvarint(count, n) {
+		return 0, 0, 0, 0, fmt.Errorf("points: bad frame count")
+	}
+	off += n
+	dim, n = binary.Uvarint(b[off:])
+	if n <= 0 || !canonicalUvarint(dim, n) {
+		return 0, 0, 0, 0, fmt.Errorf("points: bad frame dimension")
+	}
+	off += n
+	if dim > maxFrameDim {
+		return 0, 0, 0, 0, fmt.Errorf("points: implausible frame dimension %d", dim)
+	}
+	if count > 0 {
+		if dim == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("points: frame with %d points but dimension 0", count)
+		}
+		// Bounds count by what the payload can actually hold before any
+		// allocation, and doubles as the uint64 overflow guard.
+		if count > uint64(len(b)-off)/(dim*8) {
+			return 0, 0, 0, 0, fmt.Errorf("points: truncated frame: %d×%d points exceed %d payload bytes",
+				count, dim, len(b)-off)
+		}
+	}
+	return int(part), count, dim, off, nil
+}
+
+// FrameLen returns the total encoded length of the first frame in b
+// without decoding its coordinates — the spill writer uses it to split a
+// sealed stream back into length-prefixed records.
+func FrameLen(b []byte) (int, error) {
+	_, count, dim, hdr, err := frameHeader(b)
+	if err != nil {
+		return 0, err
+	}
+	return hdr + int(count*dim)*8, nil
+}
+
+// FrameCount returns the owning partition and point count of the first
+// frame in b — header-only, for counters.
+func FrameCount(b []byte) (partition, count int, err error) {
+	p, c, _, _, err := frameHeader(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, int(c), nil
+}
+
+// DecodeFrame consumes one frame from the front of b, appending its
+// points onto blk with no per-point allocation, and returns the owning
+// partition id and the unconsumed remainder of b. On a dimension-
+// inferring block the first non-empty frame fixes the dimension; later
+// mismatches are errors. Framing faults (truncation, bad varints, version
+// or dimension nonsense) are errors, never panics.
+func DecodeFrame(blk *Block, b []byte) (partition int, rest []byte, err error) {
+	part, count, dim, hdr, err := frameHeader(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := b[hdr:]
+	total := int(count * dim)
+	if count == 0 {
+		return part, payload, nil
+	}
+	if blk.dim == 0 && len(blk.coords) == 0 {
+		blk.dim = int(dim)
+	}
+	if int(dim) != blk.dim {
+		return 0, nil, fmt.Errorf("points: decoding %d-dim frame into %d-dim block", dim, blk.dim)
+	}
+	// Grow once for the whole frame, then decode with indexed stores.
+	lo := len(blk.coords)
+	need := lo + total
+	if cap(blk.coords) >= need {
+		blk.coords = blk.coords[:need]
+	} else {
+		grown := make([]float64, need, need+need/2)
+		copy(grown, blk.coords)
+		blk.coords = grown
+	}
+	row := blk.coords[lo:need]
+	for i := range row {
+		row[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return part, payload[total*8:], nil
+}

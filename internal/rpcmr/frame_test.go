@@ -1,0 +1,227 @@
+package rpcmr
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/points"
+	"repro/internal/skyline"
+	"repro/internal/telemetry"
+)
+
+const frameParts = 5
+
+// ensureFrameJobs registers the framed skyline job and its classic
+// WirePair twin. Separate Once from ensureJobs, which it calls first:
+// ensureJobs owns resetRegistryForTest, so ordering matters.
+var frameJobsOnce sync.Once
+
+func ensureFrameJobs() {
+	ensureJobs()
+	frameJobsOnce.Do(func() {
+		// skyline-frame: route by first coordinate, local skyline as the
+		// combiner on the assembled block, per-partition skyline in reduce.
+		RegisterJob("skyline-frame", func(params []byte) (Job, error) {
+			return Job{
+				FrameMapper: mapreduce.FrameMapperFunc(func(rec []byte, emit mapreduce.EmitPoint) error {
+					p, err := points.Decode(rec)
+					if err != nil {
+						return err
+					}
+					emit(int(p[0])%frameParts, p)
+					return nil
+				}),
+				FrameCombiner: func(partition int, blk *points.Block) (*points.Block, error) {
+					return skyline.BlockBNL(blk), nil
+				},
+				FrameReducer: mapreduce.FrameReducerFunc(func(partition int, blk *points.Block, emit mapreduce.EmitPoint) error {
+					sky := skyline.BlockBNL(blk)
+					for i := 0; i < sky.Len(); i++ {
+						emit(partition, sky.Row(i))
+					}
+					return nil
+				}),
+			}, nil
+		})
+		// skyline-classic: the same job through the WirePair path.
+		sky := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+			set := make(points.Set, 0, len(values))
+			for _, v := range values {
+				p, err := points.Decode(v)
+				if err != nil {
+					return err
+				}
+				set = append(set, p)
+			}
+			for _, p := range skyline.BNL(set) {
+				emit(key, points.Encode(p))
+			}
+			return nil
+		})
+		RegisterJob("skyline-classic", func(params []byte) (Job, error) {
+			return Job{
+				Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+					p, err := points.Decode(rec)
+					if err != nil {
+						return err
+					}
+					emit(strconv.Itoa(int(p[0])%frameParts), rec)
+					return nil
+				}),
+				Combiner: sky,
+				Reducer:  sky,
+			}, nil
+		})
+	})
+}
+
+// frameClusterInput builds a duplicate-heavy dataset.
+func frameClusterInput(n, d int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	input := make([][]byte, 0, n+n/5)
+	for i := 0; i < n; i++ {
+		p := make(points.Point, d)
+		for j := range p {
+			p[j] = float64(rng.Intn(30))
+		}
+		input = append(input, points.Encode(p))
+	}
+	for i := 0; i < n/5; i++ {
+		input = append(input, append([]byte(nil), input[i]...))
+	}
+	return input
+}
+
+// distinctSorted reduces a multiset to its sorted distinct points.
+func distinctSorted(s points.Set) points.Set {
+	out := s.Dedup()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestFramedJobMatchesClassic runs the same skyline job through the
+// frame transport and the WirePair transport on a 3-worker cluster and
+// requires identical per-partition skylines.
+func TestFramedJobMatchesClassic(t *testing.T) {
+	ensureFrameJobs()
+	master, _, _ := newCluster(t, MasterConfig{SplitSize: 100}, 3, WorkerConfig{})
+	input := frameClusterInput(1500, 4, 11)
+
+	framed, err := master.Run(context.Background(),
+		JobSpec{Name: "skyline-frame", Reducers: 3}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if framed.Blocks == nil || framed.Pairs != nil {
+		t.Fatal("framed job must return Blocks, not Pairs")
+	}
+	classic, err := master.Run(context.Background(),
+		JobSpec{Name: "skyline-classic", Reducers: 3}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int]points.Set{}
+	for _, p := range classic.Pairs {
+		id, err := strconv.Atoi(p.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := points.Decode(p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = append(want[id], pt)
+	}
+	if len(framed.Blocks) != len(want) {
+		t.Fatalf("partitions: framed %d, classic %d", len(framed.Blocks), len(want))
+	}
+	for id, w := range want {
+		blk := framed.Blocks[id]
+		if blk == nil {
+			t.Fatalf("partition %d missing from framed result", id)
+		}
+		ws, gs := distinctSorted(w), distinctSorted(blk.ToSet())
+		if len(ws) != len(gs) {
+			t.Fatalf("partition %d: skyline sizes %d vs %d", id, len(gs), len(ws))
+		}
+		for i := range ws {
+			if !ws[i].Equal(gs[i]) {
+				t.Fatalf("partition %d point %d: %v vs %v", id, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestFramedShuffleMetrics checks the per-worker frame-byte series land
+// in the master's registry with payload semantics.
+func TestFramedShuffleMetrics(t *testing.T) {
+	ensureFrameJobs()
+	reg := telemetry.NewRegistry()
+	master, workers, _ := newCluster(t, MasterConfig{SplitSize: 200, Metrics: reg}, 2, WorkerConfig{})
+	input := frameClusterInput(800, 3, 7)
+	if _, err := master.Run(context.Background(),
+		JobSpec{Name: "skyline-frame", Reducers: 2}, input); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, w := range workers {
+		total += reg.Counter("rpcmr_shuffle_bytes_total", telemetry.L("worker", w.cfg.ID)).Value()
+	}
+	if total == 0 {
+		t.Fatal("rpcmr_shuffle_bytes_total never incremented")
+	}
+	// Payload semantics: combiner output is at most the input, so bytes
+	// must stay below the raw coordinate volume plus headers — far below
+	// any gob-envelope figure for the same traffic.
+	rawCoords := int64(len(input) * 3 * 8)
+	if total > rawCoords+rawCoords/2 {
+		t.Fatalf("shuffle bytes %d exceed plausible payload bound %d", total, rawCoords+rawCoords/2)
+	}
+}
+
+// TestFramedWorkerCrashRecovery: the frame path inherits lease-expiry
+// reassignment — a worker vanishing mid-job must not lose frames.
+func TestFramedWorkerCrashRecovery(t *testing.T) {
+	ensureFrameJobs()
+	mcfg := MasterConfig{SplitSize: 100, TaskLease: 200 * time.Millisecond}
+	master, _, _ := newCluster(t, mcfg, 1, WorkerConfig{VanishAfterTasks: 2})
+
+	healthy, err := NewWorker(WorkerConfig{MasterAddr: master.Addr(), ID: "healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { healthy.Close() })
+	go func() { _ = healthy.Run(context.Background()) }()
+
+	input := frameClusterInput(1000, 3, 3)
+	res, err := master.Run(context.Background(),
+		JobSpec{Name: "skyline-frame", Reducers: 2}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) == 0 {
+		t.Fatal("no output blocks after crash recovery")
+	}
+	total := 0
+	for _, blk := range res.Blocks {
+		total += blk.Len()
+	}
+	if total == 0 {
+		t.Fatal("empty skyline after crash recovery")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/points"
 	"repro/internal/telemetry"
 )
 
@@ -75,6 +76,7 @@ type Master struct {
 // jobState tracks one running job.
 type jobState struct {
 	spec      JobSpec
+	framed    bool     // block-framed shuffle: frame payloads, not WirePairs
 	phase     TaskKind // TaskMap or TaskReduce
 	splitData [][][]byte
 	tasks     []*taskState
@@ -83,12 +85,18 @@ type jobState struct {
 	mapOut    [][][]WirePair
 	groups    [][]Group
 	out       []WirePair
-	mapStart   time.Time
-	mapDur     time.Duration
-	shuffleDur time.Duration // master-side grouping in startReducePhase
-	redStart   time.Time
-	finished   chan struct{}
-	err        error
+	// Frame-path state: frameOut[task][r] is map task's sealed stream for
+	// reducer r; frameStreams[r] gathers reducer r's streams in map-task
+	// order; outFrames[r] is reduce task r's output stream.
+	frameOut     [][][]byte
+	frameStreams [][][]byte
+	outFrames    [][]byte
+	mapStart     time.Time
+	mapDur       time.Duration
+	shuffleDur   time.Duration // master-side grouping in startReducePhase
+	redStart     time.Time
+	finished     chan struct{}
+	err          error
 }
 
 // taskState tracks one task of the current phase.
@@ -112,9 +120,12 @@ type JobSpec struct {
 	Reducers int
 }
 
-// JobResult is what a distributed run returns.
+// JobResult is what a distributed run returns. Classic jobs fill Pairs;
+// framed jobs fill Blocks (partition id → reduce output block, assembled
+// from the workers' output frames in reduce-task order).
 type JobResult struct {
 	Pairs      []mapreduce.Pair
+	Blocks     map[int]*points.Block
 	MapTime    time.Duration
 	ReduceTime time.Duration
 }
@@ -190,8 +201,10 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 		spec.Reducers = 1
 	}
 	// Validate the job is instantiable on the master side too, so typos
-	// fail fast rather than on a worker.
-	if _, err := lookupJob(spec.Name, spec.Params); err != nil {
+	// fail fast rather than on a worker — and learn whether it runs the
+	// block-framed shuffle.
+	job, err := lookupJob(spec.Name, spec.Params)
+	if err != nil {
 		return nil, err
 	}
 	ctx, jobSpan := telemetry.StartSpan(ctx, "rpcmr-job:"+spec.Name,
@@ -225,6 +238,7 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	}
 	js := &jobState{
 		spec:     spec,
+		framed:   job.framed(),
 		phase:    TaskMap,
 		finished: make(chan struct{}),
 		mapStart: time.Now(),
@@ -238,7 +252,11 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 		}
 		splits = append(splits, input[off:end])
 	}
-	js.mapOut = make([][][]WirePair, len(splits))
+	if js.framed {
+		js.frameOut = make([][][]byte, len(splits))
+	} else {
+		js.mapOut = make([][][]WirePair, len(splits))
+	}
 	for i := range splits {
 		js.tasks = append(js.tasks, &taskState{id: i})
 		js.pending = append(js.pending, i)
@@ -285,6 +303,15 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	telemetry.RecordSpan(ctx, "reduce", js.redStart, redDur,
 		telemetry.A("tasks", spec.Reducers))
 	endJob("ok", nil)
+	if js.framed {
+		// Assemble reduce-output frames in reduce-task order — the per-task
+		// slots make completion order irrelevant, so output is deterministic.
+		blocks, err := mapreduce.AssembleFrames(js.outFrames)
+		if err != nil {
+			return nil, fmt.Errorf("rpcmr: assembling reduce output frames: %w", err)
+		}
+		return &JobResult{Blocks: blocks, MapTime: js.mapDur, ReduceTime: redDur}, nil
+	}
 	pairs := make([]mapreduce.Pair, len(js.out))
 	for i, p := range js.out {
 		pairs[i] = mapreduce.Pair{Key: p.Key, Value: p.Value}
@@ -302,29 +329,45 @@ func (m *Master) startReducePhase(js *jobState) {
 	js.mapDur = time.Since(js.mapStart)
 	js.phase = TaskReduce
 	shuffleStart := time.Now()
-	js.groups = make([][]Group, js.spec.Reducers)
-	for r := 0; r < js.spec.Reducers; r++ {
-		order := []string{}
-		byKey := map[string][][]byte{}
-		for _, taskParts := range js.mapOut {
-			if r >= len(taskParts) {
-				continue
-			}
-			for _, p := range taskParts[r] {
-				if _, ok := byKey[p.Key]; !ok {
-					order = append(order, p.Key)
+	if js.framed {
+		// Frame shuffle: map tasks already sealed per-reducer streams, so
+		// the master only gathers slices in map-task order — no per-key
+		// grouping, no string sort, no per-point copying.
+		js.frameStreams = make([][][]byte, js.spec.Reducers)
+		for r := 0; r < js.spec.Reducers; r++ {
+			for _, taskParts := range js.frameOut {
+				if r < len(taskParts) && len(taskParts[r]) > 0 {
+					js.frameStreams[r] = append(js.frameStreams[r], taskParts[r])
 				}
-				byKey[p.Key] = append(byKey[p.Key], p.Value)
 			}
 		}
-		sort.Strings(order)
-		gs := make([]Group, 0, len(order))
-		for _, k := range order {
-			gs = append(gs, Group{Key: k, Values: byKey[k]})
+		js.frameOut = nil
+		js.outFrames = make([][]byte, js.spec.Reducers)
+	} else {
+		js.groups = make([][]Group, js.spec.Reducers)
+		for r := 0; r < js.spec.Reducers; r++ {
+			order := []string{}
+			byKey := map[string][][]byte{}
+			for _, taskParts := range js.mapOut {
+				if r >= len(taskParts) {
+					continue
+				}
+				for _, p := range taskParts[r] {
+					if _, ok := byKey[p.Key]; !ok {
+						order = append(order, p.Key)
+					}
+					byKey[p.Key] = append(byKey[p.Key], p.Value)
+				}
+			}
+			sort.Strings(order)
+			gs := make([]Group, 0, len(order))
+			for _, k := range order {
+				gs = append(gs, Group{Key: k, Values: byKey[k]})
+			}
+			js.groups[r] = gs
 		}
-		js.groups[r] = gs
+		js.mapOut = nil
 	}
-	js.mapOut = nil
 	js.shuffleDur = time.Since(shuffleStart)
 	js.redStart = time.Now()
 	js.tasks = js.tasks[:0]

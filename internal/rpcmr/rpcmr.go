@@ -22,14 +22,31 @@ import (
 	"repro/internal/mapreduce"
 )
 
-// Job bundles the user code of one MapReduce job.
+// Job bundles the user code of one MapReduce job. A job is either
+// classic (Mapper + Reducer, per-pair gob traffic) or framed
+// (FrameMapper + FrameReducer, batched point-frame payloads); the frame
+// fields take precedence when both sets are present, leaving the classic
+// pair as the registered escape hatch.
 type Job struct {
 	Mapper mapreduce.Mapper
 	// Combiner optionally folds each map task's local output per key
 	// before it is shipped to the master.
 	Combiner mapreduce.Reducer
 	Reducer  mapreduce.Reducer
+
+	// FrameMapper/FrameReducer switch the job to the block-framed
+	// shuffle: map output crosses the wire as sealed point frames
+	// (partition + count + contiguous coordinates) instead of one
+	// WirePair per point, and reduce input arrives as whole frame
+	// streams. FrameCombiner optionally runs on each assembled block
+	// worker-side before sealing.
+	FrameMapper   mapreduce.FrameMapper
+	FrameCombiner mapreduce.FrameCombiner
+	FrameReducer  mapreduce.FrameReducer
 }
+
+// framed reports whether the job uses the block-framed shuffle.
+func (j Job) framed() bool { return j.FrameMapper != nil && j.FrameReducer != nil }
 
 // JobFactory instantiates a job from its parameter blob.
 type JobFactory func(params []byte) (Job, error)
@@ -67,8 +84,8 @@ func lookupJob(name string, params []byte) (Job, error) {
 	if err != nil {
 		return Job{}, fmt.Errorf("rpcmr: instantiating job %q: %w", name, err)
 	}
-	if job.Mapper == nil || job.Reducer == nil {
-		return Job{}, fmt.Errorf("rpcmr: job %q must provide mapper and reducer", name)
+	if !job.framed() && (job.Mapper == nil || job.Reducer == nil) {
+		return Job{}, fmt.Errorf("rpcmr: job %q must provide mapper and reducer (classic or frame)", name)
 	}
 	return job, nil
 }
@@ -132,10 +149,17 @@ type TaskReply struct {
 	JobName  string
 	Params   []byte
 	Reducers int
+	// Framed marks a block-framed job: map tasks report FrameParts
+	// instead of Partitions, reduce tasks receive FrameStreams instead
+	// of Groups.
+	Framed bool
 	// Map payload
 	Records [][]byte
-	// Reduce payload
+	// Reduce payload (classic path)
 	Groups []Group
+	// Reduce payload (frame path): sealed frame streams for this
+	// reducer, one per contributing map task, in map-task order.
+	FrameStreams [][]byte
 }
 
 // MapResultArgs reports a finished map task: output pairs partitioned by
@@ -144,8 +168,15 @@ type MapResultArgs struct {
 	WorkerID string
 	TaskID   int
 	Attempt  int
-	// Partitions[r] holds the pairs destined for reducer r.
+	// Partitions[r] holds the pairs destined for reducer r (classic path).
 	Partitions [][]WirePair
+	// FrameParts[r] holds the sealed frame stream destined for reducer r
+	// (frame path): one batched payload per reducer instead of one
+	// WirePair per point.
+	FrameParts [][]byte
+	// Final tells the master not to piggyback another assignment: this
+	// worker is about to stop.
+	Final bool
 	// Err is a non-empty string if the task failed on the worker.
 	Err string
 }
@@ -156,7 +187,11 @@ type ReduceResultArgs struct {
 	TaskID   int
 	Attempt  int
 	Pairs    []WirePair
-	Err      string
+	// Frames is the reduce output as one sealed frame stream (frame path).
+	Frames []byte
+	// Final tells the master not to piggyback another assignment.
+	Final bool
+	Err   string
 }
 
 // ResultReply acknowledges a result report.
@@ -164,4 +199,9 @@ type ResultReply struct {
 	// Accepted is false when the report was stale (task already completed
 	// by another attempt) — informational only.
 	Accepted bool
+	// Next piggybacks the worker's next assignment on the report reply,
+	// saving one RequestTask round-trip per completed task. The zero
+	// value (Kind == TaskWait) tells the worker to fall back to polling,
+	// so masters that never fill it remain compatible.
+	Next TaskReply
 }

@@ -29,22 +29,30 @@ func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.workers[args.WorkerID] = time.Now()
+	m.assignTask(args.WorkerID, reply)
+	return nil
+}
 
+// assignTask (mu held) fills reply with the next assignment for worker:
+// a task, a wait directive, or a shutdown notice. Shared by RequestTask
+// and the piggybacked ResultReply.Next so both hand out identical
+// leases.
+func (m *Master) assignTask(worker string, reply *TaskReply) {
 	if m.shutdown {
 		reply.Kind = TaskShutdown
-		return nil
+		return
 	}
 	js := m.job
 	if js == nil || isClosed(js.finished) {
 		reply.Kind = TaskWait
-		return nil
+		return
 	}
 	if len(js.pending) == 0 {
 		m.requeueExpired(js)
 	}
 	if len(js.pending) == 0 {
 		reply.Kind = TaskWait
-		return nil
+		return
 	}
 	id := js.pending[0]
 	js.pending = js.pending[1:]
@@ -52,7 +60,7 @@ func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	t.running = true
 	t.deadline = time.Now().Add(m.cfg.TaskLease)
 	t.startedAt = time.Now()
-	t.worker = args.WorkerID
+	t.worker = worker
 
 	reply.Kind = js.phase
 	reply.TaskID = id
@@ -60,13 +68,17 @@ func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	reply.JobName = js.spec.Name
 	reply.Params = js.spec.Params
 	reply.Reducers = js.spec.Reducers
+	reply.Framed = js.framed
 	switch js.phase {
 	case TaskMap:
 		reply.Records = js.splitData[id]
 	case TaskReduce:
-		reply.Groups = js.groups[id]
+		if js.framed {
+			reply.FrameStreams = js.frameStreams[id]
+		} else {
+			reply.Groups = js.groups[id]
+		}
 	}
-	return nil
 }
 
 // ReportMap receives a map task result.
@@ -75,6 +87,15 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.workers[args.WorkerID] = time.Now()
+	// Piggyback the worker's next assignment on every outcome — stale
+	// reports included. Runs after the body (LIFO, mu still held) so a
+	// phase transition triggered by this report is visible to the
+	// assignment.
+	defer func() {
+		if !args.Final {
+			m.assignTask(args.WorkerID, &reply.Next)
+		}
+	}()
 
 	js := m.job
 	if js == nil || js.phase != TaskMap || isClosed(js.finished) {
@@ -102,7 +123,12 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	t.complete = true
 	t.running = false
 	m.observeTask(t, "map", args.WorkerID)
-	js.mapOut[args.TaskID] = args.Partitions
+	if js.framed {
+		js.frameOut[args.TaskID] = args.FrameParts
+		m.observeFrameBytes(args.WorkerID, args.FrameParts)
+	} else {
+		js.mapOut[args.TaskID] = args.Partitions
+	}
 	js.done++
 	reply.Accepted = true
 	if js.done == len(js.tasks) {
@@ -120,6 +146,11 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.workers[args.WorkerID] = time.Now()
+	defer func() {
+		if !args.Final {
+			m.assignTask(args.WorkerID, &reply.Next)
+		}
+	}()
 
 	js := m.job
 	if js == nil || js.phase != TaskReduce || isClosed(js.finished) {
@@ -147,7 +178,11 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	t.complete = true
 	t.running = false
 	m.observeTask(t, "reduce", args.WorkerID)
-	js.out = append(js.out, args.Pairs...)
+	if js.framed {
+		js.outFrames[args.TaskID] = args.Frames
+	} else {
+		js.out = append(js.out, args.Pairs...)
+	}
 	js.done++
 	reply.Accepted = true
 	if js.done == len(js.tasks) {
@@ -177,6 +212,28 @@ func (m *Master) observeTask(t *taskState, kind, worker string) {
 	reg.Histogram("rpcmr_task_seconds", telemetry.DurationBuckets(),
 		telemetry.L("kind", kind), telemetry.L("worker", worker)).
 		Observe(time.Since(t.startedAt).Seconds())
+}
+
+// observeFrameBytes (mu held) books one map task's frame payload into the
+// per-worker shuffle series: rpcmr_shuffle_bytes_total counts payload
+// bytes (frame header + coordinates — never the gob envelope, matching
+// the engine's mr.shuffle.bytes semantics) and rpcmr_shuffle_frame_bytes
+// tracks the per-task payload size distribution, so a worker producing
+// outsized frames stands out.
+func (m *Master) observeFrameBytes(worker string, parts [][]byte) {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	var total int64
+	for _, stream := range parts {
+		total += int64(len(stream))
+	}
+	reg.Counter("rpcmr_shuffle_bytes_total", telemetry.L("worker", worker)).Add(total)
+	// 1 KiB … ~16 GiB in ×4 steps: frame payloads are batched, so the
+	// interesting range starts well above a single point.
+	reg.Histogram("rpcmr_shuffle_frame_bytes", telemetry.ExpBuckets(1024, 4, 12),
+		telemetry.L("worker", worker)).Observe(float64(total))
 }
 
 // WorkerTaskError reports a task that failed deterministically on workers.

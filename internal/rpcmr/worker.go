@@ -79,15 +79,25 @@ func (w *Worker) Close() error { return w.client.Close() }
 // Run is the worker main loop: poll for tasks and execute them until the
 // master shuts down, the connection drops, or ctx is cancelled. A clean
 // master shutdown returns nil.
+//
+// The loop rides the persistent net/rpc connection, so the gob codec —
+// and its one-time type descriptors — is set up once per worker, not per
+// call; result reports piggyback the next assignment (ResultReply.Next),
+// so a busy worker makes one round-trip per task instead of two.
 func (w *Worker) Run(ctx context.Context) error {
+	var task TaskReply
+	haveTask := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var task TaskReply
-		if err := w.client.Call("Master.RequestTask", TaskArgs{WorkerID: w.cfg.ID}, &task); err != nil {
-			return fmt.Errorf("rpcmr: worker %s: request task: %w", w.cfg.ID, err)
+		if !haveTask {
+			task = TaskReply{}
+			if err := w.client.Call("Master.RequestTask", TaskArgs{WorkerID: w.cfg.ID}, &task); err != nil {
+				return fmt.Errorf("rpcmr: worker %s: request task: %w", w.cfg.ID, err)
+			}
 		}
+		haveTask = false
 		switch task.Kind {
 		case TaskShutdown:
 			return nil
@@ -101,16 +111,20 @@ func (w *Worker) Run(ctx context.Context) error {
 			if w.shouldVanish() {
 				return fmt.Errorf("rpcmr: worker %s: injected crash holding map task %d", w.cfg.ID, task.TaskID)
 			}
-			if err := w.runMap(task); err != nil {
+			next, err := w.runMap(task)
+			if err != nil {
 				return err
 			}
+			task, haveTask = next, true
 		case TaskReduce:
 			if w.shouldVanish() {
 				return fmt.Errorf("rpcmr: worker %s: injected crash holding reduce task %d", w.cfg.ID, task.TaskID)
 			}
-			if err := w.runReduce(task); err != nil {
+			next, err := w.runReduce(task)
+			if err != nil {
 				return err
 			}
+			task, haveTask = next, true
 		default:
 			return fmt.Errorf("rpcmr: worker %s: unknown task kind %d", w.cfg.ID, task.Kind)
 		}
@@ -136,42 +150,61 @@ func (w *Worker) bumpCompleted() error {
 	return nil
 }
 
-func (w *Worker) runMap(task TaskReply) error {
-	partitions, err := executeMap(task)
+// willStop reports whether this worker will exit (fail injection) right
+// after its next completed task, so the report can decline the
+// piggybacked assignment instead of taking a task to the grave.
+func (w *Worker) willStop() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cfg.FailAfterTasks > 0 && w.completed+1 >= w.cfg.FailAfterTasks
+}
+
+func (w *Worker) runMap(task TaskReply) (TaskReply, error) {
 	args := MapResultArgs{
-		WorkerID:   w.cfg.ID,
-		TaskID:     task.TaskID,
-		Attempt:    task.Attempt,
-		Partitions: partitions,
+		WorkerID: w.cfg.ID,
+		TaskID:   task.TaskID,
+		Attempt:  task.Attempt,
+		Final:    w.willStop(),
+	}
+	var err error
+	if task.Framed {
+		args.FrameParts, err = executeMapFramed(task)
+	} else {
+		args.Partitions, err = executeMap(task)
 	}
 	if err != nil {
 		args.Err = err.Error()
-		args.Partitions = nil
+		args.Partitions, args.FrameParts = nil, nil
 	}
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportMap", args, &reply); err != nil {
-		return fmt.Errorf("rpcmr: worker %s: report map: %w", w.cfg.ID, err)
+		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report map: %w", w.cfg.ID, err)
 	}
-	return w.bumpCompleted()
+	return reply.Next, w.bumpCompleted()
 }
 
-func (w *Worker) runReduce(task TaskReply) error {
-	pairs, err := executeReduce(task)
+func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 	args := ReduceResultArgs{
 		WorkerID: w.cfg.ID,
 		TaskID:   task.TaskID,
 		Attempt:  task.Attempt,
-		Pairs:    pairs,
+		Final:    w.willStop(),
+	}
+	var err error
+	if task.Framed {
+		args.Frames, err = executeReduceFramed(task)
+	} else {
+		args.Pairs, err = executeReduce(task)
 	}
 	if err != nil {
 		args.Err = err.Error()
-		args.Pairs = nil
+		args.Pairs, args.Frames = nil, nil
 	}
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportReduce", args, &reply); err != nil {
-		return fmt.Errorf("rpcmr: worker %s: report reduce: %w", w.cfg.ID, err)
+		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report reduce: %w", w.cfg.ID, err)
 	}
-	return w.bumpCompleted()
+	return reply.Next, w.bumpCompleted()
 }
 
 // executeMap runs the mapper (and combiner) of one map task, returning
@@ -231,6 +264,37 @@ func combineWire(combiner mapreduce.Reducer, pairs []WirePair) ([]WirePair, erro
 		}
 	}
 	return out, nil
+}
+
+// executeMapFramed runs one framed map task: the shared frame builder
+// (mapreduce.BuildFrames, pooled scratch blocks) maps and combines the
+// records, and the sealed per-reducer streams ship as single batched
+// payloads — one gob slice per reducer instead of one WirePair per
+// point, byte-identical to what the in-process engine would shuffle.
+func executeMapFramed(task TaskReply) ([][]byte, error) {
+	job, err := lookupJob(task.JobName, task.Params)
+	if err != nil {
+		return nil, err
+	}
+	if !job.framed() {
+		return nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
+	}
+	streams, _, err := mapreduce.BuildFrames(task.Records, task.Reducers, job.FrameMapper, job.FrameCombiner)
+	return streams, err
+}
+
+// executeReduceFramed folds one reducer's frame streams into a single
+// output stream via the shared mapreduce.ReduceFrames.
+func executeReduceFramed(task TaskReply) ([]byte, error) {
+	job, err := lookupJob(task.JobName, task.Params)
+	if err != nil {
+		return nil, err
+	}
+	if !job.framed() {
+		return nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
+	}
+	out, _, err := mapreduce.ReduceFrames(task.FrameStreams, job.FrameReducer)
+	return out, err
 }
 
 // executeReduce runs the reducer over one task's key groups.

@@ -2,6 +2,7 @@ package sequencefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -21,6 +22,32 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte("SKSF\x01garbage"))
 	f.Add([]byte{})
 	f.Add([]byte("SKSF\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	// A frame-sized record (multi-KB value, like one shuffle frame per
+	// record in .fseq spills) truncated mid-value.
+	var frameBuf bytes.Buffer
+	fw := NewWriter(&frameBuf)
+	_ = fw.Append(nil, bytes.Repeat([]byte{0x3f}, 4096))
+	_ = fw.Flush()
+	f.Add(frameBuf.Bytes()[:frameBuf.Len()/2])
+
+	// An oversized record: the length header declares half a gigabyte
+	// but only a few bytes follow. The reader must error, not allocate
+	// the declared size or panic.
+	over := []byte("SKSF\x01\x00") // header, keyLen=0
+	var hdr [10]byte
+	n := binary.PutUvarint(hdr[:], 1<<29)
+	over = append(over, hdr[:n]...)
+	over = append(over, bytes.Repeat([]byte{0xAB}, 64)...)
+	f.Add(over)
+
+	// Same shapes through the DEFLATE (version 2) layer.
+	var cbuf bytes.Buffer
+	cw := NewCompressedWriter(&cbuf)
+	_ = cw.Append([]byte("k"), bytes.Repeat([]byte{9}, 2048))
+	_ = cw.Flush()
+	f.Add(cbuf.Bytes())
+	f.Add(cbuf.Bytes()[:cbuf.Len()-4])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

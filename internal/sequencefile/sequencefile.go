@@ -190,11 +190,11 @@ func (r *Reader) Next() (Record, error) {
 	if keyLen > maxLen || valLen > maxLen {
 		return Record{}, fmt.Errorf("%w: implausible record size %d/%d", ErrCorrupt, keyLen, valLen)
 	}
-	rec := Record{Key: make([]byte, keyLen), Value: make([]byte, valLen)}
-	if _, err := io.ReadFull(r.r, rec.Key); err != nil {
+	var rec Record
+	if rec.Key, err = readCapped(r.r, keyLen); err != nil {
 		return Record{}, fmt.Errorf("%w: truncated key: %v", ErrCorrupt, err)
 	}
-	if _, err := io.ReadFull(r.r, rec.Value); err != nil {
+	if rec.Value, err = readCapped(r.r, valLen); err != nil {
 		return Record{}, fmt.Errorf("%w: truncated value: %v", ErrCorrupt, err)
 	}
 	var crcBuf [4]byte
@@ -208,6 +208,53 @@ func (r *Reader) Next() (Record, error) {
 		return Record{}, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
 	}
 	return rec, nil
+}
+
+// readChunk bounds how far ahead of delivered data the reader will
+// allocate. Buffers are pre-sized from the record-length header up to
+// this cap, then grow geometrically (still capped by n) only as
+// io.ReadFull actually delivers bytes — so a forged multi-gigabyte
+// length in a corrupt or truncated stream costs at most one chunk
+// before the read errors, instead of the full declared size.
+const readChunk = 1 << 20
+
+// readCapped reads exactly n bytes from r with allocation capped as
+// described on readChunk. On truncation it returns io.ErrUnexpectedEOF
+// (or the underlying read error) and the caller discards the partial
+// buffer.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	pre := n
+	if pre > readChunk {
+		pre = readChunk
+	}
+	buf := make([]byte, 0, pre)
+	for uint64(len(buf)) < n {
+		if len(buf) == cap(buf) {
+			// All delivered bytes accounted for; trust the header a
+			// little further. Doubling keeps total copying linear while
+			// never allocating more than 2x what the stream has proven.
+			grow := uint64(cap(buf)) * 2
+			if grow > n {
+				grow = n
+			}
+			next := make([]byte, len(buf), grow)
+			copy(next, buf)
+			buf = next
+		}
+		step := uint64(cap(buf)) - uint64(len(buf))
+		if rem := n - uint64(len(buf)); step > rem {
+			step = rem
+		}
+		start := len(buf)
+		buf = buf[:start+int(step)]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // ReadAll drains the reader into a slice. It is a convenience for tests

@@ -2,9 +2,11 @@ package sequencefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -298,5 +300,56 @@ func TestCompressedCorruptionDetected(t *testing.T) {
 	data[len(data)/2] ^= 0xFF
 	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
 		t.Error("corrupted compressed stream read without error")
+	}
+}
+
+// TestOversizedHeaderDoesNotOverAllocate: a corrupt length header
+// declaring far more data than the stream holds must fail fast without
+// allocating anywhere near the declared size. Frame spills put one
+// multi-KB frame per record, so a flipped length byte can easily claim
+// hundreds of megabytes.
+func TestOversizedHeaderDoesNotOverAllocate(t *testing.T) {
+	const declared = 1 << 29 // 512 MiB, inside the maxLen sanity bound
+	stream := []byte("SKSF\x01\x00")
+	var hdr [10]byte
+	n := binary.PutUvarint(hdr[:], declared)
+	stream = append(stream, hdr[:n]...)
+	stream = append(stream, bytes.Repeat([]byte{0xCD}, 1024)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := NewReader(bytes.NewReader(stream)).Next()
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized record error = %v, want ErrCorrupt", err)
+	}
+	// Only ~1 KiB was actually present; allocation must stay bounded by
+	// the chunked growth policy, not the 512 MiB the header lied about.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Errorf("reading truncated oversized record allocated %d bytes", grew)
+	}
+}
+
+// TestReadCappedLargeRecord: genuinely large records (above the 1 MiB
+// pre-size cap) still round-trip intact through the chunked reader.
+func TestReadCappedLargeRecord(t *testing.T) {
+	val := make([]byte, readChunk*3+12345)
+	rnd := rand.New(rand.NewSource(77))
+	rnd.Read(val)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("big"), val); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Value, val) {
+		t.Fatal("large record did not round-trip")
 	}
 }

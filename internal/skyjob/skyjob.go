@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"repro/internal/mapreduce"
@@ -41,6 +42,12 @@ type Spec struct {
 	// dimension-specialized dominance, merge-tree global reduce). Both
 	// paths produce identical skylines.
 	ClassicKernel bool `json:"classic_kernel,omitempty"`
+	// ClassicShuffle forces the per-WirePair gob transport instead of the
+	// default block-framed shuffle (batched point frames, integer
+	// partition routing). Implied by ClassicKernel — frames only exist on
+	// the flat path. The spec travels to every worker, so one flag flips
+	// the whole cluster consistently.
+	ClassicShuffle bool `json:"classic_shuffle,omitempty"`
 	// AngularSplits and AngularCuts ship a fitted (equi-depth) angular
 	// partitioner to workers; empty for other schemes.
 	AngularSplits []int         `json:"angular_splits,omitempty"`
@@ -158,6 +165,11 @@ func blockReducer(kernel func(*points.Block) *points.Block) mapreduce.Reducer {
 	})
 }
 
+// framed reports whether the spec selects the block-framed shuffle:
+// frames pack flat blocks, so the classic kernel path implies the
+// classic shuffle too.
+func (s Spec) framed() bool { return !s.ClassicKernel && !s.ClassicShuffle }
+
 func newPartitionJob(params []byte) (rpcmr.Job, error) {
 	var spec Spec
 	if err := json.Unmarshal(params, &spec); err != nil {
@@ -166,6 +178,35 @@ func newPartitionJob(params []byte) (rpcmr.Job, error) {
 	part, err := spec.Build()
 	if err != nil {
 		return rpcmr.Job{}, err
+	}
+	if spec.framed() {
+		kernel := skyline.BlockByAlgorithm(spec.Kernel)
+		return rpcmr.Job{
+			FrameMapper: mapreduce.FrameMapperFunc(func(rec []byte, emit mapreduce.EmitPoint) error {
+				p, err := points.Decode(rec)
+				if err != nil {
+					return err
+				}
+				id, err := part.Assign(p)
+				if err != nil {
+					return err
+				}
+				emit(id, p)
+				return nil
+			}),
+			// The local-skyline combiner runs directly on the assembled
+			// block before its frame is sealed for the wire.
+			FrameCombiner: func(partition int, blk *points.Block) (*points.Block, error) {
+				return kernel(blk), nil
+			},
+			FrameReducer: mapreduce.FrameReducerFunc(func(partition int, blk *points.Block, emit mapreduce.EmitPoint) error {
+				sky := kernel(blk)
+				for i := 0; i < sky.Len(); i++ {
+					emit(partition, sky.Row(i))
+				}
+				return nil
+			}),
+		}, nil
 	}
 	reducer := spec.localReducer()
 	return rpcmr.Job{
@@ -190,6 +231,29 @@ func newMergeJob(params []byte) (rpcmr.Job, error) {
 	var spec Spec
 	if err := json.Unmarshal(params, &spec); err != nil {
 		return rpcmr.Job{}, fmt.Errorf("skyjob: bad params: %w", err)
+	}
+	if spec.framed() {
+		kernel := skyline.BlockByAlgorithm(spec.Kernel)
+		return rpcmr.Job{
+			FrameMapper: mapreduce.FrameMapperFunc(func(rec []byte, emit mapreduce.EmitPoint) error {
+				p, err := points.Decode(rec)
+				if err != nil {
+					return err
+				}
+				emit(0, p) // paper line 13: output(null, si) — one global partition
+				return nil
+			}),
+			FrameCombiner: func(partition int, blk *points.Block) (*points.Block, error) {
+				return kernel(blk), nil
+			},
+			FrameReducer: mapreduce.FrameReducerFunc(func(partition int, blk *points.Block, emit mapreduce.EmitPoint) error {
+				sky := skyline.ParallelBlock(context.Background(), blk, 0)
+				for i := 0; i < sky.Len(); i++ {
+					emit(partition, sky.Row(i))
+				}
+				return nil
+			}),
+		}, nil
 	}
 	return rpcmr.Job{
 		Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
@@ -227,20 +291,30 @@ func (r *Result) Optimality() float64 {
 // Compute runs the two-job skyline pipeline on a live rpcmr cluster.
 // With a tracer in ctx it records a root span with Partitioning/Merging
 // children; with a registry on the master it publishes per-partition
-// local skyline sizes alongside the cluster's own series.
+// local skyline sizes alongside the cluster's own series. The default
+// spec routes both jobs through the block-framed shuffle; use
+// ComputeSpec with Spec.ClassicShuffle (or ClassicKernel) to force the
+// per-WirePair transport.
 func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme partition.Scheme, partitions, reducers int) (*Result, error) {
 	spec, err := SpecFor(data, scheme, partitions)
 	if err != nil {
 		return nil, err
 	}
+	return ComputeSpec(ctx, master, data, spec, reducers)
+}
+
+// ComputeSpec runs the pipeline with a caller-built Spec — the entry
+// point for escape hatches (ClassicKernel, ClassicShuffle) and custom
+// kernels.
+func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spec Spec, reducers int) (*Result, error) {
 	params, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	ctx, rootSpan := telemetry.StartSpan(ctx, fmt.Sprintf("skyline:%s", scheme),
-		telemetry.A("scheme", fmt.Sprint(scheme)),
+	ctx, rootSpan := telemetry.StartSpan(ctx, fmt.Sprintf("skyline:%s", spec.Scheme),
+		telemetry.A("scheme", fmt.Sprint(spec.Scheme)),
 		telemetry.A("points", len(data)),
-		telemetry.A("partitions", partitions))
+		telemetry.A("partitions", spec.Partitions))
 	defer rootSpan.End()
 	input := make([][]byte, len(data))
 	for i, p := range data {
@@ -253,18 +327,36 @@ func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme 
 		return nil, fmt.Errorf("skyjob: partitioning job: %w", err)
 	}
 	local := make(map[int]points.Set)
-	mergeInput := make([][]byte, 0, len(res1.Pairs))
-	for _, pair := range res1.Pairs {
-		id, err := strconv.Atoi(pair.Key)
-		if err != nil {
-			return nil, fmt.Errorf("skyjob: bad partition key %q", pair.Key)
+	var mergeInput [][]byte
+	if res1.Blocks != nil {
+		// Frame path: local skylines arrive as per-partition blocks; feed
+		// the merge job their rows in ascending partition order.
+		ids := make([]int, 0, len(res1.Blocks))
+		for id := range res1.Blocks {
+			ids = append(ids, id)
 		}
-		p, err := points.Decode(pair.Value)
-		if err != nil {
-			return nil, err
+		sort.Ints(ids)
+		for _, id := range ids {
+			blk := res1.Blocks[id]
+			local[id] = blk.ToSet()
+			for i := 0; i < blk.Len(); i++ {
+				mergeInput = append(mergeInput, points.Encode(points.Point(blk.Row(i))))
+			}
 		}
-		local[id] = append(local[id], p)
-		mergeInput = append(mergeInput, pair.Value)
+	} else {
+		mergeInput = make([][]byte, 0, len(res1.Pairs))
+		for _, pair := range res1.Pairs {
+			id, err := strconv.Atoi(pair.Key)
+			if err != nil {
+				return nil, fmt.Errorf("skyjob: bad partition key %q", pair.Key)
+			}
+			p, err := points.Decode(pair.Value)
+			if err != nil {
+				return nil, err
+			}
+			local[id] = append(local[id], p)
+			mergeInput = append(mergeInput, pair.Value)
+		}
 	}
 	if reg := master.Metrics(); reg != nil {
 		for id, ls := range local {
@@ -278,13 +370,20 @@ func Compute(ctx context.Context, master *rpcmr.Master, data points.Set, scheme 
 	if err != nil {
 		return nil, fmt.Errorf("skyjob: merging job: %w", err)
 	}
-	sky := make(points.Set, 0, len(res2.Pairs))
-	for _, pair := range res2.Pairs {
-		p, err := points.Decode(pair.Value)
-		if err != nil {
-			return nil, err
+	var sky points.Set
+	if res2.Blocks != nil {
+		if blk := res2.Blocks[0]; blk != nil {
+			sky = blk.ToSet()
 		}
-		sky = append(sky, p)
+	} else {
+		sky = make(points.Set, 0, len(res2.Pairs))
+		for _, pair := range res2.Pairs {
+			p, err := points.Decode(pair.Value)
+			if err != nil {
+				return nil, err
+			}
+			sky = append(sky, p)
+		}
 	}
 	if reg := master.Metrics(); reg != nil {
 		reg.Gauge("skyline_global_size").Set(float64(len(sky)))
