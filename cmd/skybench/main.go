@@ -19,11 +19,14 @@ import (
 	"time"
 
 	"repro/internal/asciiplot"
+	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/qws"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment to run: all, 5a, 5b, 6, 7a, 7b, thm, ablation, sensitivity, partitions")
+	figure := flag.String("figure", "all", "which experiment to run: all, 5a, 5b, 6, 7a, 7b, thm, ablation, sensitivity, partitions, flight")
 	full := flag.Bool("full", false, "run at the paper's full scale (100,000 services)")
 	seed := flag.Int64("seed", 2012, "dataset seed")
 	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
@@ -149,6 +152,31 @@ func main() {
 		experiments.WritePartitionCount(os.Stdout, rows,
 			fmt.Sprintf("Partition-count study (N=%d, d=%d, nodes=%d): the paper's 2x rule in context", n, d, sc.Nodes))
 		return saveJSON("partitions", rows)
+	})
+	run("flight", func() error {
+		// One recorded run per method: the flight recorder's live
+		// per-partition chart is the runtime view of Figures 7/8.
+		n, d := 4000, 4
+		if *full {
+			n, d = 20000, 6
+		}
+		data := qws.Dataset(sc.Seed, n, d)
+		fmt.Printf("Flight recorder (N=%d, d=%d): per-partition load and local optimality\n\n", n, d)
+		for _, scheme := range experiments.Methods {
+			rec := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
+			if _, _, err := driver.Compute(telemetry.WithRecorder(ctx, rec), data, driver.Options{
+				Scheme:  scheme,
+				Nodes:   sc.Nodes,
+				Workers: sc.Workers,
+			}); err != nil {
+				return fmt.Errorf("flight %v: %w", scheme, err)
+			}
+			if err := asciiplot.FlightChart(os.Stdout, rec.Report()); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
 	})
 	run("ablation", func() error {
 		n, d := 4000, 6

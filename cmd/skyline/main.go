@@ -19,6 +19,8 @@ import (
 	"time"
 
 	skymr "repro"
+	"repro/internal/asciiplot"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	out := flag.String("out", "", "write skyline CSV to this file instead of stdout")
 	k := flag.Int("k", 1, "compute the k-skyband instead of the skyline (k=1)")
 	rep := flag.Int("rep", 0, "reduce the result to this many representative points (0 = all)")
+	flight := flag.Bool("flight", false, "print the flight-recorder partition chart to stderr (MapReduce methods only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -36,13 +39,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep); err != nil {
+	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight); err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method string, nodes int, header, stats bool, out string, k, rep int) error {
+func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -96,11 +99,22 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 		if err != nil {
 			return err
 		}
-		res, err := skymr.Compute(context.Background(), data, skymr.Options{Method: m, Nodes: nodes})
+		ctx := context.Background()
+		var recorder *telemetry.Recorder
+		if flight {
+			recorder = telemetry.NewRecorder(fmt.Sprintf("skyline:%s", m))
+			ctx = telemetry.WithRecorder(ctx, recorder)
+		}
+		res, err := skymr.Compute(ctx, data, skymr.Options{Method: m, Nodes: nodes})
 		if err != nil {
 			return err
 		}
 		sky = res.Skyline
+		if recorder != nil {
+			if err := asciiplot.FlightChart(os.Stderr, recorder.Report()); err != nil {
+				return err
+			}
+		}
 		if stats {
 			fmt.Fprintf(os.Stderr,
 				"%s: %d of %d points | partitions=%d pruned=%d localSky=%d | map=%s shuffle=%s reduce=%s total=%s | optimality=%.3f\n",

@@ -7,18 +7,22 @@
 //	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
 //	          [-partitions 8] [-reducers 4] [-min-workers 1]
 //	          [-metrics-addr 127.0.0.1:9090] [-trace run.json]
-//	          [-header] input.csv
+//	          [-flight-out flight.json] [-header] input.csv
 //
-// With -metrics-addr, the master serves /metrics (Prometheus text) and
-// /debug/pprof/ on a second listener for the run's duration. With
-// -trace, the two-job run is recorded as Chrome trace_event JSON,
-// loadable in chrome://tracing or Perfetto.
+// With -metrics-addr, the master serves /metrics (Prometheus text),
+// /debug/pprof/ and /debug/flightrecorder (the job's flight record as
+// JSON) on a second listener for the run's duration. With -trace, the
+// two-job run — including the workers' task spans, shipped back over RPC
+// and stitched under one trace — is recorded as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto. With -flight-out, the flight
+// record is also written to a file.
 //
 // Start workers with: skyworker -master <addr>.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -42,6 +46,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall job timeout")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
+	flightFile := flag.String("flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,13 +54,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout, *metricsAddr, *traceFile); err != nil {
+	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout, *metricsAddr, *traceFile, *flightFile); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration, metricsAddr, traceFile string) error {
+func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration, metricsAddr, traceFile, flightFile string) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -73,6 +78,10 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		return fmt.Errorf("no data rows in %s", path)
 	}
 
+	// The flight recorder is always on: it is one small struct per job,
+	// and both -flight-out and /debug/flightrecorder read from it.
+	recorder := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
+
 	var metrics *telemetry.Registry
 	if metricsAddr != "" {
 		metrics = telemetry.NewRegistry()
@@ -80,6 +89,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
 		telemetry.MountPprof(mux)
+		telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "skymaster: metrics server: %v\n", err)
@@ -108,6 +118,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		tracer = telemetry.NewTracer()
 		ctx = telemetry.WithTracer(ctx, tracer)
 	}
+	ctx = telemetry.WithRecorder(ctx, recorder)
 
 	// Progress reporter: one line per second while a job phase runs.
 	progressDone := make(chan struct{})
@@ -157,6 +168,16 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		}
 		fmt.Fprintf(os.Stderr, "skymaster: trace written to %s (%d spans) — open in chrome://tracing\n",
 			traceFile, len(tracer.Spans()))
+	}
+	if flightFile != "" {
+		rep, err := json.MarshalIndent(recorder.Report(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("writing flight record: %w", err)
+		}
+		if err := os.WriteFile(flightFile, append(rep, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing flight record: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "skymaster: flight record written to %s\n", flightFile)
 	}
 	return skymr.WriteCSV(os.Stdout, res.Skyline, cols)
 }

@@ -15,6 +15,7 @@
 //	GET  /stats
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/pprof/  Go runtime profiles
+//	GET  /debug/flightrecorder  boot computation's flight record (JSON)
 //
 // With -snapshot, the catalogue is loaded from the file at boot (when it
 // exists) and written back on SIGINT/SIGTERM, so a restarted registry
@@ -58,7 +59,11 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	if err != nil {
 		return err
 	}
-	reg, err := bootRegistry(scheme, seedN, seedD, seedFile, header, snapshot)
+	// The boot computation runs under a flight recorder, so the partition
+	// shape of the seeded catalogue is inspectable at /debug/flightrecorder.
+	recorder := telemetry.NewRecorder(fmt.Sprintf("skyserve-boot:%s", scheme))
+	reg, err := bootRegistry(telemetry.WithRecorder(context.Background(), recorder),
+		scheme, seedN, seedD, seedFile, header, snapshot)
 	if err != nil {
 		return err
 	}
@@ -68,6 +73,7 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
 	telemetry.MountPprof(mux)
+	telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
 	srv := &http.Server{Addr: addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -99,12 +105,12 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 
 // bootRegistry picks the data source by precedence: snapshot file (if it
 // exists), then seed CSV, then synthetic data.
-func bootRegistry(scheme partition.Scheme, seedN, seedD int, seedFile string, header bool, snapshot string) (*registry.Registry, error) {
+func bootRegistry(ctx context.Context, scheme partition.Scheme, seedN, seedD int, seedFile string, header bool, snapshot string) (*registry.Registry, error) {
 	opts := driver.Options{Scheme: scheme}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
-			reg, err := registry.Load(context.Background(), f, opts)
+			reg, err := registry.Load(ctx, f, opts)
 			if err != nil {
 				return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
 			}
@@ -130,7 +136,7 @@ func bootRegistry(scheme partition.Scheme, seedN, seedD int, seedFile string, he
 	for i, p := range data {
 		seeds[i] = registry.Service{Name: fmt.Sprintf("seed-%06d", i), QoS: p}
 	}
-	return registry.New(context.Background(), seeds, opts)
+	return registry.New(ctx, seeds, opts)
 }
 
 func parseScheme(s string) (partition.Scheme, error) {

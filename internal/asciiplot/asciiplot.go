@@ -75,6 +75,48 @@ func StackedBars(w io.Writer, title string, rowLabels []string, segments [][]flo
 	return nil
 }
 
+// Bars renders one plain horizontal bar per row, with an optional
+// per-row annotation after the bar:
+//
+//	p3 |██████████████████                | 1204  opt 0.72
+func Bars(w io.Writer, title string, rowLabels []string, values []float64, annotate func(row int) string) error {
+	if len(rowLabels) != len(values) {
+		return fmt.Errorf("asciiplot: %d labels for %d values", len(rowLabels), len(values))
+	}
+	const width = 34
+	maxV := 0.0
+	for _, v := range values {
+		if v < 0 {
+			return fmt.Errorf("asciiplot: negative bar value %g", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelWidth := 0
+	for _, l := range rowLabels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, v := range values {
+		n := int(math.Round(v / maxV * width))
+		fmt.Fprintf(w, "%-*s |%s%s|", labelWidth, rowLabels[i],
+			strings.Repeat("█", n), strings.Repeat(" ", width-n))
+		if annotate != nil {
+			if a := annotate(i); a != "" {
+				fmt.Fprintf(w, " %s", a)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
 // Lines renders a multi-series plot on a character grid: x positions are
 // the equally-spaced labels, y is auto-scaled over all series. Each
 // series is drawn with its own marker.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mapreduce"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/points"
 	"repro/internal/skyline"
@@ -313,6 +314,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		stats.MergeJob = mergeTiming
 		stats.Timing.Add(mergeTiming)
 		stats.Counters = res1.Counters.Snapshot()
+		feedRecorder(ctx, opts, stats, global, nil)
 		return global, stats, nil
 	}
 
@@ -370,7 +372,36 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 	if reg := opts.Metrics; reg != nil {
 		reg.Gauge("skyline_global_size").Set(float64(len(global)))
 	}
+	feedRecorder(ctx, opts, stats, global, nil)
 	return global, stats, nil
+}
+
+// feedRecorder hands one finished computation's per-partition evidence to
+// the context's flight recorder (no-op when recording is off): partition
+// occupancy as input load, local skyline sizes, the Eq. (5) survivor
+// counts — computed here where local and global skylines are both in
+// hand — and, on the framed path, per-partition shuffle bytes. The
+// rollups are then bridged into the run's metrics registry.
+func feedRecorder(ctx context.Context, opts Options, stats *Stats, global points.Set, shuffle map[int]mapreduce.PartStat) {
+	rec := telemetry.RecorderFrom(ctx)
+	if rec == nil {
+		return
+	}
+	rec.EnsurePartitions(stats.Partitions)
+	for id, n := range stats.PartitionCounts {
+		rec.SetPartitionInput(id, int64(n))
+	}
+	for id, ps := range shuffle {
+		rec.AddPartitionShuffle(id, 0, ps.Bytes) // occupancy already carries the records
+	}
+	for id, ls := range stats.LocalSkylines {
+		rec.SetLocalSkyline(id, len(ls))
+	}
+	for id, hits := range metrics.GlobalSurvivors(stats.LocalSkylines, global) {
+		rec.SetGlobalSurvivors(id, hits)
+	}
+	rec.SetGlobalSkyline(len(global))
+	rec.Publish(opts.Metrics)
 }
 
 // skylineReducer builds the local-skyline reducer shared by both jobs and

@@ -118,6 +118,7 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		stats.MergeJob = mergeTiming
 		stats.Timing.Add(mergeTiming)
 		stats.Counters = res1.Counters.Snapshot()
+		feedRecorder(ctx, opts, stats, global, res1.Partitions)
 		return global, stats, nil
 	}
 
@@ -182,6 +183,7 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 	if reg := opts.Metrics; reg != nil {
 		reg.Gauge("skyline_global_size").Set(float64(len(global)))
 	}
+	feedRecorder(ctx, opts, stats, global, res1.Partitions)
 	return global, stats, nil
 }
 

@@ -60,6 +60,16 @@ func (f FrameReducerFunc) ReduceFrame(partition int, block *points.Block, emit E
 	return f(partition, block, emit)
 }
 
+// PartStat tallies one partition's shuffle contribution: Records is the
+// map-output point count routed to the partition (pre-combine — the
+// partition's true load), Bytes the sealed frame payload it shipped
+// (post-combine). The flight recorder turns these into the per-partition
+// skew picture.
+type PartStat struct {
+	Records int64
+	Bytes   int64
+}
+
 // FrameStats tallies one frame-path task, in the same units as the
 // framework counters: record counts are points, byte counts are frame
 // payload bytes (header + coordinates — never the transport envelope).
@@ -73,6 +83,9 @@ type FrameStats struct {
 	Groups       int64
 	ReduceIn     int64
 	ReduceOut    int64
+	// Partitions breaks the shuffle volume down by data-space partition
+	// id (map tasks only; nil on the reduce side).
+	Partitions map[int]PartStat
 }
 
 // add accumulates o into s.
@@ -86,6 +99,17 @@ func (s *FrameStats) add(o FrameStats) {
 	s.Groups += o.Groups
 	s.ReduceIn += o.ReduceIn
 	s.ReduceOut += o.ReduceOut
+	if len(o.Partitions) > 0 {
+		if s.Partitions == nil {
+			s.Partitions = make(map[int]PartStat, len(o.Partitions))
+		}
+		for id, ps := range o.Partitions {
+			acc := s.Partitions[id]
+			acc.Records += ps.Records
+			acc.Bytes += ps.Bytes
+			s.Partitions[id] = acc
+		}
+	}
 }
 
 // FrameResult is the outcome of a successful frame job.
@@ -96,6 +120,9 @@ type FrameResult struct {
 	Blocks   map[int]*points.Block
 	Counters *Counters
 	Timing   Timing
+	// Partitions breaks the map-side shuffle volume down by data-space
+	// partition id, for the flight recorder's skew picture.
+	Partitions map[int]PartStat
 }
 
 // ---------------------------------------------------------------------------
@@ -147,8 +174,9 @@ func (fb *frameBuilder) reset() {
 
 // seal encodes every touched partition's block into per-reducer frame
 // streams (partition p goes to reducer p mod reducers), in ascending
-// partition order for determinism.
-func (fb *frameBuilder) seal(reducers int) (streams [][]byte, recs, bytes int64) {
+// partition order for determinism. When parts is non-nil the payload
+// bytes are also booked per partition.
+func (fb *frameBuilder) seal(reducers int, parts map[int]PartStat) (streams [][]byte, recs, bytes int64) {
 	streams = make([][]byte, reducers)
 	sort.Ints(fb.touched)
 	for _, p := range fb.touched {
@@ -160,7 +188,13 @@ func (fb *frameBuilder) seal(reducers int) (streams [][]byte, recs, bytes int64)
 		before := len(streams[r])
 		streams[r] = points.AppendFrame(streams[r], p, blk)
 		recs += int64(blk.Len())
-		bytes += int64(len(streams[r]) - before)
+		frameBytes := int64(len(streams[r]) - before)
+		bytes += frameBytes
+		if parts != nil {
+			ps := parts[p]
+			ps.Bytes += frameBytes
+			parts[p] = ps
+		}
 	}
 	return streams, recs, bytes
 }
@@ -191,8 +225,11 @@ func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner Fr
 	if fb.err != nil {
 		return nil, st, fb.err
 	}
+	st.Partitions = make(map[int]PartStat, len(fb.touched))
 	for _, p := range fb.touched {
-		st.MapOut += int64(fb.blocks[p].Len())
+		n := int64(fb.blocks[p].Len())
+		st.MapOut += n
+		st.Partitions[p] = PartStat{Records: n}
 	}
 	if combiner != nil {
 		cs := time.Now()
@@ -211,7 +248,7 @@ func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner Fr
 		}
 		st.CombineNanos = time.Since(cs).Nanoseconds()
 	}
-	streams, recs, bytes := fb.seal(reducers)
+	streams, recs, bytes := fb.seal(reducers, st.Partitions)
 	st.ShuffleRecs, st.ShuffleBytes = recs, bytes
 	return streams, st, nil
 }
@@ -283,7 +320,7 @@ func ReduceFrames(streams [][]byte, reducer FrameReducer) ([]byte, FrameStats, e
 	}
 	// Seal with a single "reducer" so every output partition lands in one
 	// stream, ascending by partition id.
-	out, recs, _ := fb.seal(1)
+	out, recs, _ := fb.seal(1, nil)
 	st.ReduceOut = recs
 	return out[0], st, nil
 }
@@ -297,6 +334,7 @@ type frameTaskOutput struct {
 	files   []string // spill file per reducer; nil when in memory
 	recs    int64    // points entering the shuffle
 	bytes   int64    // frame payload bytes entering the shuffle
+	parts   map[int]PartStat
 	// combineNanos rides along so the map phase can sum combiner time
 	// without another channel.
 	combineNanos int64
@@ -363,9 +401,16 @@ func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapp
 	_, shuffleSpan := telemetry.StartSpan(ctx, "shuffle")
 	shuffleStart := time.Now()
 	var shufRecs, shufBytes int64
+	partStats := make(map[int]PartStat)
 	for _, out := range outputs {
 		shufRecs += out.recs
 		shufBytes += out.bytes
+		for id, ps := range out.parts {
+			acc := partStats[id]
+			acc.Records += ps.Records
+			acc.Bytes += ps.Bytes
+			partStats[id] = acc
+		}
 	}
 	counters.Add(CounterShuffle, shufRecs)
 	counters.Add(CounterShuffleBytes, shufBytes)
@@ -390,8 +435,9 @@ func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapp
 	jobSpan.End()
 
 	res := &FrameResult{
-		Blocks:   blocks,
-		Counters: counters,
+		Blocks:     blocks,
+		Counters:   counters,
+		Partitions: partStats,
 		Timing: Timing{
 			Map:     mapDur,
 			Combine: combineDur,
@@ -459,7 +505,8 @@ func runFrameMapTask(cfg Config, task int, records [][]byte, mapper FrameMapper,
 		counters.Add(CounterCombineIn, st.CombineIn)
 		counters.Add(CounterCombineOut, st.CombineOut)
 	}
-	out := frameTaskOutput{recs: st.ShuffleRecs, bytes: st.ShuffleBytes, combineNanos: st.CombineNanos}
+	out := frameTaskOutput{recs: st.ShuffleRecs, bytes: st.ShuffleBytes,
+		parts: st.Partitions, combineNanos: st.CombineNanos}
 	if cfg.SpillDir == "" {
 		out.streams = streams
 		return out, nil

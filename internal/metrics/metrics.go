@@ -45,6 +45,28 @@ func LocalSkylineOptimality(local map[int]points.Set, global points.Set) float64
 	return sum / float64(n)
 }
 
+// GlobalSurvivors counts, per partition, the local skyline points that
+// also appear in the global skyline — the numerator of the Eq. (5)
+// ratio, exposed separately so the flight recorder can report raw counts
+// alongside the ratios. Partitions with empty local skylines get 0.
+func GlobalSurvivors(local map[int]points.Set, global points.Set) map[int]int {
+	globalKeys := make(map[string]struct{}, len(global))
+	for _, p := range global {
+		globalKeys[points.Key(p)] = struct{}{}
+	}
+	out := make(map[int]int, len(local))
+	for id, sky := range local {
+		hits := 0
+		for _, p := range sky {
+			if _, ok := globalKeys[points.Key(p)]; ok {
+				hits++
+			}
+		}
+		out[id] = hits
+	}
+	return out
+}
+
 // PerPartitionOptimality returns each partition's |sky_i ∩ sky_global| /
 // |sky_i| fraction, for distribution plots and diagnostics.
 func PerPartitionOptimality(local map[int]points.Set, global points.Set) map[int]float64 {

@@ -1,0 +1,267 @@
+package rpcmr
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/telemetry"
+)
+
+// ensureFlightJobs adds the slow-tail job used by the straggler test.
+// Separate Once from ensureJobs, which it calls first (ensureJobs owns
+// resetRegistryForTest, so ordering matters).
+var flightJobsOnce sync.Once
+
+func ensureFlightJobs() {
+	ensureJobs()
+	flightJobsOnce.Do(func() {
+		// slowtail: each record is a sleep duration in milliseconds, so the
+		// input controls the task-duration distribution exactly.
+		RegisterJob("slowtail", func(params []byte) (Job, error) {
+			return Job{
+				Mapper: mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+					ms, err := strconv.Atoi(string(rec))
+					if err != nil {
+						return err
+					}
+					time.Sleep(time.Duration(ms) * time.Millisecond)
+					emit("slept", []byte(strconv.Itoa(ms)))
+					return nil
+				}),
+				Reducer: mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+					emit(key, []byte(strconv.Itoa(len(values))))
+					return nil
+				}),
+			}, nil
+		})
+	})
+}
+
+// spanIndex groups a tracer's spans for assertions: name → spans, plus
+// an id → span lookup.
+type spanIndex struct {
+	byName map[string][]telemetry.SpanData
+	byID   map[uint64]telemetry.SpanData
+}
+
+func indexSpans(tr *telemetry.Tracer) spanIndex {
+	idx := spanIndex{
+		byName: map[string][]telemetry.SpanData{},
+		byID:   map[uint64]telemetry.SpanData{},
+	}
+	for _, s := range tr.Spans() {
+		idx.byName[s.Name] = append(idx.byName[s.Name], s)
+		idx.byID[s.ID] = s
+	}
+	return idx
+}
+
+func attrOf(s telemetry.SpanData, key string) (interface{}, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// TestStitchedTraceThreeWorkers: a 3-worker job with tracing on must
+// yield ONE trace holding the master's job span AND every worker's task
+// spans, each attached under the job span, with per-worker track rows.
+// The slowtail job (30 ms per map task) keeps all three workers busy so
+// the trace provably spans several processes.
+func TestStitchedTraceThreeWorkers(t *testing.T) {
+	ensureFlightJobs()
+	master, _, _ := newCluster(t, MasterConfig{SplitSize: 1}, 3,
+		WorkerConfig{PollInterval: time.Millisecond})
+	tr := telemetry.NewTracer()
+	rec := telemetry.NewRecorder("stitch")
+	ctx := telemetry.WithRecorder(telemetry.WithTracer(context.Background(), tr), rec)
+	input := [][]byte{
+		[]byte("30"), []byte("30"), []byte("30"),
+		[]byte("30"), []byte("30"), []byte("30"),
+	}
+	if _, err := master.Run(ctx, JobSpec{Name: "slowtail", Reducers: 2}, input); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := indexSpans(tr)
+	jobs := idx.byName["rpcmr-job:slowtail"]
+	if len(jobs) != 1 {
+		t.Fatalf("job spans = %d, want 1", len(jobs))
+	}
+	job := jobs[0]
+	if got := len(idx.byName["map-task"]); got != len(input) {
+		t.Errorf("map-task spans = %d, want %d", got, len(input))
+	}
+	if got := len(idx.byName["reduce-task"]); got != 2 {
+		t.Errorf("reduce-task spans = %d, want 2", got)
+	}
+	workers := map[interface{}]bool{}
+	for _, name := range []string{"map-task", "reduce-task"} {
+		for _, s := range idx.byName[name] {
+			if s.Parent != job.ID {
+				t.Errorf("%s (task %v) parent = %d, want job span %d",
+					name, s.Attrs, s.Parent, job.ID)
+			}
+			if s.Track < 1 {
+				t.Errorf("%s on track %d, want a per-worker row >= 1", name, s.Track)
+			}
+			if w, ok := attrOf(s, "worker"); ok {
+				workers[w] = true
+			}
+		}
+	}
+	if len(workers) < 2 {
+		t.Errorf("task spans from %d worker(s), want >= 2 of the 3", len(workers))
+	}
+	// Every task completion also reached the flight recorder.
+	rep := rec.Report()
+	if len(rep.Tasks) != 6+2 {
+		t.Errorf("recorder tasks = %d, want %d", len(rep.Tasks), 6+2)
+	}
+}
+
+// TestRetriedTaskSpansOnce: when a worker vanishes holding a task and the
+// task is re-run elsewhere, the stitched trace must contain exactly one
+// span per task — the retried task must not appear twice. Map tasks
+// sleep 40 ms so the flaky worker reliably receives (and dies holding) a
+// second task while others are still pending.
+func TestRetriedTaskSpansOnce(t *testing.T) {
+	ensureFlightJobs()
+	mcfg := MasterConfig{SplitSize: 1, TaskLease: 200 * time.Millisecond}
+	master, _, _ := newCluster(t, mcfg, 1,
+		WorkerConfig{VanishAfterTasks: 1, PollInterval: time.Millisecond})
+
+	healthy, err := NewWorker(WorkerConfig{
+		MasterAddr:   master.Addr(),
+		ID:           "healthy",
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { healthy.Close() })
+	go func() { _ = healthy.Run(context.Background()) }()
+
+	tr := telemetry.NewTracer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	input := [][]byte{
+		[]byte("40"), []byte("40"), []byte("40"),
+		[]byte("40"), []byte("40"), []byte("40"),
+	}
+	if _, err := master.Run(telemetry.WithTracer(ctx, tr),
+		JobSpec{Name: "slowtail", Reducers: 2}, input); err != nil {
+		t.Fatal(err)
+	}
+	if master.Status().TaskRetries == 0 {
+		t.Fatal("no retry happened; the regression scenario did not trigger")
+	}
+
+	idx := indexSpans(tr)
+	for _, kind := range []string{"map-task", "reduce-task"} {
+		perTask := map[interface{}]int{}
+		for _, s := range idx.byName[kind] {
+			id, ok := attrOf(s, "task")
+			if !ok {
+				t.Fatalf("%s span without task attr: %v", kind, s.Attrs)
+			}
+			perTask[id]++
+		}
+		for id, n := range perTask {
+			if n != 1 {
+				t.Errorf("%s %v appears %d times in the stitched trace, want exactly 1", kind, id, n)
+			}
+		}
+	}
+	if got := len(idx.byName["map-task"]); got != 6 {
+		t.Errorf("map-task spans = %d, want 6 (one per task, retries deduplicated)", got)
+	}
+}
+
+// TestStragglerDetection: with three ~5 ms tasks establishing the phase
+// median, a 400 ms tail task must be flagged — counter, task record, and
+// span attribute.
+func TestStragglerDetection(t *testing.T) {
+	ensureFlightJobs()
+	reg := telemetry.NewRegistry()
+	master, err := NewMaster(MasterConfig{SplitSize: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { master.Close() })
+	w, err := NewWorker(WorkerConfig{
+		MasterAddr:   master.Addr(),
+		ID:           "w0",
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	go func() { _ = w.Run(context.Background()) }()
+
+	tr := telemetry.NewTracer()
+	rec := telemetry.NewRecorder("slowtail")
+	ctx := telemetry.WithRecorder(telemetry.WithTracer(context.Background(), tr), rec)
+	input := [][]byte{[]byte("5"), []byte("5"), []byte("5"), []byte("400")}
+	if _, err := master.Run(ctx, JobSpec{Name: "slowtail", Reducers: 1}, input); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := rec.Report()
+	if rep.Stragglers != 1 {
+		t.Fatalf("stragglers = %d, want exactly 1 (the 400ms tail); tasks = %+v",
+			rep.Stragglers, rep.Tasks)
+	}
+	found := false
+	for _, task := range rep.Tasks {
+		if task.Straggler {
+			found = true
+			if task.Kind != "map" || task.Seconds < 0.35 {
+				t.Errorf("straggler record = %+v, want the slow map task", task)
+			}
+		}
+	}
+	if !found {
+		t.Error("no task record flagged as straggler")
+	}
+
+	samples, err := telemetry.ParsePrometheus(promText(t, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[`rpcmr_stragglers_total{worker="w0"}`] != 1 {
+		t.Errorf("rpcmr_stragglers_total = %v, want 1", samples[`rpcmr_stragglers_total{worker="w0"}`])
+	}
+
+	marked := 0
+	for _, s := range tr.Spans() {
+		if s.Name != "map-task" {
+			continue
+		}
+		if v, ok := attrOf(s, "straggler"); ok && v == true {
+			marked++
+		}
+	}
+	if marked != 1 {
+		t.Errorf("straggler-marked task spans = %d, want 1", marked)
+	}
+}
+
+// TestUntracedRunShipsNoSpans: with no tracer in the Run context the
+// workers must not fabricate spans (TraceID 0 disables the worker path).
+func TestUntracedRunShipsNoSpans(t *testing.T) {
+	master, _, _ := newCluster(t, MasterConfig{SplitSize: 1}, 2,
+		WorkerConfig{PollInterval: time.Millisecond})
+	res, err := master.Run(context.Background(), JobSpec{Name: "wordcount", Reducers: 2}, wcInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCount(t, res)
+}

@@ -35,6 +35,11 @@ type MasterConfig struct {
 	// task latency histograms (rpcmr_task_seconds), retry/liveness
 	// counters, and job counts. Nil (the default) records nothing.
 	Metrics *telemetry.Registry
+	// StragglerFactor flags a completed task as a straggler when its
+	// duration exceeds this multiple of the running median of completed
+	// task durations in the current phase (with at least minStragglerSamples
+	// medians in hand). Defaults to 2.0.
+	StragglerFactor float64
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -52,6 +57,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.LivenessWindow <= 0 {
 		c.LivenessWindow = 10 * time.Second
+	}
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 2.0
 	}
 	return c
 }
@@ -97,6 +105,17 @@ type jobState struct {
 	redStart     time.Time
 	finished     chan struct{}
 	err          error
+	// Flight-recorder / stitched-trace state. tracer and recorder come
+	// from the Run context (nil when off); traceID doubles as the wire
+	// trace id and the parent span for imported worker spans.
+	tracer     *telemetry.Tracer
+	recorder   *telemetry.Recorder
+	traceID    uint64
+	parentSpan uint64
+	tracks     map[string]int // worker id → Chrome-trace row
+	nextTrack  int
+	durs       []float64 // completed task durations, current phase
+	partStats  map[int]mapreduce.PartStat
 }
 
 // taskState tracks one task of the current phase.
@@ -128,6 +147,9 @@ type JobResult struct {
 	Blocks     map[int]*points.Block
 	MapTime    time.Duration
 	ReduceTime time.Duration
+	// Partitions breaks the map-side shuffle volume down by data-space
+	// partition id (frame jobs only), aggregated from worker reports.
+	Partitions map[int]mapreduce.PartStat
 }
 
 // NewMaster starts a master listening on cfg.Addr.
@@ -242,6 +264,16 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 		phase:    TaskMap,
 		finished: make(chan struct{}),
 		mapStart: time.Now(),
+		// Stitched-trace wiring: worker task spans attach under the job
+		// span; the job span's id doubles as the wire trace id so stale
+		// reports from another job are rejected on import.
+		tracer:     telemetry.TracerFrom(ctx),
+		recorder:   telemetry.RecorderFrom(ctx),
+		traceID:    jobSpan.ID(),
+		parentSpan: jobSpan.ID(),
+		tracks:     make(map[string]int),
+		nextTrack:  1, // track 0 is the master's own timeline row
+		partStats:  make(map[int]mapreduce.PartStat),
 	}
 	// Build map tasks.
 	var splits [][][]byte
@@ -310,7 +342,8 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 		if err != nil {
 			return nil, fmt.Errorf("rpcmr: assembling reduce output frames: %w", err)
 		}
-		return &JobResult{Blocks: blocks, MapTime: js.mapDur, ReduceTime: redDur}, nil
+		return &JobResult{Blocks: blocks, MapTime: js.mapDur, ReduceTime: redDur,
+			Partitions: js.partStats}, nil
 	}
 	pairs := make([]mapreduce.Pair, len(js.out))
 	for i, p := range js.out {
@@ -373,6 +406,7 @@ func (m *Master) startReducePhase(js *jobState) {
 	js.tasks = js.tasks[:0]
 	js.pending = js.pending[:0]
 	js.done = 0
+	js.durs = js.durs[:0] // straggler baseline is per phase
 	for r := 0; r < js.spec.Reducers; r++ {
 		js.tasks = append(js.tasks, &taskState{id: r})
 		js.pending = append(js.pending, r)

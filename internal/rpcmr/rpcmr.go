@@ -16,11 +16,24 @@
 package rpcmr
 
 import (
+	"encoding/gob"
 	"fmt"
 	"sync"
 
 	"repro/internal/mapreduce"
+	"repro/internal/telemetry"
 )
+
+func init() {
+	// SpanData attrs cross the wire as interface values; register the
+	// concrete types spans actually carry so gob can encode them.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
 
 // Job bundles the user code of one MapReduce job. A job is either
 // classic (Mapper + Reducer, per-pair gob traffic) or framed
@@ -160,6 +173,14 @@ type TaskReply struct {
 	// Reduce payload (frame path): sealed frame streams for this
 	// reducer, one per contributing map task, in map-task order.
 	FrameStreams [][]byte
+	// TraceID, ParentSpan and Track propagate the master's trace to the
+	// worker: a non-zero TraceID asks the worker to record its task span
+	// tree (rooted under ParentSpan, pinned to Chrome-trace row Track) and
+	// ship it back on the result report, stitching one cross-process
+	// timeline. Zero means tracing is off.
+	TraceID    uint64
+	ParentSpan uint64
+	Track      int
 }
 
 // MapResultArgs reports a finished map task: output pairs partitioned by
@@ -179,6 +200,16 @@ type MapResultArgs struct {
 	Final bool
 	// Err is a non-empty string if the task failed on the worker.
 	Err string
+	// Spans is the worker-side span tree of this task (worker-local IDs;
+	// the master remaps them on import). Only successful reports carry
+	// spans, so a retried task contributes exactly one span tree to the
+	// stitched trace. TraceID echoes TaskReply.TraceID so stale reports
+	// from a previous job cannot pollute the current trace.
+	Spans   []telemetry.SpanData
+	TraceID uint64
+	// PartStats breaks the task's map output down by data-space partition
+	// (frame path only), feeding the flight recorder's skew picture.
+	PartStats map[int]mapreduce.PartStat
 }
 
 // ReduceResultArgs reports a finished reduce task.
@@ -192,6 +223,9 @@ type ReduceResultArgs struct {
 	// Final tells the master not to piggyback another assignment.
 	Final bool
 	Err   string
+	// Spans/TraceID: worker-side task spans, as on MapResultArgs.
+	Spans   []telemetry.SpanData
+	TraceID uint64
 }
 
 // ResultReply acknowledges a result report.

@@ -1,11 +1,16 @@
 package rpcmr
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
 	"repro/internal/telemetry"
 )
+
+// minStragglerSamples is how many completed task durations the current
+// phase must have before the straggler detector trusts its median.
+const minStragglerSamples = 3
 
 // MasterService is the net/rpc surface of a Master. All methods follow the
 // rpc contract: exported, two args, error return.
@@ -69,6 +74,19 @@ func (m *Master) assignTask(worker string, reply *TaskReply) {
 	reply.Params = js.spec.Params
 	reply.Reducers = js.spec.Reducers
 	reply.Framed = js.framed
+	if js.tracer != nil {
+		// Each worker gets its own Chrome-trace row so the stitched trace
+		// reads like the cluster's real timeline.
+		track, ok := js.tracks[worker]
+		if !ok {
+			track = js.nextTrack
+			js.nextTrack++
+			js.tracks[worker] = track
+		}
+		reply.TraceID = js.traceID
+		reply.ParentSpan = js.parentSpan
+		reply.Track = track
+	}
 	switch js.phase {
 	case TaskMap:
 		reply.Records = js.splitData[id]
@@ -123,9 +141,16 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	t.complete = true
 	t.running = false
 	m.observeTask(t, "map", args.WorkerID)
+	m.recordCompletion(js, t, "map", args.WorkerID, args.Spans, args.TraceID)
 	if js.framed {
 		js.frameOut[args.TaskID] = args.FrameParts
 		m.observeFrameBytes(args.WorkerID, args.FrameParts)
+		for id, ps := range args.PartStats {
+			acc := js.partStats[id]
+			acc.Records += ps.Records
+			acc.Bytes += ps.Bytes
+			js.partStats[id] = acc
+		}
 	} else {
 		js.mapOut[args.TaskID] = args.Partitions
 	}
@@ -178,6 +203,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	t.complete = true
 	t.running = false
 	m.observeTask(t, "reduce", args.WorkerID)
+	m.recordCompletion(js, t, "reduce", args.WorkerID, args.Spans, args.TraceID)
 	if js.framed {
 		js.outFrames[args.TaskID] = args.Frames
 	} else {
@@ -189,6 +215,70 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 		m.finish(js, nil)
 	}
 	return nil
+}
+
+// recordCompletion (mu held) runs the flight-recorder side of one
+// *accepted* task completion: straggler detection against the running
+// phase median, the TaskRecord, and the import of the worker's span tree
+// into the master's tracer. Because only the first accepted report of a
+// task reaches here (first-writer-wins) and error reports carry no
+// spans, a retried task contributes exactly one span tree to the
+// stitched trace.
+func (m *Master) recordCompletion(js *jobState, t *taskState, kind, worker string, spans []telemetry.SpanData, traceID uint64) {
+	dur := time.Since(t.startedAt).Seconds()
+	straggler := false
+	if len(js.durs) >= minStragglerSamples {
+		med := median(js.durs)
+		if med > 0 && dur > m.cfg.StragglerFactor*med {
+			straggler = true
+			if reg := m.cfg.Metrics; reg != nil {
+				reg.Counter("rpcmr_stragglers_total", telemetry.L("worker", worker)).Inc()
+			}
+		}
+	}
+	js.durs = append(js.durs, dur)
+
+	js.recorder.RecordTask(telemetry.TaskRecord{
+		Job:       js.spec.Name,
+		Kind:      kind,
+		Task:      t.id,
+		Attempt:   t.attempt,
+		Worker:    worker,
+		Seconds:   dur,
+		Straggler: straggler,
+	})
+
+	if js.tracer != nil && traceID == js.traceID && len(spans) > 0 {
+		if straggler {
+			// Mark the batch roots (the task spans) before import, so the
+			// flag survives into the stitched trace.
+			inBatch := make(map[uint64]bool, len(spans))
+			for _, s := range spans {
+				inBatch[s.ID] = true
+			}
+			for i := range spans {
+				if !inBatch[spans[i].Parent] {
+					spans[i].Attrs = append(spans[i].Attrs, telemetry.A("straggler", true))
+				}
+			}
+		}
+		js.tracer.Import(js.parentSpan, spans)
+	}
+}
+
+// median returns the middle value of xs (mean of the two middles for
+// even lengths) without mutating it.
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
 }
 
 // countRetry (mu held) books one task re-execution. cause is "report"

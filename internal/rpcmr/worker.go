@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/telemetry"
 )
 
 // WorkerConfig tunes worker behaviour.
@@ -159,23 +160,50 @@ func (w *Worker) willStop() bool {
 	return w.cfg.FailAfterTasks > 0 && w.completed+1 >= w.cfg.FailAfterTasks
 }
 
+// taskSpan starts a worker-local span tree for one task when the master
+// asked for tracing (task.TraceID != 0). The returned finish callback
+// ends the span and hands back the recorded SpanData batch (nil when
+// tracing is off or the task failed — error reports must not ship spans,
+// or a retried task would appear twice in the stitched trace).
+func (w *Worker) taskSpan(task TaskReply, name string, records int) (span *telemetry.Span, finish func(failed bool) []telemetry.SpanData) {
+	if task.TraceID == 0 {
+		return nil, func(bool) []telemetry.SpanData { return nil }
+	}
+	tracer := telemetry.NewTracer()
+	_, span = telemetry.StartSpan(telemetry.WithTracer(context.Background(), tracer), name,
+		telemetry.A("task", task.TaskID), telemetry.A("attempt", task.Attempt),
+		telemetry.A("worker", w.cfg.ID), telemetry.A("records", records))
+	span.SetTrack(task.Track)
+	return span, func(failed bool) []telemetry.SpanData {
+		span.End()
+		if failed {
+			return nil
+		}
+		return tracer.Spans()
+	}
+}
+
 func (w *Worker) runMap(task TaskReply) (TaskReply, error) {
 	args := MapResultArgs{
 		WorkerID: w.cfg.ID,
 		TaskID:   task.TaskID,
 		Attempt:  task.Attempt,
 		Final:    w.willStop(),
+		TraceID:  task.TraceID,
 	}
+	span, finish := w.taskSpan(task, "map-task", len(task.Records))
 	var err error
 	if task.Framed {
-		args.FrameParts, err = executeMapFramed(task)
+		args.FrameParts, args.PartStats, err = executeMapFramed(task)
 	} else {
 		args.Partitions, err = executeMap(task)
 	}
 	if err != nil {
 		args.Err = err.Error()
-		args.Partitions, args.FrameParts = nil, nil
+		args.Partitions, args.FrameParts, args.PartStats = nil, nil, nil
+		span.SetAttr("error", err.Error())
 	}
+	args.Spans = finish(err != nil)
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportMap", args, &reply); err != nil {
 		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report map: %w", w.cfg.ID, err)
@@ -189,7 +217,9 @@ func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 		TaskID:   task.TaskID,
 		Attempt:  task.Attempt,
 		Final:    w.willStop(),
+		TraceID:  task.TraceID,
 	}
+	span, finish := w.taskSpan(task, "reduce-task", len(task.Groups))
 	var err error
 	if task.Framed {
 		args.Frames, err = executeReduceFramed(task)
@@ -199,7 +229,9 @@ func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 	if err != nil {
 		args.Err = err.Error()
 		args.Pairs, args.Frames = nil, nil
+		span.SetAttr("error", err.Error())
 	}
+	args.Spans = finish(err != nil)
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportReduce", args, &reply); err != nil {
 		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report reduce: %w", w.cfg.ID, err)
@@ -271,16 +303,19 @@ func combineWire(combiner mapreduce.Reducer, pairs []WirePair) ([]WirePair, erro
 // records, and the sealed per-reducer streams ship as single batched
 // payloads — one gob slice per reducer instead of one WirePair per
 // point, byte-identical to what the in-process engine would shuffle.
-func executeMapFramed(task TaskReply) ([][]byte, error) {
+func executeMapFramed(task TaskReply) ([][]byte, map[int]mapreduce.PartStat, error) {
 	job, err := lookupJob(task.JobName, task.Params)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !job.framed() {
-		return nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
+		return nil, nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
 	}
-	streams, _, err := mapreduce.BuildFrames(task.Records, task.Reducers, job.FrameMapper, job.FrameCombiner)
-	return streams, err
+	streams, st, err := mapreduce.BuildFrames(task.Records, task.Reducers, job.FrameMapper, job.FrameCombiner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return streams, st.Partitions, nil
 }
 
 // executeReduceFramed folds one reducer's frame streams into a single

@@ -1,0 +1,127 @@
+package skyjob
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/telemetry"
+)
+
+// TestClusterFlightRecord: a recorded cluster run must produce a flight
+// report that covers every planned partition, reproduces the pipeline's
+// own Eq. (5) optimality, carries per-task records, and publishes the
+// skew rollups into the master's /metrics exposition.
+func TestClusterFlightRecord(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	master := startMeteredCluster(t, 3, reg)
+	rec := telemetry.NewRecorder("skyline:MR-Angle")
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	data := uniformSet(11, 900, 3)
+	res, err := Compute(ctx, master, data, partition.Angular, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The angular partitioner may round the requested 6 up to a regular
+	// split product; the report must cover the count actually planned.
+	spec, err := SpecFor(data, partition.Angular, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitions := part.Partitions()
+
+	rep := rec.Report()
+	if len(rep.Partitions) != partitions {
+		t.Fatalf("report covers %d partitions, want %d", len(rep.Partitions), partitions)
+	}
+	if math.Abs(rep.Optimality-res.Optimality()) > 1e-9 {
+		t.Errorf("recorder optimality %.12f != pipeline optimality %.12f",
+			rep.Optimality, res.Optimality())
+	}
+	if rep.GlobalSkyline != len(res.Skyline) {
+		t.Errorf("global skyline = %d, want %d", rep.GlobalSkyline, len(res.Skyline))
+	}
+	for _, p := range rep.Partitions {
+		if got := len(res.LocalSkylines[p.Partition]); got != p.LocalSkyline {
+			t.Errorf("p%d local skyline = %d, result says %d", p.Partition, p.LocalSkyline, got)
+		}
+		if p.GlobalSurvivors > p.LocalSkyline {
+			t.Errorf("p%d survivors %d > local skyline %d", p.Partition, p.GlobalSurvivors, p.LocalSkyline)
+		}
+	}
+	// Both jobs' task completions are recorded (at least one map and one
+	// reduce task each).
+	kinds := map[string]int{}
+	for _, task := range rep.Tasks {
+		kinds[task.Kind]++
+	}
+	if kinds["map"] == 0 || kinds["reduce"] == 0 {
+		t.Errorf("task records by kind = %v, want both map and reduce", kinds)
+	}
+	// A clean run surfaces zero retries/failures — the fields exist and
+	// mirror rpcmr.Status rather than being dropped.
+	st := master.Status()
+	if rep.TaskRetries != st.TaskRetries || rep.WorkerFailures != st.WorkerFailures {
+		t.Errorf("report retries/failures = %d/%d, status says %d/%d",
+			rep.TaskRetries, rep.WorkerFailures, st.TaskRetries, st.WorkerFailures)
+	}
+
+	// The Publish bridge landed the rollups in the Prometheus exposition.
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("metrics exposition does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"skyline_load_max", "skyline_load_mean", "skyline_load_imbalance",
+		"skyline_load_gini", "skyline_local_optimality", "skyline_stragglers",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if math.Abs(samples["skyline_local_optimality"]-rep.Optimality) > 1e-9 {
+		t.Errorf("exposed optimality %v != report %v",
+			samples["skyline_local_optimality"], rep.Optimality)
+	}
+
+	// And the flight JSON round-trips through the /debug handler.
+	mux2 := http.NewServeMux()
+	telemetry.MountFlightRecorder(mux2, func() *telemetry.Recorder { return rec })
+	srv2 := httptest.NewServer(mux2)
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + telemetry.FlightRecorderPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var decoded telemetry.Report
+	if err := json.NewDecoder(resp2.Body).Decode(&decoded); err != nil {
+		t.Fatalf("flight JSON does not decode: %v", err)
+	}
+	if len(decoded.Partitions) != partitions {
+		t.Errorf("served report covers %d partitions, want %d", len(decoded.Partitions), partitions)
+	}
+}

@@ -316,6 +316,18 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 		telemetry.A("points", len(data)),
 		telemetry.A("partitions", spec.Partitions))
 	defer rootSpan.End()
+	rec := telemetry.RecorderFrom(ctx)
+	// The partitioners may round the requested count up to a regular
+	// shape (e.g. angular split products), so cover the count the built
+	// partitioner actually uses — every planned partition appears in the
+	// flight record even when it receives no data.
+	if rec != nil {
+		if p, err := spec.Build(); err == nil {
+			rec.EnsurePartitions(p.Partitions())
+		} else {
+			rec.EnsurePartitions(spec.Partitions)
+		}
+	}
 	input := make([][]byte, len(data))
 	for i, p := range data {
 		input[i] = points.Encode(p)
@@ -364,6 +376,15 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 				telemetry.L("partition", strconv.Itoa(id))).Set(float64(len(ls)))
 		}
 	}
+	// Partition job evidence: shuffle volume per partition (frame path
+	// reports it; the classic transport has no per-partition volume) and
+	// local skyline sizes.
+	for id, ps := range res1.Partitions {
+		rec.AddPartitionShuffle(id, ps.Records, ps.Bytes)
+	}
+	for id, ls := range local {
+		rec.SetLocalSkyline(id, len(ls))
+	}
 	mergeCtx, mergeSpan := telemetry.StartSpan(ctx, "merging-job")
 	res2, err := master.Run(mergeCtx, rpcmr.JobSpec{Name: MergeJobName, Params: params, Reducers: 1}, mergeInput)
 	mergeSpan.End()
@@ -387,6 +408,18 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 	}
 	if reg := master.Metrics(); reg != nil {
 		reg.Gauge("skyline_global_size").Set(float64(len(sky)))
+	}
+	// Merge evidence: per-partition survivors (the Eq. (5) numerator) are
+	// computed here, where local skylines and the global skyline are both
+	// in hand, then the rollups are bridged into the master's registry.
+	if rec != nil {
+		for id, hits := range metrics.GlobalSurvivors(local, sky) {
+			rec.SetGlobalSurvivors(id, hits)
+		}
+		rec.SetGlobalSkyline(len(sky))
+		st := master.Status()
+		rec.SetRetryCounts(st.TaskRetries, st.WorkerFailures)
+		rec.Publish(master.Metrics())
 	}
 	return &Result{
 		Skyline:       sky,

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The exposition writer escapes label values (\ → \\, newline → \n,
+// " → \"); ParsePrometheus reads sample names exactly as rendered. The
+// tests below pin the round trip: every series written with a hostile
+// label value must come back as exactly one sample whose name is the
+// canonical seriesID and whose value survives, and distinct raw values
+// must never collide after escaping.
+
+func TestEscapeLabelRoundTripHostileValues(t *testing.T) {
+	values := []string{
+		`plain`,
+		`back\slash`,
+		`double\\backslash`,
+		`trailing\`,
+		`qu"ote`,
+		"new\nline",
+		"\n",
+		`\n`, // literal backslash-n, distinct from a real newline
+		`\"`,
+		"mix\\of\n\"all\"\nthree\\",
+		`spa ce and {braces} and = signs`,
+		``,
+	}
+	r := NewRegistry()
+	for i, v := range values {
+		r.Counter("escape_rt_total", L("v", v)).Add(int64(i + 1))
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(sb.String())
+	if err != nil {
+		t.Fatalf("hostile exposition does not parse: %v\n%s", err, sb.String())
+	}
+	for i, v := range values {
+		name := seriesID("escape_rt_total", []Label{L("v", v)})
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("value %q: no sample named %q in parsed output", v, name)
+			continue
+		}
+		if got != float64(i+1) {
+			t.Errorf("value %q: sample = %v, want %d", v, got, i+1)
+		}
+	}
+	// Injectivity: n distinct raw values must yield n distinct series.
+	n := 0
+	for name := range samples {
+		if strings.HasPrefix(name, "escape_rt_total{") {
+			n++
+		}
+	}
+	if n != len(values) {
+		t.Errorf("distinct series = %d, want %d (escaping collided)\n%s", n, len(values), sb.String())
+	}
+}
+
+// TestEscapeLabelInjective drives the escaper directly: no two distinct
+// inputs over the hostile alphabet may render identically.
+func TestEscapeLabelInjective(t *testing.T) {
+	alphabet := []byte{'a', '\\', '"', '\n', 'n'}
+	var inputs []string
+	var build func(prefix string, depth int)
+	build = func(prefix string, depth int) {
+		inputs = append(inputs, prefix)
+		if depth == 0 {
+			return
+		}
+		for _, c := range alphabet {
+			build(prefix+string(c), depth-1)
+		}
+	}
+	build("", 3) // all strings of length ≤ 3 over the alphabet
+	seen := make(map[string]string, len(inputs))
+	for _, in := range inputs {
+		esc := escapeLabel(in)
+		if strings.ContainsAny(esc, "\n") {
+			t.Errorf("escapeLabel(%q) = %q still contains a newline", in, esc)
+		}
+		if prev, ok := seen[esc]; ok {
+			t.Errorf("escapeLabel collision: %q and %q both render %q", prev, in, esc)
+		}
+		seen[esc] = in
+	}
+}
+
+// TestEscapeRoundTripProperty is the randomized version: a registry of
+// series with random label values over a hostile alphabet must write,
+// parse, and account for every series with the right value.
+func TestEscapeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []rune{'x', 'y', '\\', '"', '\n', ' ', '{', '}', '=', ','}
+	for iter := 0; iter < 50; iter++ {
+		r := NewRegistry()
+		want := make(map[string]float64)
+		for s := 0; s < 20; s++ {
+			n := rng.Intn(12)
+			runes := make([]rune, n)
+			for i := range runes {
+				runes[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			v := string(runes)
+			id := seriesID("prop_total", []Label{L("v", v)})
+			if _, dup := want[id]; dup {
+				continue // same random value drawn twice
+			}
+			val := float64(rng.Intn(1000) + 1)
+			r.Counter("prop_total", L("v", v)).Add(int64(val))
+			want[id] = val
+		}
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParsePrometheus(sb.String())
+		if err != nil {
+			t.Fatalf("iter %d: exposition does not parse: %v\n%s", iter, err, sb.String())
+		}
+		for id, val := range want {
+			if samples[id] != val {
+				t.Errorf("iter %d: %q = %v, want %v", iter, id, samples[id], val)
+			}
+		}
+	}
+}

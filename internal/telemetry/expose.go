@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -90,6 +91,31 @@ func (r *Registry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
+	})
+}
+
+// FlightRecorderPath is where MountFlightRecorder serves the report.
+const FlightRecorderPath = "/debug/flightrecorder"
+
+// MountFlightRecorder serves the current flight record of the job as
+// JSON at /debug/flightrecorder. source is called per request and may
+// return nil (no job recorded yet → 404), so binaries can swap recorders
+// between jobs without re-mounting.
+func MountFlightRecorder(mux *http.ServeMux, source func() *Recorder) {
+	mux.HandleFunc(FlightRecorderPath, func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rec := source()
+		if rec == nil {
+			http.Error(w, "no flight record", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec.Report())
 	})
 }
 

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.EnsurePartitions(4)
+	r.AddPartitionShuffle(0, 10, 100)
+	r.SetPartitionInput(1, 5)
+	r.SetLocalSkyline(0, 3)
+	r.SetGlobalSurvivors(0, 2)
+	r.SetGlobalSkyline(7)
+	r.RecordTask(TaskRecord{Kind: "map"})
+	r.SetRetryCounts(1, 2)
+	r.Publish(NewRegistry())
+	if rep := r.Report(); rep != nil {
+		t.Errorf("nil recorder Report = %+v, want nil", rep)
+	}
+}
+
+func TestRecorderOptimality(t *testing.T) {
+	r := NewRecorder("test")
+	r.EnsurePartitions(4)
+	// p0: 4 local, 2 survive → 0.5. p1: 2 local, 2 survive → 1.0.
+	// p2: empty local skyline → excluded from the mean. p3: untouched.
+	r.SetLocalSkyline(0, 4)
+	r.SetGlobalSurvivors(0, 2)
+	r.SetLocalSkyline(1, 2)
+	r.SetGlobalSurvivors(1, 2)
+	r.SetGlobalSkyline(4)
+
+	rep := r.Report()
+	if len(rep.Partitions) != 4 {
+		t.Fatalf("partitions = %d, want 4 (EnsurePartitions)", len(rep.Partitions))
+	}
+	for i, p := range rep.Partitions {
+		if p.Partition != i {
+			t.Errorf("partition[%d].Partition = %d, want sorted ids", i, p.Partition)
+		}
+	}
+	if got := rep.Partitions[0].Optimality; got != 0.5 {
+		t.Errorf("p0 optimality = %v, want 0.5", got)
+	}
+	if got := rep.Partitions[1].Optimality; got != 1.0 {
+		t.Errorf("p1 optimality = %v, want 1.0", got)
+	}
+	if got := rep.Partitions[2].Optimality; got != 0 {
+		t.Errorf("empty partition optimality = %v, want 0", got)
+	}
+	// Eq. (5): mean over non-empty partitions only.
+	if got := rep.Optimality; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("job optimality = %v, want 0.75", got)
+	}
+	if rep.GlobalSkyline != 4 {
+		t.Errorf("global skyline = %d, want 4", rep.GlobalSkyline)
+	}
+}
+
+func TestRecorderSkew(t *testing.T) {
+	r := NewRecorder("skew")
+	for id, load := range []int64{1, 2, 3, 4} {
+		r.AddPartitionShuffle(id, load, load*10)
+	}
+	rep := r.Report()
+	if rep.Skew.MaxLoad != 4 {
+		t.Errorf("max load = %d, want 4", rep.Skew.MaxLoad)
+	}
+	if math.Abs(rep.Skew.MeanLoad-2.5) > 1e-12 {
+		t.Errorf("mean load = %v, want 2.5", rep.Skew.MeanLoad)
+	}
+	if math.Abs(rep.Skew.Imbalance-1.6) > 1e-12 {
+		t.Errorf("imbalance = %v, want 1.6", rep.Skew.Imbalance)
+	}
+	// Gini of [1,2,3,4] via mean absolute difference:
+	// ΣΣ|xi−xj| = 2·(1+2+3+1+2+1) = 20; G = 20/(2·16·2.5) = 0.25.
+	if math.Abs(rep.Skew.Gini-0.25) > 1e-12 {
+		t.Errorf("gini = %v, want 0.25", rep.Skew.Gini)
+	}
+	if rep.Partitions[3].ShuffleBytes != 40 {
+		t.Errorf("p3 shuffle bytes = %d, want 40", rep.Partitions[3].ShuffleBytes)
+	}
+}
+
+func TestRecorderSkewUniformAndEmpty(t *testing.T) {
+	r := NewRecorder("uniform")
+	for id := 0; id < 3; id++ {
+		r.SetPartitionInput(id, 5)
+	}
+	rep := r.Report()
+	if rep.Skew.Gini != 0 {
+		t.Errorf("uniform gini = %v, want 0", rep.Skew.Gini)
+	}
+	if rep.Skew.Imbalance != 1 {
+		t.Errorf("uniform imbalance = %v, want 1", rep.Skew.Imbalance)
+	}
+	if rep := NewRecorder("empty").Report(); rep.Skew != (Skew{}) {
+		t.Errorf("empty skew = %+v, want zero", rep.Skew)
+	}
+}
+
+// TestRecorderSkewFallback: with no input-record counts (the classic
+// rpcmr transport), skew must be computed over local skyline sizes.
+func TestRecorderSkewFallback(t *testing.T) {
+	r := NewRecorder("fallback")
+	r.SetLocalSkyline(0, 10)
+	r.SetLocalSkyline(1, 30)
+	rep := r.Report()
+	if rep.Skew.MaxLoad != 30 {
+		t.Errorf("fallback max load = %d, want 30 (local skyline)", rep.Skew.MaxLoad)
+	}
+	if math.Abs(rep.Skew.MeanLoad-20) > 1e-12 {
+		t.Errorf("fallback mean load = %v, want 20", rep.Skew.MeanLoad)
+	}
+}
+
+func TestRecorderTasksAndRetries(t *testing.T) {
+	r := NewRecorder("tasks")
+	r.RecordTask(TaskRecord{Job: "j", Kind: "map", Task: 0, Seconds: 0.1})
+	r.RecordTask(TaskRecord{Job: "j", Kind: "map", Task: 1, Seconds: 2.5, Straggler: true})
+	r.SetRetryCounts(3, 1)
+	rep := r.Report()
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks = %d, want 2", len(rep.Tasks))
+	}
+	if rep.Stragglers != 1 {
+		t.Errorf("stragglers = %d, want 1", rep.Stragglers)
+	}
+	if rep.TaskRetries != 3 || rep.WorkerFailures != 1 {
+		t.Errorf("retries/failures = %d/%d, want 3/1", rep.TaskRetries, rep.WorkerFailures)
+	}
+}
+
+func TestRecorderPublish(t *testing.T) {
+	r := NewRecorder("pub")
+	r.SetPartitionInput(0, 10)
+	r.SetPartitionInput(1, 30)
+	r.SetLocalSkyline(0, 4)
+	r.SetGlobalSurvivors(0, 1)
+	reg := NewRegistry()
+	r.Publish(reg)
+	snap := reg.Snapshot()
+	if snap.Gauges["skyline_load_max"] != 30 {
+		t.Errorf("skyline_load_max = %v", snap.Gauges["skyline_load_max"])
+	}
+	if snap.Gauges["skyline_local_optimality"] != 0.25 {
+		t.Errorf("skyline_local_optimality = %v", snap.Gauges["skyline_local_optimality"])
+	}
+	if snap.Gauges[`skyline_partition_optimality{partition="0"}`] != 0.25 {
+		t.Errorf("per-partition gauge missing: %v", snap.Gauges)
+	}
+}
+
+func TestMountFlightRecorder(t *testing.T) {
+	var rec *Recorder
+	mux := http.NewServeMux()
+	MountFlightRecorder(mux, func() *Recorder { return rec })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// No recorder yet → 404.
+	resp, err := http.Get(srv.URL + FlightRecorderPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status with nil recorder = %d, want 404", resp.StatusCode)
+	}
+
+	rec = NewRecorder("http-job")
+	rec.EnsurePartitions(2)
+	rec.SetLocalSkyline(0, 3)
+	rec.SetGlobalSurvivors(0, 3)
+	resp, err = http.Get(srv.URL + FlightRecorderPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("flight JSON does not decode: %v", err)
+	}
+	if rep.Job != "http-job" || len(rep.Partitions) != 2 {
+		t.Errorf("decoded report = %+v", rep)
+	}
+
+	// POST is rejected.
+	resp, err = http.Post(srv.URL+FlightRecorderPath, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestTracerImport: importing a worker batch must remap IDs to fresh
+// local ones, keep intra-batch parent links, attach batch roots under
+// the given parent, and preserve tracks and attrs.
+func TestTracerImport(t *testing.T) {
+	master := NewTracer()
+	// Local span occupies ID 1, so worker IDs would collide unremapped.
+	_, s := StartSpan(WithTracer(context.Background(), master), "job")
+	s.End()
+
+	worker := []SpanData{
+		{ID: 1, Parent: 0, Name: "map-task", Track: 3, Attrs: []Attr{A("task", 7)}},
+		{ID: 2, Parent: 1, Name: "inner", Track: 3},
+	}
+	master.Import(s.ID(), worker)
+
+	spans := master.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	ids := map[uint64]bool{}
+	for _, sd := range spans {
+		byName[sd.Name] = sd
+		if ids[sd.ID] {
+			t.Fatalf("duplicate span ID %d after import", sd.ID)
+		}
+		ids[sd.ID] = true
+	}
+	task := byName["map-task"]
+	if task.Parent != s.ID() {
+		t.Errorf("batch root parent = %d, want job span %d", task.Parent, s.ID())
+	}
+	if task.Track != 3 {
+		t.Errorf("track not preserved: %d", task.Track)
+	}
+	if len(task.Attrs) != 1 || task.Attrs[0].Key != "task" {
+		t.Errorf("attrs not preserved: %v", task.Attrs)
+	}
+	inner := byName["inner"]
+	if inner.Parent != task.ID {
+		t.Errorf("intra-batch parent link broken: inner.Parent = %d, task.ID = %d", inner.Parent, task.ID)
+	}
+}
+
+func TestTracerImportEmptyAndNil(t *testing.T) {
+	var nilT *Tracer
+	nilT.Import(1, []SpanData{{ID: 1}}) // must not panic
+	tr := NewTracer()
+	tr.Import(1, nil)
+	if n := len(tr.Spans()); n != 0 {
+		t.Errorf("spans after empty import = %d", n)
+	}
+}

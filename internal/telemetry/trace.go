@@ -118,6 +118,15 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 	return context.WithValue(ctx, spanKey, s), s
 }
 
+// ID returns the span's tracer-local id (0 for a nil span) — the handle
+// propagated across processes so remote children can attach under it.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
 // SetAttr annotates the span.
 func (s *Span) SetAttr(key string, value interface{}) {
 	if s == nil {
@@ -194,6 +203,35 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.spans = t.spans[:0]
 	t.mu.Unlock()
+}
+
+// Import grafts externally recorded spans — e.g. shipped back from a
+// worker process — into this tracer, stitching one cross-process trace.
+// Span IDs are remapped to fresh local IDs (worker-local counters would
+// collide with the master's), parent links *within* the batch are
+// preserved, and batch roots (spans whose parent is absent from the
+// batch) are attached under parent. Attrs and tracks ride along
+// untouched, so a worker that pinned its task span to a track hint keeps
+// its timeline row in the stitched Chrome trace.
+func (t *Tracer) Import(parent uint64, spans []SpanData) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	remap := make(map[uint64]uint64, len(spans))
+	for _, s := range spans {
+		remap[s.ID] = t.nextID.Add(1)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		s.ID = remap[s.ID]
+		if newParent, ok := remap[s.Parent]; ok {
+			s.Parent = newParent
+		} else {
+			s.Parent = parent
+		}
+		t.spans = append(t.spans, s)
+	}
 }
 
 // chromeEvent is one trace_event entry ("X" = complete event).
