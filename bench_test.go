@@ -206,6 +206,7 @@ func BenchmarkSkyline(b *testing.B) {
 	data := qws.Generate(2012, benchSmallN, 4)
 	run := func(b *testing.B, opts driver.Options, ctx context.Context) {
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			sky, _, err := driver.Compute(ctx, data, opts)
 			if err != nil {
@@ -230,6 +231,19 @@ func BenchmarkSkyline(b *testing.B) {
 		opts.Metrics = telemetry.NewRegistry()
 		tr := telemetry.NewTracer()
 		run(b, opts, telemetry.WithTracer(context.Background(), tr))
+	})
+	// events=off vs events=on is the live-operations regression gate:
+	// the event log hears only job/phase/task/spill boundaries — never
+	// per-record work — so the instrumented run must stay within noise
+	// (< 2%) of the uninstrumented one.
+	b.Run("events=off", func(b *testing.B) {
+		run(b, base, context.Background())
+	})
+	// The ring wraps during the run (as any long-lived process's does),
+	// so the split measures steady-state recycling, not cold fill.
+	b.Run("events=on", func(b *testing.B) {
+		log := telemetry.NewEventLog(256)
+		run(b, base, telemetry.WithEventLog(context.Background(), log))
 	})
 	b.Run("kernel=flat", func(b *testing.B) {
 		run(b, base, context.Background())

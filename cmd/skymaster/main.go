@@ -6,16 +6,25 @@
 //
 //	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
 //	          [-partitions 8] [-reducers 4] [-min-workers 1]
+//	          [-liveness 10s] [-linger 0s]
 //	          [-metrics-addr 127.0.0.1:9090] [-trace run.json]
 //	          [-flight-out flight.json] [-header] input.csv
 //
 // With -metrics-addr, the master serves /metrics (Prometheus text),
-// /debug/pprof/ and /debug/flightrecorder (the job's flight record as
-// JSON) on a second listener for the run's duration. With -trace, the
-// two-job run — including the workers' task spans, shipped back over RPC
-// and stitched under one trace — is recorded as Chrome trace_event JSON,
+// /debug/pprof/, /debug/flightrecorder (the job's flight record as
+// JSON), /debug/events (the structured event stream as JSON lines) and
+// /debug/health (worker states, queue depth, phase progress) on a second
+// listener — the surface `skytop` renders. With -trace, the two-job run
+// — including the workers' task spans, shipped back over RPC and
+// stitched under one trace — is recorded as Chrome trace_event JSON,
 // loadable in chrome://tracing or Perfetto. With -flight-out, the flight
-// record is also written to a file.
+// record is also written to a file. With -linger, the master keeps the
+// debug endpoints up for that long after the job finishes (or until
+// SIGINT/SIGTERM) so dashboards and CI can inspect the completed run.
+//
+// On SIGINT/SIGTERM the master drains workers, emits a final shutdown
+// event, and flushes the event log plus a last metrics snapshot to
+// stderr before exiting.
 //
 // Start workers with: skyworker -master <addr>.
 package main
@@ -25,8 +34,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	skymr "repro"
@@ -44,7 +56,11 @@ func main() {
 	minWorkers := flag.Int("min-workers", 1, "wait for at least this many workers before starting")
 	header := flag.Bool("header", false, "input has a header row")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall job timeout")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
+	liveness := flag.Duration("liveness", 10*time.Second,
+		"heartbeat window: a worker silent this long is suspect, 3x this long is dead")
+	linger := flag.Duration("linger", 0,
+		"keep serving debug endpoints this long after the job (0 = exit immediately)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/* on this address (empty = off)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
 	flightFile := flag.String("flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
 	flag.Parse()
@@ -54,13 +70,15 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header, *timeout, *metricsAddr, *traceFile, *flightFile); err != nil {
+	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header,
+		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, method, path string, partitions, reducers, minWorkers int, header bool, timeout time.Duration, metricsAddr, traceFile, flightFile string) error {
+func run(addr, method, path string, partitions, reducers, minWorkers int, header bool,
+	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile string) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -78,39 +96,75 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		return fmt.Errorf("no data rows in %s", path)
 	}
 
-	// The flight recorder is always on: it is one small struct per job,
-	// and both -flight-out and /debug/flightrecorder read from it.
+	// The flight recorder and event log are always on: both are small
+	// bounded structures, and /debug/flightrecorder and /debug/events
+	// read from them.
 	recorder := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
+	events := telemetry.NewEventLog(2048)
 
 	var metrics *telemetry.Registry
 	if metricsAddr != "" {
 		metrics = telemetry.NewRegistry()
 		telemetry.RegisterProcessMetrics(metrics)
+		events.BindMetrics(metrics)
+	}
+
+	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{
+		Addr:           addr,
+		LivenessWindow: liveness,
+		Metrics:        metrics,
+		Events:         events,
+	})
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+
+	if metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
 		telemetry.MountPprof(mux)
 		telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
+		telemetry.MountEvents(mux, events)
+		telemetry.MountHealth(mux, func() any { return master.Health() })
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "skymaster: metrics server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "skymaster: metrics on http://%s/metrics\n", metricsAddr)
+		fmt.Fprintf(os.Stderr, "skymaster: metrics on http://%s/metrics, health on /debug/health, events on /debug/events\n", metricsAddr)
 	}
 
-	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{Addr: addr, Metrics: metrics})
-	if err != nil {
-		return err
-	}
-	defer master.Close()
+	// Signal handling: first SIGINT/SIGTERM drains the cluster and aborts
+	// the run; the deferred dump below flushes the operational record.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	signalled := func() bool { return sigCtx.Err() != nil }
+	defer func() {
+		master.Drain()
+		// One poll interval of grace so idle workers pick up the
+		// TaskShutdown notice before the listener goes away.
+		time.Sleep(200 * time.Millisecond)
+		events.Info("shutdown", telemetry.A("signalled", signalled()))
+		if signalled() {
+			// Flush the event log and a last metrics snapshot so an
+			// interrupted run still leaves its operational record behind.
+			fmt.Fprintln(os.Stderr, "skymaster: interrupted — dumping event log and metrics")
+			_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, metrics)
+		}
+	}()
+
 	fmt.Fprintf(os.Stderr, "skymaster: listening on %s, waiting for %d worker(s)...\n",
 		master.Addr(), minWorkers)
 	for master.WorkerCount() < minWorkers {
+		if signalled() {
+			return fmt.Errorf("interrupted while waiting for workers")
+		}
 		time.Sleep(100 * time.Millisecond)
 	}
 	fmt.Fprintf(os.Stderr, "skymaster: %d worker(s) connected, starting job\n", master.WorkerCount())
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(sigCtx, timeout)
 	defer cancel()
 
 	var tracer *telemetry.Tracer
@@ -119,6 +173,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		ctx = telemetry.WithTracer(ctx, tracer)
 	}
 	ctx = telemetry.WithRecorder(ctx, recorder)
+	ctx = telemetry.WithEventLog(ctx, events)
 
 	// Progress reporter: one line per second while a job phase runs.
 	progressDone := make(chan struct{})
@@ -179,7 +234,20 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		}
 		fmt.Fprintf(os.Stderr, "skymaster: flight record written to %s\n", flightFile)
 	}
-	return skymr.WriteCSV(os.Stdout, res.Skyline, cols)
+	if err := skymr.WriteCSV(os.Stdout, res.Skyline, cols); err != nil {
+		return err
+	}
+	if linger > 0 && !signalled() {
+		// Keep /metrics and /debug/* up for dashboards (skytop) and CI
+		// probes; workers stay idle-polling until drained on exit.
+		events.Info("lingering", telemetry.A("seconds", linger.Seconds()))
+		fmt.Fprintf(os.Stderr, "skymaster: job done, serving debug endpoints for %s (SIGTERM to exit now)\n", linger)
+		select {
+		case <-sigCtx.Done():
+		case <-time.After(linger):
+		}
+	}
+	return nil
 }
 
 func parseScheme(s string) (partition.Scheme, error) {

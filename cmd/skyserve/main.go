@@ -16,20 +16,26 @@
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/pprof/  Go runtime profiles
 //	GET  /debug/flightrecorder  boot computation's flight record (JSON)
+//	GET  /debug/events  structured event stream (JSON lines; ?level= ?since=)
+//	GET  /debug/health  service health summary (JSON)
 //
 // With -snapshot, the catalogue is loaded from the file at boot (when it
 // exists) and written back on SIGINT/SIGTERM, so a restarted registry
-// resumes where it left off.
+// resumes where it left off. On shutdown the service emits a final
+// shutdown event and flushes the event log plus a last metrics snapshot
+// to stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	skymr "repro"
 	"repro/internal/driver"
@@ -37,6 +43,18 @@ import (
 	"repro/internal/registry"
 	"repro/internal/telemetry"
 )
+
+// serveHealth is skyserve's /debug/health document: a long-running
+// registry has no task queue, so health is uptime plus catalogue shape
+// and the event-level counters.
+type serveHealth struct {
+	Status        string           `json:"status"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Services      int              `json:"services"`
+	Dim           int              `json:"dim"`
+	SkylineSize   int              `json:"skyline_size"`
+	EventCounts   map[string]int64 `json:"event_counts"`
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -59,14 +77,20 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	if err != nil {
 		return err
 	}
-	// The boot computation runs under a flight recorder, so the partition
-	// shape of the seeded catalogue is inspectable at /debug/flightrecorder.
+	// The boot computation runs under a flight recorder and the event
+	// log, so the partition shape of the seeded catalogue is inspectable
+	// at /debug/flightrecorder and its job narration at /debug/events.
 	recorder := telemetry.NewRecorder(fmt.Sprintf("skyserve-boot:%s", scheme))
-	reg, err := bootRegistry(telemetry.WithRecorder(context.Background(), recorder),
-		scheme, seedN, seedD, seedFile, header, snapshot)
+	events := telemetry.NewEventLog(1024)
+	start := time.Now()
+	bootCtx := telemetry.WithEventLog(telemetry.WithRecorder(context.Background(), recorder), events)
+	reg, err := bootRegistry(bootCtx, scheme, seedN, seedD, seedFile, header, snapshot)
 	if err != nil {
 		return err
 	}
+	events.BindMetrics(reg.Metrics())
+	events.Info("registry ready", telemetry.A("services", reg.Len()),
+		telemetry.A("dim", reg.Dim()), telemetry.A("scheme", fmt.Sprint(scheme)))
 	fmt.Fprintf(os.Stderr, "skyserve: %d services (%d attributes), %s partitioning, listening on %s\n",
 		reg.Len(), reg.Dim(), scheme, addr)
 
@@ -74,6 +98,17 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	mux.Handle("/", reg.Handler())
 	telemetry.MountPprof(mux)
 	telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
+	telemetry.MountEvents(mux, events)
+	telemetry.MountHealth(mux, func() any {
+		return serveHealth{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+			Services:      reg.Len(),
+			Dim:           reg.Dim(),
+			SkylineSize:   len(reg.Skyline()),
+			EventCounts:   events.LevelCounts(),
+		}
+	})
 	srv := &http.Server{Addr: addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -85,6 +120,9 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "skyserve: %v, shutting down\n", s)
+		events.Info("shutdown", telemetry.A("signal", s.String()),
+			telemetry.A("services", reg.Len()))
+		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, reg.Metrics())
 	}
 	if snapshot != "" {
 		f, err := os.Create(snapshot)

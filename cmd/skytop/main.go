@@ -1,0 +1,287 @@
+// Command skytop is a terminal dashboard for a live skyline cluster: it
+// polls the master's /metrics, /debug/health, /debug/flightrecorder and
+// /debug/events endpoints and renders phase progress, per-worker state
+// and throughput, straggler/retry flags, and partition-load sparklines.
+//
+//	skytop -addr 127.0.0.1:9090              # refreshing live view
+//	skytop -addr 127.0.0.1:9090 -once        # one snapshot (scripts, CI)
+//
+// Point -addr at the skymaster -metrics-addr (or a skyserve instance;
+// the worker table is then empty but events and metrics still render).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/asciiplot"
+	"repro/internal/rpcmr"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "master debug address (its -metrics-addr)")
+	interval := flag.Duration("interval", time.Second, "refresh interval in live mode")
+	once := flag.Bool("once", false, "render one snapshot and exit (for scripts and CI)")
+	events := flag.Int("events", 8, "recent events to show")
+	flag.Parse()
+
+	c := &client{base: "http://" + *addr, http: &http.Client{Timeout: 5 * time.Second}}
+	var prev *sample
+	for {
+		s := c.poll()
+		var b strings.Builder
+		render(&b, *addr, s, prev, *events)
+		if *once {
+			io.WriteString(os.Stdout, b.String())
+			if s.err != nil {
+				fmt.Fprintf(os.Stderr, "skytop: %v\n", s.err)
+				os.Exit(1)
+			}
+			return
+		}
+		// ANSI home+clear, then the frame: one write per refresh keeps
+		// flicker down without any terminal library.
+		io.WriteString(os.Stdout, "\x1b[H\x1b[2J"+b.String())
+		prev = s
+		time.Sleep(*interval)
+	}
+}
+
+// sample is one poll of the master's debug surface.
+type sample struct {
+	at      time.Time
+	health  *rpcmr.Health
+	metrics map[string]float64
+	flight  *telemetry.Report
+	events  []telemetry.LogEvent
+	err     error // first fetch error; partial samples still render
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) poll() *sample {
+	s := &sample{at: time.Now()}
+	if err := c.getJSON(telemetry.HealthPath, &s.health); err != nil {
+		s.health = nil
+		s.err = err
+	}
+	if text, err := c.getText("/metrics"); err == nil {
+		if m, err := telemetry.ParsePrometheus(text); err == nil {
+			s.metrics = m
+		}
+	} else if s.err == nil {
+		s.err = err
+	}
+	// The flight recorder and event log are optional surfaces: absent on
+	// older binaries or when telemetry is off, so 404s are not errors.
+	if err := c.getJSON(telemetry.FlightRecorderPath, &s.flight); err != nil {
+		s.flight = nil
+	}
+	if text, err := c.getText(telemetry.EventsPath); err == nil {
+		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+			var ev telemetry.LogEvent
+			if json.Unmarshal([]byte(line), &ev) == nil {
+				s.events = append(s.events, ev)
+			}
+		}
+	}
+	return s
+}
+
+func (c *client) getText(path string) (string, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	return string(body), err
+}
+
+func (c *client) getJSON(path string, v any) error {
+	text, err := c.getText(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(text), v)
+}
+
+// render writes one dashboard frame.
+func render(w io.Writer, addr string, s, prev *sample, maxEvents int) {
+	fmt.Fprintf(w, "skytop — %s — %s\n", addr, s.at.Format("15:04:05"))
+	if s.err != nil {
+		fmt.Fprintf(w, "  [poll error: %v]\n", s.err)
+	}
+	if h := s.health; h != nil {
+		renderJob(w, h)
+		renderWorkers(w, s, prev)
+	}
+	if s.flight != nil {
+		renderFlight(w, s.flight)
+	}
+	renderEvents(w, s.events, maxEvents)
+}
+
+// renderJob shows the running job and a phase progress bar.
+func renderJob(w io.Writer, h *rpcmr.Health) {
+	if !h.JobRunning {
+		fmt.Fprintf(w, "\njob: idle   workers: %d healthy / %d suspect / %d dead   retries: %d   failures: %d\n",
+			h.Healthy, h.Suspect, h.Dead, h.TaskRetries, h.WorkerFailures)
+		if h.LastJobError != "" {
+			fmt.Fprintf(w, "last job error: %s\n", h.LastJobError)
+		}
+		return
+	}
+	fmt.Fprintf(w, "\njob: %s   phase: %s   workers: %d healthy / %d suspect / %d dead\n",
+		h.Job, h.Phase, h.Healthy, h.Suspect, h.Dead)
+	fmt.Fprintf(w, "%s %d/%d tasks  (queue %d, in-flight %d)   retries: %d   failures: %d\n",
+		progressBar(h.TasksDone, h.TasksTotal, 32), h.TasksDone, h.TasksTotal,
+		h.QueueDepth, h.InFlight, h.TaskRetries, h.WorkerFailures)
+}
+
+// progressBar renders done/total as a fixed-width bar.
+func progressBar(done, total, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat("-", width) + "]"
+	}
+	fill := done * width / total
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("█", fill) + strings.Repeat("·", width-fill) + "]"
+}
+
+// renderWorkers shows the per-worker table: state, last-seen age, task
+// throughput (from consecutive samples), straggler and retry flags.
+func renderWorkers(w io.Writer, s, prev *sample) {
+	h := s.health
+	if len(h.Workers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-14s %-8s %9s %10s %8s %6s %6s  %s\n",
+		"WORKER", "STATE", "LAST SEEN", "DONE", "TASKS/S", "STRAG", "RETRY", "LAST ERROR")
+	for _, wk := range h.Workers {
+		rate := "-"
+		if prev != nil && prev.health != nil {
+			for _, pw := range prev.health.Workers {
+				if pw.ID == wk.ID {
+					dt := s.at.Sub(prev.at).Seconds()
+					if dt > 0 {
+						rate = fmt.Sprintf("%.1f", float64(wk.TasksDone-pw.TasksDone)/dt)
+					}
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-14s %-8s %8.1fs %10d %8s %6.0f %6.0f  %s\n",
+			clip(wk.ID, 14), wk.State, wk.LastSeenAgeSeconds, wk.TasksDone, rate,
+			labeled(s.metrics, "rpcmr_stragglers_total", "worker", wk.ID),
+			labeled(s.metrics, "rpcmr_task_retries_total", "worker", wk.ID),
+			clip(wk.LastError, 40))
+	}
+}
+
+// labelRe pulls one k="v" pair out of a Prometheus series key.
+var labelRe = regexp.MustCompile(`(\w+)="((?:[^"\\]|\\.)*)"`)
+
+// labeled sums a metric's series whose label set includes key=value —
+// summing covers series that split the same worker across extra labels
+// (e.g. rpcmr_task_retries_total{cause,worker}).
+func labeled(metrics map[string]float64, name, key, value string) float64 {
+	var total float64
+	for series, v := range metrics {
+		if !strings.HasPrefix(series, name+"{") {
+			continue
+		}
+		for _, m := range labelRe.FindAllStringSubmatch(series, -1) {
+			if m[1] == key && m[2] == value {
+				total += v
+				break
+			}
+		}
+	}
+	return total
+}
+
+// renderFlight shows the partition-load sparkline and the skew /
+// optimality rollups from the flight record.
+func renderFlight(w io.Writer, r *telemetry.Report) {
+	if len(r.Partitions) == 0 {
+		return
+	}
+	parts := append([]telemetry.PartitionRecord(nil), r.Partitions...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Partition < parts[j].Partition })
+	loads := make([]float64, len(parts))
+	anyLoad := false
+	for i, p := range parts {
+		loads[i] = float64(p.InputRecords)
+		if p.InputRecords == 0 {
+			loads[i] = float64(p.LocalSkyline)
+		}
+		if loads[i] > 0 {
+			anyLoad = true
+		}
+	}
+	if !anyLoad {
+		return
+	}
+	fmt.Fprintf(w, "\npartition load (%d partitions)  %s\n", len(parts), asciiplot.Spark(loads))
+	fmt.Fprintf(w, "skew: imbalance %.2f, gini %.2f   optimality (Eq.5): %.3f   stragglers: %d\n",
+		r.Skew.Imbalance, r.Skew.Gini, r.Optimality, r.Stragglers)
+}
+
+// renderEvents shows the tail of the event stream.
+func renderEvents(w io.Writer, events []telemetry.LogEvent, max int) {
+	if len(events) == 0 || max <= 0 {
+		return
+	}
+	if len(events) > max {
+		events = events[len(events)-max:]
+	}
+	fmt.Fprintf(w, "\nrecent events\n")
+	for _, ev := range events {
+		attrs := formatAttrs(ev.Attrs)
+		fmt.Fprintf(w, "  %s %-5s %-20s %s\n",
+			ev.Time.Format("15:04:05.000"), ev.Level, clip(ev.Msg, 20), clip(attrs, 70))
+	}
+}
+
+// formatAttrs renders event attributes deterministically (sorted keys).
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// clip bounds s to n runes.
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

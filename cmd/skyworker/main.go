@@ -2,6 +2,9 @@
 // skymaster, pulls map/reduce tasks of the registered skyline jobs, and
 // executes them until the master shuts down.
 //
+// On SIGINT/SIGTERM the worker stops pulling tasks, emits a final
+// shutdown event, and flushes its event log to stderr before exiting.
+//
 // Usage:
 //
 //	skyworker -master 127.0.0.1:7077 [-id worker-1]
@@ -11,11 +14,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/rpcmr"
 	_ "repro/internal/skyjob" // registers the skyline jobs
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +29,7 @@ func main() {
 	id := flag.String("id", "", "worker id (default: generated)")
 	flag.Parse()
 
+	events := telemetry.NewEventLog(256)
 	w, err := rpcmr.NewWorker(rpcmr.WorkerConfig{MasterAddr: *master, ID: *id})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
@@ -30,12 +37,23 @@ func main() {
 	}
 	defer w.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "skyworker: connected to %s\n", *master)
-	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+	events.Info("worker started", telemetry.A("master", *master), telemetry.A("id", *id))
+	err = w.Run(ctx)
+	if ctx.Err() != nil {
+		// Interrupted: leave the operational record behind on the way out.
+		events.Info("shutdown", telemetry.A("signalled", true),
+			telemetry.A("tasks_completed", w.Completed()))
+		fmt.Fprintln(os.Stderr, "skyworker: interrupted — dumping event log")
+		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, nil)
+	} else if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)
+	} else {
+		events.Info("shutdown", telemetry.A("signalled", false),
+			telemetry.A("tasks_completed", w.Completed()))
 	}
 	fmt.Fprintf(os.Stderr, "skyworker: done (%d tasks completed)\n", w.Completed())
 }

@@ -192,3 +192,37 @@ func Lines(w io.Writer, title string, xLabels []string, series [][]float64, seri
 	}
 	return nil
 }
+
+// sparkGlyphs are the eighth-block ramp used by Spark.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline, scaled from 0 to
+// the maximum value (so bar heights compare absolute magnitudes, the
+// right reading for partition-load skew). Empty input yields "", and an
+// all-zero series renders as all-minimum bars.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	var hi float64
+	for _, v := range values {
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > 0 && v > 0 {
+			idx = int(v / hi * float64(len(sparkGlyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkGlyphs) {
+				idx = len(sparkGlyphs) - 1
+			}
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}

@@ -91,3 +91,29 @@ func TestLinesConstantSeries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Fatalf("Spark(nil) = %q, want empty", got)
+	}
+	got := Spark([]float64{0, 1, 2, 4})
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("Spark length = %d, want 4: %q", len(runes), got)
+	}
+	if runes[0] != '▁' {
+		t.Errorf("zero cell = %q, want ▁", runes[0])
+	}
+	if runes[3] != '█' {
+		t.Errorf("max cell = %q, want █", runes[3])
+	}
+	// Monotone input yields monotone glyph heights.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("sparkline not monotone: %q", got)
+		}
+	}
+	if got := Spark([]float64{0, 0, 0}); got != "▁▁▁" {
+		t.Errorf("all-zero spark = %q, want ▁▁▁", got)
+	}
+}

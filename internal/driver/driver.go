@@ -273,6 +273,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		Reducers: opts.Workers,
 		SpillDir: opts.SpillDir,
 		Metrics:  opts.Metrics,
+		Trace:    traceSink(ctx),
 	}
 	if !opts.DisableCombiner {
 		cfg1.Combiner = localSkyline
@@ -333,6 +334,7 @@ func Compute(ctx context.Context, data points.Set, opts Options) (points.Set, *S
 		Reducers: 1, // all local skylines share one key (paper line 12-15)
 		SpillDir: opts.SpillDir,
 		Metrics:  opts.Metrics,
+		Trace:    traceSink(ctx),
 	}
 	if !opts.DisableCombiner {
 		// Pre-merge each map task's share before the single reducer sees
@@ -445,6 +447,16 @@ func skylineReducer(classic skyline.Func, flat skyline.BlockFunc) mapreduce.Redu
 // under one key, get chunk-skylined concurrently and folded by the
 // parallel merge tree. ctx carries the run's tracer so each merge level
 // records a span.
+// traceSink bridges the context's event log (telemetry.WithEventLog)
+// into the engine's event stream, so in-process jobs narrate job/phase/
+// retry/spill transitions to /debug/events. Nil when no log is bound.
+func traceSink(ctx context.Context) mapreduce.EventSink {
+	if log := telemetry.EventLogFrom(ctx); log != nil {
+		return mapreduce.NewLogSink(log)
+	}
+	return nil
+}
+
 func mergeTreeReducer(ctx context.Context, workers int) mapreduce.Reducer {
 	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
 		blk := points.NewBlock(0, len(values))

@@ -74,6 +74,7 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		Reducers: opts.Workers,
 		SpillDir: opts.SpillDir,
 		Metrics:  opts.Metrics,
+		Trace:    traceSink(ctx),
 	}
 	res1, err := mapreduce.RunFrames(ctx, cfg1, input, mapper, combiner, localSkyline)
 	if err != nil {
@@ -146,6 +147,7 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		Reducers: 1, // all local skylines share one partition (paper line 12-15)
 		SpillDir: opts.SpillDir,
 		Metrics:  opts.Metrics,
+		Trace:    traceSink(ctx),
 	}
 	var mergeCombiner mapreduce.FrameCombiner
 	if !opts.DisableCombiner {

@@ -68,6 +68,7 @@ func hierarchicalMerge(ctx context.Context, opts Options, pairs []mapreduce.Pair
 			Reducers: minInt(opts.Workers, nextGroups),
 			SpillDir: opts.SpillDir,
 			Metrics:  opts.Metrics,
+			Trace:    traceSink(ctx),
 		}
 		res, err := mapreduce.Run(ctx, cfg, input, mapper, reducer)
 		if err != nil {

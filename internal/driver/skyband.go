@@ -86,6 +86,7 @@ func ComputeSkyband(ctx context.Context, data points.Set, k int, opts Options) (
 		Workers:  opts.Workers,
 		Reducers: opts.Workers,
 		SpillDir: opts.SpillDir,
+		Trace:    traceSink(ctx),
 	}
 	// No combiner here: the local k-skyband must see the whole partition
 	// at once (a per-map-task band could keep too few dominator
@@ -143,6 +144,7 @@ func ComputeSkyband(ctx context.Context, data points.Set, k int, opts Options) (
 		Workers:  opts.Workers,
 		Reducers: 1,
 		SpillDir: opts.SpillDir,
+		Trace:    traceSink(ctx),
 	}
 	res2, err := mapreduce.Run(ctx, cfg2, mergeInput, identity, countReducer)
 	if err != nil {

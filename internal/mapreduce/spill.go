@@ -15,6 +15,7 @@ import (
 // (empty string for partitions with no output).
 func spillTask(cfg Config, task int, parts [][]Pair, counters *Counters) ([]string, error) {
 	files := make([]string, len(parts))
+	var spilled int64
 	for r, pairs := range parts {
 		if len(pairs) == 0 {
 			continue
@@ -43,11 +44,15 @@ func spillTask(cfg Config, task int, parts [][]Pair, counters *Counters) ([]stri
 		info, err := f.Stat()
 		if err == nil {
 			counters.Add(CounterSpillBytes, info.Size())
+			spilled += info.Size()
 		}
 		if err := f.Close(); err != nil {
 			return nil, fmt.Errorf("mapreduce: %s: closing spill: %w", cfg.Name, err)
 		}
 		files[r] = name
+	}
+	if spilled > 0 {
+		cfg.emitEvent(Event{Kind: "spill", Phase: "map", Task: task, Bytes: spilled})
 	}
 	return files, nil
 }
@@ -64,6 +69,7 @@ func frameSpillFileName(cfg Config, task, reducer int) string {
 // per-point entries, so read-back is byte-identical to what was sealed.
 func spillFrameStreams(cfg Config, task int, streams [][]byte, counters *Counters) ([]string, error) {
 	files := make([]string, len(streams))
+	var spilled int64
 	for r, stream := range streams {
 		if len(stream) == 0 {
 			continue
@@ -97,11 +103,15 @@ func spillFrameStreams(cfg Config, task int, streams [][]byte, counters *Counter
 		}
 		if info, err := f.Stat(); err == nil {
 			counters.Add(CounterSpillBytes, info.Size())
+			spilled += info.Size()
 		}
 		if err := f.Close(); err != nil {
 			return nil, fmt.Errorf("mapreduce: %s: closing frame spill: %w", cfg.Name, err)
 		}
 		files[r] = name
+	}
+	if spilled > 0 {
+		cfg.emitEvent(Event{Kind: "spill", Phase: "map", Task: task, Bytes: spilled})
 	}
 	return files, nil
 }

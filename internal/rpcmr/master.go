@@ -28,9 +28,16 @@ type MasterConfig struct {
 	// failed. Defaults to 5.
 	MaxTaskAttempts int
 	// LivenessWindow is how recently a worker must have called in to
-	// count as live in Status. Defaults to 10s; tune it to the cluster's
-	// poll interval so a slow-but-healthy worker is not reported dead.
+	// count as live in Status and healthy in Health. Defaults to 10s;
+	// tune it to the cluster's poll interval so a slow-but-healthy worker
+	// is not reported dead. A worker silent for longer becomes suspect.
 	LivenessWindow time.Duration
+	// DeadWindow is how long a worker may stay silent before the health
+	// state machine declares it dead. Defaults to 3 × LivenessWindow.
+	DeadWindow time.Duration
+	// HealthInterval is how often the background sweep ages workers
+	// through the health state machine. Defaults to LivenessWindow / 4.
+	HealthInterval time.Duration
 	// Metrics, when non-nil, receives master-side series: per-worker
 	// task latency histograms (rpcmr_task_seconds), retry/liveness
 	// counters, and job counts. Nil (the default) records nothing.
@@ -40,6 +47,11 @@ type MasterConfig struct {
 	// task durations in the current phase (with at least minStragglerSamples
 	// medians in hand). Defaults to 2.0.
 	StragglerFactor float64
+	// Events, when non-nil, receives structured operational events:
+	// job/phase boundaries, dispatches, retries, lease expiries,
+	// stragglers, and worker health transitions. Nil records nothing
+	// (every EventLog method is nil-safe).
+	Events *telemetry.EventLog
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -58,6 +70,15 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.LivenessWindow <= 0 {
 		c.LivenessWindow = 10 * time.Second
 	}
+	if c.DeadWindow <= 0 {
+		c.DeadWindow = 3 * c.LivenessWindow
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = c.LivenessWindow / 4
+		if c.HealthInterval < time.Millisecond {
+			c.HealthInterval = time.Millisecond
+		}
+	}
 	if c.StragglerFactor <= 0 {
 		c.StragglerFactor = 2.0
 	}
@@ -70,15 +91,21 @@ type Master struct {
 	listener net.Listener
 	server   *rpc.Server
 
+	// stopc ends the health sweep goroutine; closed once by Close.
+	stopc    chan struct{}
+	stopOnce sync.Once
+
 	mu       sync.Mutex
-	workers  map[string]time.Time // last-seen times
-	job      *jobState            // nil when idle
+	workers  map[string]*workerInfo // health state machine per worker
+	job      *jobState              // nil when idle
 	shutdown bool
 	// Cumulative counters across all jobs (mu held): task re-executions
 	// from failure reports, and lease expiries (a worker presumed dead
-	// or stalled while holding a task).
+	// or stalled while holding a task). lastJobErr remembers the most
+	// recent job-level failure for /debug/health.
 	taskRetries    int64
 	workerFailures int64
+	lastJobErr     string
 }
 
 // jobState tracks one running job.
@@ -163,14 +190,17 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		cfg:      cfg,
 		listener: ln,
 		server:   rpc.NewServer(),
-		workers:  make(map[string]time.Time),
+		workers:  make(map[string]*workerInfo),
+		stopc:    make(chan struct{}),
 	}
 	svc := &MasterService{m: m}
 	if err := m.server.RegisterName("Master", svc); err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("rpcmr: register service: %w", err)
 	}
+	cfg.Events.Info("master listening", telemetry.A("addr", ln.Addr().String()))
 	go m.acceptLoop()
+	go m.healthLoop()
 	return m, nil
 }
 
@@ -186,7 +216,25 @@ func (m *Master) Close() error {
 		close(m.job.finished)
 	}
 	m.mu.Unlock()
+	m.stopOnce.Do(func() {
+		close(m.stopc)
+		m.cfg.Events.Info("master closed")
+	})
 	return m.listener.Close()
+}
+
+// Drain tells workers to shut down: from now on every task request (and
+// piggybacked assignment) answers TaskShutdown, while the listener stays
+// up so in-flight result reports and final polls still land. Call before
+// Close for a graceful cluster teardown.
+func (m *Master) Drain() {
+	m.mu.Lock()
+	already := m.shutdown
+	m.shutdown = true
+	m.mu.Unlock()
+	if !already {
+		m.cfg.Events.Info("master draining", telemetry.A("addr", m.Addr()))
+	}
 }
 
 func isClosed(ch chan struct{}) bool {
@@ -236,6 +284,11 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	endJob := func(result string, err error) {
 		if err != nil {
 			jobSpan.SetAttr("error", err.Error())
+			m.cfg.Events.Error("job failed", telemetry.A("job", spec.Name),
+				telemetry.A("result", result), telemetry.A("err", err.Error()))
+		} else {
+			m.cfg.Events.Info("job end", telemetry.A("job", spec.Name),
+				telemetry.A("seconds", time.Since(jobStart).Seconds()))
 		}
 		jobSpan.End()
 		if reg := m.cfg.Metrics; reg != nil {
@@ -296,6 +349,11 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 	js.splitData = splits
 	m.job = js
 	m.mu.Unlock()
+	m.cfg.Events.Info("job start", telemetry.A("job", spec.Name),
+		telemetry.A("records", len(input)), telemetry.A("reducers", spec.Reducers),
+		telemetry.A("trace", js.traceID))
+	m.cfg.Events.Info("phase start", telemetry.A("job", spec.Name),
+		telemetry.A("phase", "map"), telemetry.A("tasks", len(splits)))
 
 	if len(splits) == 0 {
 		// Degenerate empty input: go straight to reduce with no groups.
@@ -361,6 +419,8 @@ func (m *Master) Run(ctx context.Context, spec JobSpec, input [][]byte) (*JobRes
 func (m *Master) startReducePhase(js *jobState) {
 	js.mapDur = time.Since(js.mapStart)
 	js.phase = TaskReduce
+	m.cfg.Events.Info("phase end", telemetry.A("job", js.spec.Name),
+		telemetry.A("phase", "map"), telemetry.A("seconds", js.mapDur.Seconds()))
 	shuffleStart := time.Now()
 	if js.framed {
 		// Frame shuffle: map tasks already sealed per-reducer streams, so
@@ -411,6 +471,9 @@ func (m *Master) startReducePhase(js *jobState) {
 		js.tasks = append(js.tasks, &taskState{id: r})
 		js.pending = append(js.pending, r)
 	}
+	m.cfg.Events.Info("phase start", telemetry.A("job", js.spec.Name),
+		telemetry.A("phase", "reduce"), telemetry.A("tasks", js.spec.Reducers),
+		telemetry.A("shuffle_seconds", js.shuffleDur.Seconds()))
 }
 
 // finish (mu held) completes the job.
@@ -419,6 +482,14 @@ func (m *Master) finish(js *jobState, err error) {
 		return
 	}
 	js.err = err
+	if err != nil {
+		m.lastJobErr = err.Error()
+	}
+	if js.phase == TaskReduce {
+		m.cfg.Events.Info("phase end", telemetry.A("job", js.spec.Name),
+			telemetry.A("phase", "reduce"),
+			telemetry.A("seconds", time.Since(js.redStart).Seconds()))
+	}
 	close(js.finished)
 }
 
@@ -437,6 +508,12 @@ func (m *Master) requeueExpired(js *jobState) {
 			if reg := m.cfg.Metrics; reg != nil {
 				reg.Counter("rpcmr_worker_failures_total", telemetry.L("worker", t.worker)).Inc()
 			}
+			m.cfg.Events.Warn("task lease expired", telemetry.A("job", js.spec.Name),
+				telemetry.A("phase", phaseName(js.phase)), telemetry.A("task", t.id),
+				telemetry.A("worker", t.worker), telemetry.A("attempt", t.attempt))
+			if w := m.workers[t.worker]; w != nil {
+				w.lastError = fmt.Sprintf("lease expired on %s task %d", phaseName(js.phase), t.id)
+			}
 			if t.failures >= m.cfg.MaxTaskAttempts {
 				m.finish(js, fmt.Errorf("rpcmr: task %d exceeded %d attempts (lease expiry)",
 					t.id, m.cfg.MaxTaskAttempts))
@@ -451,3 +528,8 @@ func (m *Master) requeueExpired(js *jobState) {
 // telemetry is off) so pipelines built on the cluster — e.g.
 // skyjob.Compute — can publish into the same exposition surface.
 func (m *Master) Metrics() *telemetry.Registry { return m.cfg.Metrics }
+
+// Events returns the event log configured on the master (nil when event
+// logging is off) so pipelines and servers can log into the same stream
+// that /debug/events exposes.
+func (m *Master) Events() *telemetry.EventLog { return m.cfg.Events }

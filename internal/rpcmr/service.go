@@ -1,6 +1,8 @@
 package rpcmr
 
 import (
+	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"time"
@@ -22,7 +24,7 @@ type MasterService struct {
 func (s *MasterService) Register(args RegisterArgs, reply *RegisterReply) error {
 	s.m.mu.Lock()
 	defer s.m.mu.Unlock()
-	s.m.workers[args.WorkerID] = time.Now()
+	s.m.touchWorker(args.WorkerID)
 	reply.OK = true
 	return nil
 }
@@ -33,7 +35,7 @@ func (s *MasterService) RequestTask(args TaskArgs, reply *TaskReply) error {
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.workers[args.WorkerID] = time.Now()
+	m.touchWorker(args.WorkerID)
 	m.assignTask(args.WorkerID, reply)
 	return nil
 }
@@ -66,6 +68,12 @@ func (m *Master) assignTask(worker string, reply *TaskReply) {
 	t.deadline = time.Now().Add(m.cfg.TaskLease)
 	t.startedAt = time.Now()
 	t.worker = worker
+
+	if m.cfg.Events.Enabled(slog.LevelDebug) {
+		m.cfg.Events.Debug("task dispatch", telemetry.A("job", js.spec.Name),
+			telemetry.A("phase", phaseName(js.phase)), telemetry.A("task", id),
+			telemetry.A("worker", worker), telemetry.A("attempt", t.attempt))
+	}
 
 	reply.Kind = js.phase
 	reply.TaskID = id
@@ -104,7 +112,7 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.workers[args.WorkerID] = time.Now()
+	w := m.touchWorker(args.WorkerID)
 	// Piggyback the worker's next assignment on every outcome — stale
 	// reports included. Runs after the body (LIFO, mu still held) so a
 	// phase transition triggered by this report is visible to the
@@ -131,6 +139,7 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 		t.attempt++
 		t.failures++
 		m.countRetry(args.WorkerID, "report")
+		m.reportTaskFailure(js, w, "map", args.TaskID, t.failures, args.Err)
 		if t.failures >= m.cfg.MaxTaskAttempts {
 			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
 			return nil
@@ -140,6 +149,7 @@ func (s *MasterService) ReportMap(args MapResultArgs, reply *ResultReply) error 
 	}
 	t.complete = true
 	t.running = false
+	w.tasksDone++
 	m.observeTask(t, "map", args.WorkerID)
 	m.recordCompletion(js, t, "map", args.WorkerID, args.Spans, args.TraceID)
 	if js.framed {
@@ -170,7 +180,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	m := s.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.workers[args.WorkerID] = time.Now()
+	w := m.touchWorker(args.WorkerID)
 	defer func() {
 		if !args.Final {
 			m.assignTask(args.WorkerID, &reply.Next)
@@ -193,6 +203,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 		t.attempt++
 		t.failures++
 		m.countRetry(args.WorkerID, "report")
+		m.reportTaskFailure(js, w, "reduce", args.TaskID, t.failures, args.Err)
 		if t.failures >= m.cfg.MaxTaskAttempts {
 			m.finish(js, &WorkerTaskError{Task: args.TaskID, Msg: args.Err})
 			return nil
@@ -202,6 +213,7 @@ func (s *MasterService) ReportReduce(args ReduceResultArgs, reply *ResultReply) 
 	}
 	t.complete = true
 	t.running = false
+	w.tasksDone++
 	m.observeTask(t, "reduce", args.WorkerID)
 	m.recordCompletion(js, t, "reduce", args.WorkerID, args.Spans, args.TraceID)
 	if js.framed {
@@ -234,6 +246,10 @@ func (m *Master) recordCompletion(js *jobState, t *taskState, kind, worker strin
 			if reg := m.cfg.Metrics; reg != nil {
 				reg.Counter("rpcmr_stragglers_total", telemetry.L("worker", worker)).Inc()
 			}
+			m.cfg.Events.Warn("straggler flagged", telemetry.A("job", js.spec.Name),
+				telemetry.A("phase", kind), telemetry.A("task", t.id),
+				telemetry.A("worker", worker), telemetry.A("seconds", dur),
+				telemetry.A("phase_median_seconds", med))
 		}
 	}
 	js.durs = append(js.durs, dur)
@@ -279,6 +295,16 @@ func median(xs []float64) float64 {
 		return tmp[n/2]
 	}
 	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// reportTaskFailure (mu held) books the event-log and per-worker side of
+// a worker-reported task error; failures is the task's updated count.
+func (m *Master) reportTaskFailure(js *jobState, w *workerInfo, kind string, task, failures int, msg string) {
+	w.lastError = fmt.Sprintf("%s task %d: %s", kind, task, msg)
+	m.cfg.Events.Warn("task failed", telemetry.A("job", js.spec.Name),
+		telemetry.A("phase", kind), telemetry.A("task", task),
+		telemetry.A("worker", w.id), telemetry.A("failures", failures),
+		telemetry.A("err", msg))
 }
 
 // countRetry (mu held) books one task re-execution. cause is "report"

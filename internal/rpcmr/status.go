@@ -43,8 +43,8 @@ func (m *Master) Status() Status {
 		WorkerFailures: m.workerFailures,
 	}
 	now := time.Now()
-	for _, seen := range m.workers {
-		if now.Sub(seen) <= m.cfg.LivenessWindow {
+	for _, w := range m.workers {
+		if now.Sub(w.lastSeen) <= m.cfg.LivenessWindow {
 			st.LiveWorkers++
 		}
 	}

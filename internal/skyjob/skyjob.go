@@ -317,6 +317,14 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 		telemetry.A("partitions", spec.Partitions))
 	defer rootSpan.End()
 	rec := telemetry.RecorderFrom(ctx)
+	// Pipeline narration goes to the master's event log (/debug/events);
+	// every EventLog method is nil-safe, so no telemetry means no cost.
+	ev := master.Events()
+	if ev == nil {
+		ev = telemetry.EventLogFrom(ctx)
+	}
+	ev.Info("pipeline start", telemetry.A("scheme", fmt.Sprint(spec.Scheme)),
+		telemetry.A("points", len(data)), telemetry.A("partitions", spec.Partitions))
 	// The partitioners may round the requested count up to a regular
 	// shape (e.g. angular split products), so cover the count the built
 	// partitioner actually uses — every planned partition appears in the
@@ -385,6 +393,9 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 	for id, ls := range local {
 		rec.SetLocalSkyline(id, len(ls))
 	}
+	ev.Info("partitioning job done",
+		telemetry.A("local_skyline_points", len(mergeInput)),
+		telemetry.A("partitions_hit", len(local)))
 	mergeCtx, mergeSpan := telemetry.StartSpan(ctx, "merging-job")
 	res2, err := master.Run(mergeCtx, rpcmr.JobSpec{Name: MergeJobName, Params: params, Reducers: 1}, mergeInput)
 	mergeSpan.End()
@@ -421,6 +432,7 @@ func ComputeSpec(ctx context.Context, master *rpcmr.Master, data points.Set, spe
 		rec.SetRetryCounts(st.TaskRetries, st.WorkerFailures)
 		rec.Publish(master.Metrics())
 	}
+	ev.Info("pipeline end", telemetry.A("skyline_size", len(sky)))
 	return &Result{
 		Skyline:       sky,
 		LocalSkylines: local,

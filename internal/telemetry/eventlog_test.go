@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogRingWraparoundOrdering(t *testing.T) {
+	l := NewEventLog(16)
+	for i := 0; i < 40; i++ {
+		l.Info(fmt.Sprintf("event-%d", i), A("i", i))
+	}
+	events := l.Events(0, slog.LevelDebug)
+	if len(events) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(events))
+	}
+	// The ring keeps the most recent 16 (seq 25..40), in sequence order.
+	for i, ev := range events {
+		want := uint64(25 + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Msg != fmt.Sprintf("event-%d", want-1) {
+			t.Fatalf("event %d: msg %q does not match seq %d", i, ev.Msg, ev.Seq)
+		}
+	}
+	if got := l.LastSeq(); got != 40 {
+		t.Fatalf("LastSeq = %d, want 40", got)
+	}
+}
+
+func TestEventLogLevelAndSinceFilters(t *testing.T) {
+	l := NewEventLog(64)
+	l.Debug("d1")
+	l.Info("i1")
+	l.Warn("w1")
+	l.Error("e1")
+	l.Info("i2")
+
+	if got := len(l.Events(0, slog.LevelWarn)); got != 2 {
+		t.Fatalf("level>=warn: %d events, want 2 (w1, e1)", got)
+	}
+	got := l.Events(3, slog.LevelDebug)
+	if len(got) != 2 || got[0].Msg != "e1" || got[1].Msg != "i2" {
+		t.Fatalf("since=3: got %+v, want [e1 i2]", got)
+	}
+	counts := l.LevelCounts()
+	for level, want := range map[string]int64{"debug": 1, "info": 2, "warn": 1, "error": 1} {
+		if counts[level] != want {
+			t.Fatalf("count[%s] = %d, want %d", level, counts[level], want)
+		}
+	}
+}
+
+func TestEventLogSetLevelDropsAtWrite(t *testing.T) {
+	l := NewEventLog(16)
+	l.SetLevel(slog.LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	if got := l.Events(0, slog.LevelDebug); len(got) != 1 || got[0].Msg != "w" {
+		t.Fatalf("got %+v, want only the warn event", got)
+	}
+}
+
+func TestEventLogMetricsBridge(t *testing.T) {
+	l := NewEventLog(16)
+	l.Info("before-bind") // pre-bind counts must be replayed
+	reg := NewRegistry()
+	l.BindMetrics(reg)
+	l.Warn("after-bind")
+	l.Warn("after-bind-2")
+	snap := reg.Snapshot()
+	if got := snap.Counters[`events_total{level="info"}`]; got != 1 {
+		t.Fatalf("info counter = %d, want 1", got)
+	}
+	if got := snap.Counters[`events_total{level="warn"}`]; got != 2 {
+		t.Fatalf("warn counter = %d, want 2", got)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Info("dropped")
+	l.SetLevel(slog.LevelError)
+	l.BindMetrics(NewRegistry())
+	if got := l.Events(0, slog.LevelDebug); got != nil {
+		t.Fatalf("nil log returned events: %v", got)
+	}
+	if l.LastSeq() != 0 {
+		t.Fatal("nil log has a sequence")
+	}
+}
+
+func TestEventLogConcurrentWriters(t *testing.T) {
+	l := NewEventLog(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Info("concurrent", A("g", g), A("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.LastSeq(); got != 1600 {
+		t.Fatalf("LastSeq = %d, want 1600", got)
+	}
+	events := l.Events(0, slog.LevelDebug)
+	if len(events) != 128 {
+		t.Fatalf("retained %d, want 128", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+}
+
+func TestEventLogSlogHandler(t *testing.T) {
+	l := NewEventLog(16)
+	logger := l.Logger().With("job", "sky").WithGroup("task")
+	logger.Warn("slow", "id", 7)
+	events := l.Events(0, slog.LevelDebug)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Level != "warn" || ev.Msg != "slow" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Attrs["job"] != "sky" {
+		t.Fatalf("bound attr missing: %v", ev.Attrs)
+	}
+	// Events are retained as their JSON lines, so numbers read back as
+	// float64 regardless of the logged Go type.
+	if v, ok := ev.Attrs["task.id"].(float64); !ok || v != 7 {
+		t.Fatalf("grouped attr = %v (%T)", ev.Attrs["task.id"], ev.Attrs["task.id"])
+	}
+}
+
+func TestMountEventsHTTP(t *testing.T) {
+	l := NewEventLog(32)
+	l.Debug("d1")
+	l.Info("i1", A("worker", "w0"))
+	l.Warn("w1")
+	mux := http.NewServeMux()
+	MountEvents(mux, l)
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+		return rr
+	}
+
+	rr := get(EventsPath)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rr.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3: %q", len(lines), rr.Body.String())
+	}
+	var ev LogEvent
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if ev.Msg != "i1" || ev.Attrs["worker"] != "w0" {
+		t.Fatalf("line 2 = %+v", ev)
+	}
+
+	if lines := strings.Split(strings.TrimSpace(get(EventsPath+"?level=warn").Body.String()), "\n"); len(lines) != 1 {
+		t.Fatalf("level=warn: %d lines, want 1", len(lines))
+	}
+	if lines := strings.Split(strings.TrimSpace(get(EventsPath+"?since=2").Body.String()), "\n"); len(lines) != 1 {
+		t.Fatalf("since=2: %d lines, want 1", len(lines))
+	}
+	if lines := strings.Split(strings.TrimSpace(get(EventsPath+"?limit=2").Body.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("limit=2: %d lines, want 2", len(lines))
+	}
+	if rr := get(EventsPath + "?level=nope"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad level: status %d, want 400", rr.Code)
+	}
+	if rr := get(EventsPath + "?since=abc"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d, want 400", rr.Code)
+	}
+}
+
+func TestMountHealthHTTP(t *testing.T) {
+	mux := http.NewServeMux()
+	type health struct {
+		Status string `json:"status"`
+	}
+	var src func() any = func() any { return health{Status: "ok"} }
+	MountHealth(mux, func() any { return src() })
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, HealthPath, nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var h health
+	if err := json.Unmarshal(rr.Body.Bytes(), &h); err != nil || h.Status != "ok" {
+		t.Fatalf("body %q, err %v", rr.Body.String(), err)
+	}
+
+	src = func() any { return nil }
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, HealthPath, nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("nil health: status %d, want 503", rr.Code)
+	}
+}
+
+func TestDumpOps(t *testing.T) {
+	l := NewEventLog(16)
+	l.Info("shutdown", A("signal", "terminated"))
+	reg := NewRegistry()
+	reg.Counter("requests_total").Inc()
+	var b strings.Builder
+	if err := DumpOps(&b, l, slog.LevelInfo, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# event log (1 events retained)") {
+		t.Fatalf("missing event header:\n%s", out)
+	}
+	if !strings.Contains(out, `"msg":"shutdown"`) {
+		t.Fatalf("missing event line:\n%s", out)
+	}
+	if !strings.Contains(out, "requests_total 1") {
+		t.Fatalf("missing metrics snapshot:\n%s", out)
+	}
+}
+
+func TestEventLogContext(t *testing.T) {
+	if EventLogFrom(context.Background()) != nil {
+		t.Fatal("empty context has an event log")
+	}
+	l := NewEventLog(16)
+	ctx := WithEventLog(context.Background(), l)
+	if EventLogFrom(ctx) != l {
+		t.Fatal("event log not plumbed through context")
+	}
+}
