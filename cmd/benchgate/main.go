@@ -16,13 +16,18 @@
 //
 // Usage:
 //
-//	benchgate [-suite kernels|shuffle] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
+//	benchgate [-suite kernels|shuffle|serve] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
 //
 // The shuffle suite (-suite shuffle) compares the classic Pair shuffle
 // against the block-framed path at the same configuration — records/s,
 // shuffle payload bytes, and allocations per point — and writes
 // BENCH_shuffle.json, gating on a 1.5x framed throughput advantage plus
 // reduced allocs/point.
+//
+// The serve suite (-suite serve) measures the registry's HTTP skyline
+// read path with per-query attribution on versus off, plus the EXPLAIN
+// re-merge, writing BENCH_serve.json and gating attribution overhead at
+// 5% of the cached read (the observability acceptance bound).
 package main
 
 import (
@@ -99,16 +104,23 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	min := flag.Float64("min", 1.5, "minimum acceptable kernel-row speedup (flat over classic)")
 	quick := flag.Bool("quick", false, "CI mode: n=20000, 2 runs, report only (no gate)")
-	suite := flag.String("suite", "kernels", "which suite to run: kernels or shuffle")
+	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle or serve")
 	out := flag.String("out", "", "report path (default BENCH_kernels.json / BENCH_shuffle.json per suite)")
 	flag.Parse()
 
 	if *out == "" {
-		if *suite == "shuffle" {
+		switch *suite {
+		case "shuffle":
 			*out = "BENCH_shuffle.json"
-		} else {
+		case "serve":
+			*out = "BENCH_serve.json"
+		default:
 			*out = "BENCH_kernels.json"
 		}
+	}
+	if *suite == "serve" {
+		serveSuite(*n, *d, *runs, *quick, *out)
+		return
 	}
 	if *quick {
 		*n, *runs = 20000, 2

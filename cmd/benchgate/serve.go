@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/partition"
+	"repro/internal/qws"
+	"repro/internal/registry"
+)
+
+// The serve suite measures the registry's skyline read path end to end
+// (mux, instrumentation, index snapshot, JSON encoding) with per-query
+// attribution on versus off. The gate is the observability acceptance
+// bound: attribution may cost at most serveMaxOverhead of the request.
+// The explain row is informational — it is the deliberately expensive
+// "why was this slow" re-merge, not a fast path.
+const serveNote = "gate: stats_ns / nostats_ns <= max_overhead on the cached read path; " +
+	"the explain row re-merges local skylines with per-partition attribution and is " +
+	"reported, not gated"
+
+const serveMaxOverhead = 1.05
+
+type serveRow struct {
+	Name      string  `json:"name"`
+	Requests  int     `json:"requests"`
+	WallNS    int64   `json:"wall_ns"`
+	NSPerReq  float64 `json:"ns_per_request"`
+	ReqPerSec float64 `json:"requests_per_sec"`
+}
+
+type serveReport struct {
+	Timestamp   string   `json:"timestamp"`
+	Services    int      `json:"services"`
+	D           int      `json:"d"`
+	Runs        int      `json:"runs"`
+	Quick       bool     `json:"quick"`
+	Stats       serveRow `json:"stats"`
+	NoStats     serveRow `json:"nostats"`
+	Explain     serveRow `json:"explain"`
+	Overhead    float64  `json:"stats_overhead"`
+	MaxOverhead float64  `json:"max_overhead"`
+	Gated       bool     `json:"gated"`
+	Pass        bool     `json:"pass"`
+	Notes       string   `json:"notes"`
+}
+
+func newBenchRegistry(n, d int) *registry.Registry {
+	data := qws.Dataset(2012, n, d)
+	services := make([]registry.Service, len(data))
+	for i, p := range data {
+		services[i] = registry.Service{Name: fmt.Sprintf("svc-%05d", i), QoS: p}
+	}
+	r, err := registry.New(context.Background(), services, driver.Options{Scheme: partition.Angular})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: registry boot failed:", err)
+		os.Exit(2)
+	}
+	return r
+}
+
+// measureServe drives requests sequential GETs of path through the
+// handler and returns the best-of-runs row.
+func measureServe(name string, h http.Handler, path string, requests, runs int) serveRow {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	wall := best(runs, func() {
+		for i := 0; i < requests; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "benchgate: %s returned %d\n", path, w.Code)
+				os.Exit(2)
+			}
+		}
+	})
+	perReq := float64(wall) / float64(requests)
+	return serveRow{
+		Name:      name,
+		Requests:  requests,
+		WallNS:    wall,
+		NSPerReq:  perReq,
+		ReqPerSec: 1e9 / perReq,
+	}
+}
+
+func serveSuite(n, d, runs int, quick bool, out string) {
+	requests := 2000
+	if quick {
+		n, requests, runs = 2000, 500, 2
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: serve suite services=%d d=%d requests=%d runs=%d\n", n, d, requests, runs)
+
+	rep := serveReport{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Services:    n,
+		D:           d,
+		Runs:        runs,
+		Quick:       quick,
+		MaxOverhead: serveMaxOverhead,
+		Gated:       !quick,
+		Notes:       serveNote,
+	}
+
+	// Fresh registries per arm so neither inherits the other's warmed
+	// metrics series or query-log contents.
+	rOn := newBenchRegistry(n, d)
+	rOn.EnableQueryStats(true)
+	rep.Stats = measureServe("skyline_stats", rOn.Handler(), "/skyline", requests, runs)
+
+	rOff := newBenchRegistry(n, d)
+	rOff.EnableQueryStats(false)
+	rep.NoStats = measureServe("skyline_nostats", rOff.Handler(), "/skyline", requests, runs)
+
+	explainReqs := requests / 10
+	if explainReqs < 50 {
+		explainReqs = 50
+	}
+	rep.Explain = measureServe("skyline_explain", rOn.Handler(), "/skyline?explain=1", explainReqs, runs)
+
+	rep.Overhead = rep.Stats.NSPerReq / rep.NoStats.NSPerReq
+	rep.Pass = quick || rep.Overhead <= serveMaxOverhead
+
+	for _, r := range []serveRow{rep.Stats, rep.NoStats, rep.Explain} {
+		fmt.Fprintf(os.Stderr, "  %-16s requests=%-5d %s/req (%.0f req/s)\n",
+			r.Name, r.Requests, time.Duration(int64(r.NSPerReq)), r.ReqPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "  stats overhead = %.3fx (max %.2fx)\n", rep.Overhead, rep.MaxOverhead)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: wrote %s\n", out)
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — per-query attribution costs %.3fx (max %.2fx)\n",
+			rep.Overhead, serveMaxOverhead)
+		os.Exit(1)
+	}
+}

@@ -4,22 +4,31 @@
 // Usage:
 //
 //	skyline [-method angle|grid|dim|random|seq] [-nodes N] [-header]
-//	        [-stats] [-out file.csv] input.csv
+//	        [-stats] [-explain] [-out file.csv] input.csv
 //
 // The input must be numeric CSV, one service per row, attributes oriented
 // so lower is better. With -method seq the skyline is computed with plain
 // sequential BNL.
+//
+// With -explain (MapReduce methods, k=1) the merge is re-run with the
+// instrumented per-partition BNL and the plan — candidates, dominance
+// tests and global survivors per partition, plus stage timings — is
+// printed to stderr, the offline twin of the registry's
+// /skyline?explain=1.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	skymr "repro"
 	"repro/internal/asciiplot"
+	"repro/internal/driver"
+	"repro/internal/points"
 	"repro/internal/telemetry"
 )
 
@@ -32,6 +41,7 @@ func main() {
 	k := flag.Int("k", 1, "compute the k-skyband instead of the skyline (k=1)")
 	rep := flag.Int("rep", 0, "reduce the result to this many representative points (0 = all)")
 	flight := flag.Bool("flight", false, "print the flight-recorder partition chart to stderr (MapReduce methods only)")
+	explain := flag.Bool("explain", false, "print the per-partition merge plan to stderr (MapReduce methods, k=1)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -39,13 +49,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight); err != nil {
+	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight, *explain); err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight bool) error {
+func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight, explain bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -115,6 +125,9 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 				return err
 			}
 		}
+		if explain {
+			printExplain(os.Stderr, res)
+		}
 		if stats {
 			fmt.Fprintf(os.Stderr,
 				"%s: %d of %d points | partitions=%d pruned=%d localSky=%d | map=%s shuffle=%s reduce=%s total=%s | optimality=%.3f\n",
@@ -143,6 +156,23 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 		w = g
 	}
 	return skymr.WriteCSV(w, sky, cols)
+}
+
+// printExplain re-merges the computation's local skylines with the
+// instrumented BNL and prints the per-partition plan. The merge result is
+// discarded — it equals res.Skyline; only the attribution is wanted.
+func printExplain(w io.Writer, res *skymr.Result) {
+	local := make(map[int]points.Set, len(res.LocalSkylines))
+	for id, s := range res.LocalSkylines {
+		local[id] = s
+	}
+	_, ex := driver.ExplainMerge(fmt.Sprint(res.Method), local)
+	fmt.Fprintf(w, "explain: scheme=%s partitions=%d candidates=%d dominance_tests=%d result=%d\n",
+		ex.Scheme, ex.PartitionsProbed, ex.Candidates, ex.DominanceTests, ex.ResultSize)
+	fmt.Fprintf(w, "  %9s %10s %10s %9s\n", "partition", "candidates", "dom_tests", "survivors")
+	for _, pe := range ex.Partitions {
+		fmt.Fprintf(w, "  %9d %10d %10d %9d\n", pe.Partition, pe.Candidates, pe.DominanceTests, pe.Survivors)
+	}
 }
 
 func parseMethod(s string) (skymr.Method, error) {

@@ -6,12 +6,20 @@
 //
 //	skyload [-url http://host:8080] [-publishes 1000] [-queries 1000]
 //	        [-concurrency 8] [-d 4] [-seed 1] [-prom metrics.prom]
+//	        [-slo-p99 50ms] [-slo-avail 0.999]
 //
 // With no -url, skyload boots an in-process registry (1,000 synthetic
 // seed services) and load-tests that, so the tool works out of the box.
 // With -prom, the client-side latency histograms are also written as a
 // Prometheus text exposition, ready for node_exporter's textfile
 // collector or offline diffing between runs.
+//
+// With -slo-p99 and/or -slo-avail, skyload turns into an SLO check: it
+// compares the achieved skyline-read p99 and the achieved availability
+// (non-failed fraction of all requests) against the targets, prints
+// achieved-versus-target lines, and exits nonzero when an objective is
+// missed — the CI-able form of "does the registry meet its SLO under
+// this load".
 package main
 
 import (
@@ -45,15 +53,18 @@ func main() {
 	dim := flag.Int("d", 4, "QoS attributes of generated services (in-process mode and publish bodies)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	prom := flag.String("prom", "", "write client-side latency histograms to this file as Prometheus text (empty = off)")
+	sloP99 := flag.Duration("slo-p99", 0, "fail unless the achieved skyline-read p99 is at most this (0 = no check)")
+	sloAvail := flag.Float64("slo-avail", 0, "fail unless the achieved non-failure fraction is at least this (0 = no check)")
 	flag.Parse()
 
-	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed, *prom); err != nil {
+	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed, *prom, *sloP99, *sloAvail); err != nil {
 		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseURL string, publishes, queries, concurrency, dim int, seed int64, promFile string) error {
+func run(baseURL string, publishes, queries, concurrency, dim int, seed int64, promFile string,
+	sloP99 time.Duration, sloAvail float64) error {
 	if concurrency < 1 {
 		return fmt.Errorf("concurrency %d, need >= 1", concurrency)
 	}
@@ -149,10 +160,48 @@ func run(baseURL string, publishes, queries, concurrency, dim int, seed int64, p
 		}
 		fmt.Fprintf(os.Stderr, "skyload: latency histograms written to %s\n", promFile)
 	}
-	if failures > 0 {
+	// SLO checks: achieved versus target, one line each, all evaluated
+	// before failing so the report is complete either way.
+	sloFailed := false
+	if sloP99 > 0 {
+		achieved := queryLat.Summary().P99
+		ok := achieved <= sloP99
+		fmt.Printf("\nslo: skyline p99   achieved=%-10s target<=%-10s %s\n",
+			achieved.Round(time.Microsecond), sloP99, passFail(ok))
+		if !ok {
+			sloFailed = true
+		}
+	}
+	if sloAvail > 0 {
+		total := publishes + queries
+		achieved := 1.0
+		if total > 0 {
+			achieved = float64(int64(total)-failures) / float64(total)
+		}
+		ok := achieved >= sloAvail
+		if sloP99 <= 0 {
+			fmt.Println()
+		}
+		fmt.Printf("slo: availability  achieved=%-10.6f target>=%-10g %s\n",
+			achieved, sloAvail, passFail(ok))
+		if !ok {
+			sloFailed = true
+		}
+	}
+	if failures > 0 && sloAvail <= 0 {
 		return fmt.Errorf("%d requests failed", failures)
 	}
+	if sloFailed {
+		return fmt.Errorf("slo violated")
+	}
 	return nil
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
 }
 
 // exportProm feeds the merged trackers into a telemetry registry

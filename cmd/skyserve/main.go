@@ -7,17 +7,26 @@
 //
 //	skyserve [-addr :8080] [-method angle] [-seed-n 1000] [-seed-d 4]
 //	         [-seed-file data.csv] [-header] [-snapshot registry.jsonl]
+//	         [-slo-p99 250ms] [-slo-avail 0.999] [-slow-threshold 100ms]
 //
 // API:
 //
 //	POST /services      {"name": "svc-1", "qos": [120.5, 3.2, 0.7, 14]}
-//	GET  /skyline
+//	GET  /skyline       current skyline; ?explain=1 adds the per-partition plan
 //	GET  /stats
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/pprof/  Go runtime profiles
 //	GET  /debug/flightrecorder  boot computation's flight record (JSON)
 //	GET  /debug/events  structured event stream (JSON lines; ?level= ?since=)
 //	GET  /debug/health  service health summary (JSON)
+//	GET  /debug/queries recent per-query cost records + cumulative totals
+//	GET  /debug/slowlog top-K slowest queries (threshold via -slow-threshold)
+//	GET  /debug/slo     SLO burn state (objectives via -slo-p99 / -slo-avail)
+//
+// The SLO tracker evaluates its objectives every few seconds against the
+// registry's own metrics and emits "slo budget burning" events while the
+// multi-window burn rate exceeds 1; set a flag to zero to disable the
+// corresponding objective.
 //
 // With -snapshot, the catalogue is loaded from the file at boot (when it
 // exists) and written back on SIGINT/SIGTERM, so a restarted registry
@@ -64,15 +73,19 @@ func main() {
 	seedFile := flag.String("seed-file", "", "CSV file of seed services instead of synthetic data")
 	header := flag.Bool("header", false, "seed CSV has a header row")
 	snapshot := flag.String("snapshot", "", "catalogue file: loaded at boot, saved on shutdown")
+	sloP99 := flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency objective for skyline reads (0 disables)")
+	sloAvail := flag.Float64("slo-avail", 0.999, "availability objective: target non-5xx request fraction (0 disables)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at least this slow are flagged into /debug/slowlog")
 	flag.Parse()
 
-	if err := run(*addr, *method, *seedN, *seedD, *seedFile, *header, *snapshot); err != nil {
+	if err := run(*addr, *method, *seedN, *seedD, *seedFile, *header, *snapshot, *sloP99, *sloAvail, *slowThreshold); err != nil {
 		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, method string, seedN, seedD int, seedFile string, header bool, snapshot string) error {
+func run(addr, method string, seedN, seedD int, seedFile string, header bool, snapshot string,
+	sloP99 time.Duration, sloAvail float64, slowThreshold time.Duration) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -89,6 +102,17 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 		return err
 	}
 	events.BindMetrics(reg.Metrics())
+	reg.ConfigureQueryLog(256, 16, slowThreshold)
+	sloCtx, stopSLO := context.WithCancel(context.Background())
+	defer stopSLO()
+	if sloP99 > 0 || sloAvail > 0 {
+		tracker := reg.ConfigureSLO(registry.SLOOptions{
+			P99Threshold: sloP99,
+			Availability: sloAvail,
+			Events:       events,
+		})
+		go tracker.Run(sloCtx, 5*time.Second)
+	}
 	events.Info("registry ready", telemetry.A("services", reg.Len()),
 		telemetry.A("dim", reg.Dim()), telemetry.A("scheme", fmt.Sprint(scheme)))
 	fmt.Fprintf(os.Stderr, "skyserve: %d services (%d attributes), %s partitioning, listening on %s\n",

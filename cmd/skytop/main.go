@@ -1,13 +1,18 @@
 // Command skytop is a terminal dashboard for a live skyline cluster: it
-// polls the master's /metrics, /debug/health, /debug/flightrecorder and
-// /debug/events endpoints and renders phase progress, per-worker state
-// and throughput, straggler/retry flags, and partition-load sparklines.
+// polls the target's /metrics, /debug/health, /debug/flightrecorder,
+// /debug/events, /debug/slowlog and /debug/slo endpoints and renders
+// phase progress, per-worker state and throughput, straggler/retry
+// flags, partition-load sparklines, the slow-query tail and SLO burn
+// state.
 //
 //	skytop -addr 127.0.0.1:9090              # refreshing live view
 //	skytop -addr 127.0.0.1:9090 -once        # one snapshot (scripts, CI)
 //
-// Point -addr at the skymaster -metrics-addr (or a skyserve instance;
-// the worker table is then empty but events and metrics still render).
+// Point -addr at the skymaster -metrics-addr (worker table, flight
+// record) or at a skyserve instance (query log, SLO panel). Every debug
+// surface is optional: endpoints that are absent or failing render as
+// "n/a" panels instead of killing the refresh — only an unreachable
+// /metrics counts as a poll error.
 package main
 
 import (
@@ -56,14 +61,29 @@ func main() {
 	}
 }
 
-// sample is one poll of the master's debug surface.
+// queryDoc mirrors the /debug/queries and /debug/slowlog JSON shape.
+type queryDoc struct {
+	Totals           telemetry.QueryTotals  `json:"totals"`
+	ThresholdSeconds float64                `json:"threshold_seconds"`
+	Queries          []telemetry.QueryStats `json:"queries"`
+}
+
+// sloDoc mirrors the /debug/slo JSON shape.
+type sloDoc struct {
+	Objectives []telemetry.SLOStatus `json:"objectives"`
+	Burning    bool                  `json:"burning"`
+}
+
+// sample is one poll of the target's debug surface.
 type sample struct {
 	at      time.Time
 	health  *rpcmr.Health
 	metrics map[string]float64
 	flight  *telemetry.Report
 	events  []telemetry.LogEvent
-	err     error // first fetch error; partial samples still render
+	slowlog *queryDoc
+	slo     *sloDoc
+	err     error // metrics fetch error; partial samples still render
 }
 
 type client struct {
@@ -73,21 +93,28 @@ type client struct {
 
 func (c *client) poll() *sample {
 	s := &sample{at: time.Now()}
-	if err := c.getJSON(telemetry.HealthPath, &s.health); err != nil {
-		s.health = nil
-		s.err = err
-	}
+	// Every debug surface degrades to an "n/a" panel when absent or
+	// failing — a skyserve target has no worker health, a skymaster has
+	// no query log, an older binary may have neither. Only /metrics, the
+	// one surface every target serves, makes the poll an error.
 	if text, err := c.getText("/metrics"); err == nil {
 		if m, err := telemetry.ParsePrometheus(text); err == nil {
 			s.metrics = m
 		}
-	} else if s.err == nil {
+	} else {
 		s.err = err
 	}
-	// The flight recorder and event log are optional surfaces: absent on
-	// older binaries or when telemetry is off, so 404s are not errors.
+	if err := c.getJSON(telemetry.HealthPath, &s.health); err != nil {
+		s.health = nil
+	}
 	if err := c.getJSON(telemetry.FlightRecorderPath, &s.flight); err != nil {
 		s.flight = nil
+	}
+	if err := c.getJSON(telemetry.SlowLogPath, &s.slowlog); err != nil {
+		s.slowlog = nil
+	}
+	if err := c.getJSON(telemetry.SLOPath, &s.slo); err != nil {
+		s.slo = nil
 	}
 	if text, err := c.getText(telemetry.EventsPath); err == nil {
 		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
@@ -130,11 +157,74 @@ func render(w io.Writer, addr string, s, prev *sample, maxEvents int) {
 	if h := s.health; h != nil {
 		renderJob(w, h)
 		renderWorkers(w, s, prev)
+	} else {
+		fmt.Fprintf(w, "\nhealth: n/a\n")
 	}
 	if s.flight != nil {
 		renderFlight(w, s.flight)
 	}
+	renderSLO(w, s.slo)
+	renderSlowlog(w, s.slowlog, 5)
 	renderEvents(w, s.events, maxEvents)
+}
+
+// renderSLO shows each objective's achieved level, budget consumption
+// and multi-window burn state; "n/a" when the target serves no tracker.
+func renderSLO(w io.Writer, doc *sloDoc) {
+	if doc == nil {
+		fmt.Fprintf(w, "\nslo: n/a\n")
+		return
+	}
+	state := "ok"
+	if doc.Burning {
+		state = "BURNING"
+	}
+	fmt.Fprintf(w, "\nslo: %s\n", state)
+	for _, o := range doc.Objectives {
+		detail := fmt.Sprintf("target %.4g", o.Target)
+		if o.Kind == "latency" {
+			detail = fmt.Sprintf("p%.0f <= %s", o.Quantile*100,
+				time.Duration(o.ThresholdSeconds*float64(time.Second)).Round(time.Millisecond))
+		}
+		flag := ""
+		if o.Violated {
+			flag = "  VIOLATED"
+		}
+		burns := make([]string, len(o.Windows))
+		for i, win := range o.Windows {
+			burns[i] = fmt.Sprintf("%s=%.1fx",
+				time.Duration(win.WindowSeconds*float64(time.Second)).Round(time.Second), win.BurnRate)
+		}
+		fmt.Fprintf(w, "  %-14s %-18s achieved %.4f  budget used %5.1f%%  burn %s%s\n",
+			clip(o.Name, 14), detail, o.Achieved, o.BudgetUsed*100, strings.Join(burns, " "), flag)
+	}
+}
+
+// renderSlowlog shows the slowest tracked queries; "n/a" when the target
+// serves no query log.
+func renderSlowlog(w io.Writer, doc *queryDoc, max int) {
+	if doc == nil {
+		fmt.Fprintf(w, "\nslow queries: n/a\n")
+		return
+	}
+	fmt.Fprintf(w, "\nslow queries: %d of %d tracked over %s threshold\n",
+		doc.Totals.SlowQueries, doc.Totals.Queries,
+		time.Duration(doc.ThresholdSeconds*float64(time.Second)).Round(time.Millisecond))
+	qs := doc.Queries
+	if len(qs) > max {
+		qs = qs[:max]
+	}
+	if len(qs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %6s %-9s %-7s %10s %6s %9s %9s %6s\n",
+		"ID", "OP", "PATH", "DURATION", "PARTS", "CANDS", "TESTS", "RESULT")
+	for _, q := range qs {
+		fmt.Fprintf(w, "  %6d %-9s %-7s %10s %6d %9d %9d %6d\n",
+			q.ID, clip(q.Op, 9), clip(q.Path, 7),
+			time.Duration(q.DurationSeconds*float64(time.Second)).Round(time.Microsecond),
+			q.PartitionsProbed, q.CandidatesScanned, q.DominanceTests, q.ResultSize)
+	}
 }
 
 // renderJob shows the running job and a phase progress bar.

@@ -1,0 +1,139 @@
+package driver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/points"
+	"repro/internal/qws"
+	"repro/internal/skyline"
+	"repro/internal/telemetry"
+)
+
+// TestExplainMatchesGlobal: the explained merge returns exactly the
+// cached global skyline, and the plan's totals are internally consistent
+// (per-partition sums equal the totals, survivors sum to the result).
+func TestExplainMatchesGlobal(t *testing.T) {
+	data := qws.Dataset(7, 2000, 4)
+	ix, err := BuildIndex(context.Background(), data, Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few incremental adds so the index has drifted from its boot state.
+	for _, p := range qws.Dataset(8, 50, 4) {
+		if _, _, err := ix.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qs := telemetry.BeginQuery("skyline")
+	ctx := telemetry.WithQueryStats(context.Background(), qs)
+	sky, ex := ix.Explain(ctx)
+
+	want := ix.Global()
+	if len(sky) != len(want) {
+		t.Fatalf("explain skyline size %d != global %d", len(sky), len(want))
+	}
+	keys := make(map[string]int, len(want))
+	for _, p := range want {
+		keys[points.Key(p)]++
+	}
+	for _, p := range sky {
+		if keys[points.Key(p)] == 0 {
+			t.Fatalf("explain skyline has %v not in global", p)
+		}
+		keys[points.Key(p)]--
+	}
+
+	// Plan totals reconcile with their per-partition breakdown.
+	var tests, survivors int64
+	var candidates int64
+	for _, pe := range ex.Partitions {
+		tests += pe.DominanceTests
+		survivors += int64(pe.Survivors)
+		candidates += int64(pe.Candidates)
+		if pe.Survivors > pe.Candidates {
+			t.Errorf("partition %d: %d survivors of %d candidates", pe.Partition, pe.Survivors, pe.Candidates)
+		}
+	}
+	if tests != ex.DominanceTests || tests == 0 {
+		t.Errorf("dominance tests: partitions sum %d, total %d", tests, ex.DominanceTests)
+	}
+	if candidates != ex.Candidates || int(candidates) != ix.Size() {
+		t.Errorf("candidates: sum %d, total %d, index size %d", candidates, ex.Candidates, ix.Size())
+	}
+	if int(survivors) != ex.ResultSize || ex.ResultSize != len(sky) {
+		t.Errorf("survivors %d, result size %d, skyline %d", survivors, ex.ResultSize, len(sky))
+	}
+	if ex.PartitionsProbed != len(ex.Partitions) {
+		t.Errorf("partitions probed %d != breakdown rows %d", ex.PartitionsProbed, len(ex.Partitions))
+	}
+	if ex.Scheme != "MR-Angle" && ex.Scheme != partition.Angular.String() {
+		t.Errorf("scheme = %q", ex.Scheme)
+	}
+	if len(ex.Stages) != 2 {
+		t.Errorf("stages = %v, want snapshot+merge", ex.Stages)
+	}
+
+	// The context query record carries the same totals.
+	if qs.DominanceTests != ex.DominanceTests || qs.CandidatesScanned != ex.Candidates ||
+		qs.PartitionsProbed != ex.PartitionsProbed || qs.Path != "merge" {
+		t.Errorf("query record diverges from plan: %+v vs %+v", qs, ex)
+	}
+}
+
+// TestExplainMergeOracle: the counting merge agrees with the sequential
+// BNL oracle over the union, duplicates included.
+func TestExplainMergeOracle(t *testing.T) {
+	local := map[int]points.Set{
+		0: {points.Point{1, 5}, points.Point{2, 4}},
+		2: {points.Point{5, 1}, points.Point{1, 5}}, // duplicate of a partition-0 point
+		5: {points.Point{3, 3}, points.Point{6, 6}}, // {6,6} dominated
+	}
+	var union points.Set
+	for _, ls := range local {
+		union = append(union, ls...)
+	}
+	want := skyline.BNL(union)
+	got, ex := ExplainMerge("test", local)
+	if len(got) != len(want) {
+		t.Fatalf("merge size %d, oracle %d", len(got), len(want))
+	}
+	if ex.Candidates != 6 || ex.PartitionsProbed != 3 {
+		t.Errorf("plan candidates %d partitions %d, want 6/3", ex.Candidates, ex.PartitionsProbed)
+	}
+	// Both copies of the duplicate survive (registry semantics: equal QoS
+	// services all appear).
+	dup := 0
+	for _, p := range got {
+		if p.Equal(points.Point{1, 5}) {
+			dup++
+		}
+	}
+	if dup != 2 {
+		t.Errorf("duplicate survivors = %d, want 2", dup)
+	}
+}
+
+// TestAddContextAttribution: AddContext annotates the context record with
+// the update path and a positive dominance-test delta on the flat-kernel
+// path.
+func TestAddContextAttribution(t *testing.T) {
+	data := qws.Dataset(9, 500, 3)
+	ix, err := BuildIndex(context.Background(), data, Options{Scheme: partition.Angular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := telemetry.BeginQuery("publish")
+	ctx := telemetry.WithQueryStats(context.Background(), qs)
+	if _, _, err := ix.AddContext(ctx, points.Point{0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if qs.Path != "update" || qs.DominanceTests <= 0 || qs.CandidatesScanned <= 0 {
+		t.Errorf("publish attribution missing: %+v", qs)
+	}
+	if qs.PartitionsProbed != ix.Partitions() {
+		t.Errorf("partitions probed %d, want %d (merge unions all)", qs.PartitionsProbed, ix.Partitions())
+	}
+}

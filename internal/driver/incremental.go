@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/partition"
 	"repro/internal/points"
 	"repro/internal/skyline"
+	"repro/internal/telemetry"
 )
 
 // Index supports the paper's incremental scenario (§II): when a new
@@ -18,6 +20,7 @@ import (
 // An Index is safe for concurrent use.
 type Index struct {
 	mu     sync.RWMutex
+	scheme partition.Scheme
 	part   partition.Partitioner
 	kernel skyline.Func
 	local  map[int]points.Set // partition id → local skyline
@@ -43,6 +46,7 @@ func BuildIndex(ctx context.Context, data points.Set, opts Options) (*Index, err
 		local[id] = ls.Clone()
 	}
 	return &Index{
+		scheme: opts.Scheme,
 		part:   part,
 		kernel: opts.kernelFunc(),
 		local:  local,
@@ -50,11 +54,62 @@ func BuildIndex(ctx context.Context, data points.Set, opts Options) (*Index, err
 	}, nil
 }
 
-// Global returns the current global skyline (a copy).
+// Global returns the current global skyline (a copy). The read costs no
+// dominance work — the global is maintained incrementally on Add — so a
+// context query record, when present, is annotated with the cached path.
 func (ix *Index) Global() points.Set {
+	return ix.GlobalContext(context.Background())
+}
+
+// GlobalContext is Global with per-query attribution: a query record in
+// ctx (telemetry.WithQueryStats) is annotated with the cached path and
+// the result cardinality.
+func (ix *Index) GlobalContext(ctx context.Context) points.Set {
+	qs := telemetry.QueryStatsFrom(ctx)
+	start := time.Now()
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.global.Clone()
+	sky := ix.global.Clone()
+	ix.mu.RUnlock()
+	qs.SetPath("cached")
+	qs.AddCost(0, int64(len(sky)), 0)
+	qs.AddStage("snapshot", time.Since(start))
+	return sky
+}
+
+// Explain bypasses the cached global skyline: it re-merges the local
+// skylines with the instrumented merge, returning both the skyline and
+// the per-partition plan breakdown (candidates, dominance tests,
+// survivors, stage timings). A query record in ctx is annotated with the
+// merge path and the plan's totals. The result is identical to Global()
+// — the pinned equivalence every explained query re-proves.
+func (ix *Index) Explain(ctx context.Context) (points.Set, *Explain) {
+	qs := telemetry.QueryStatsFrom(ctx)
+
+	start := time.Now()
+	ix.mu.RLock()
+	// Snapshot the local skylines (slice headers only — the merge reads,
+	// never mutates) so the merge runs without holding the index lock.
+	local := make(map[int]points.Set, len(ix.local))
+	for id, ls := range ix.local {
+		local[id] = ls
+	}
+	scheme := ix.scheme.String()
+	ix.mu.RUnlock()
+	snapshot := time.Since(start)
+
+	start = time.Now()
+	sky, ex := ExplainMerge(scheme, local)
+	merge := time.Since(start)
+
+	ex.Stages = []telemetry.StageTiming{
+		{Stage: "snapshot", Seconds: snapshot.Seconds()},
+		{Stage: "merge", Seconds: merge.Seconds()},
+	}
+	qs.SetPath("merge")
+	qs.AddCost(ex.PartitionsProbed, ex.Candidates, ex.DominanceTests)
+	qs.AddStage("snapshot", snapshot)
+	qs.AddStage("merge", merge)
+	return sky.Clone(), ex
 }
 
 // LocalSkyline returns a copy of one partition's local skyline.
@@ -70,13 +125,28 @@ func (ix *Index) LocalSkyline(id int) points.Set {
 // partition the point was assigned to and whether the point survived into
 // the new global skyline.
 func (ix *Index) Add(p points.Point) (partitionID int, inGlobal bool, err error) {
+	return ix.AddContext(context.Background(), p)
+}
+
+// AddContext is Add with per-query attribution: a query record in ctx is
+// annotated with the candidates scanned (the touched partition's local
+// skyline plus the merge union) and the kernel's dominance-test delta.
+// The delta is read from the flat kernels' process counter under the
+// index's exclusive lock, so it is exact whenever this index is the only
+// kernel user in the process (the registry server's situation); classic
+// or override kernels do not feed that counter and report 0.
+func (ix *Index) AddContext(ctx context.Context, p points.Point) (partitionID int, inGlobal bool, err error) {
+	qs := telemetry.QueryStatsFrom(ctx)
+	start := time.Now()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	id, err := ix.part.Assign(p)
 	if err != nil {
 		return 0, false, fmt.Errorf("driver: incremental add: %w", err)
 	}
+	testsBefore := skyline.DominanceTests()
 	updated := append(ix.local[id].Clone(), p.Clone())
+	local := int64(len(updated))
 	ix.local[id] = ix.kernel(updated)
 
 	var union points.Set
@@ -84,6 +154,9 @@ func (ix *Index) Add(p points.Point) (partitionID int, inGlobal bool, err error)
 		union = append(union, ls...)
 	}
 	ix.global = ix.kernel(union)
+	qs.SetPath("update")
+	qs.AddCost(len(ix.local), local+int64(len(union)), skyline.DominanceTests()-testsBefore)
+	qs.AddStage("update", time.Since(start))
 	return id, ix.global.Contains(p), nil
 }
 
@@ -97,4 +170,9 @@ func (ix *Index) Size() int {
 		n += len(ls)
 	}
 	return n
+}
+
+// Partitions returns the index's planned partition count.
+func (ix *Index) Partitions() int {
+	return ix.part.Partitions()
 }

@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/partition"
+)
+
+// BenchmarkServeSkyline measures the full handler path for a cached
+// skyline read, split by whether per-query attribution is on — the
+// acceptance check is that the stats arm stays within 5% of nostats.
+func BenchmarkServeSkyline(b *testing.B) {
+	for _, arm := range []struct {
+		name  string
+		stats bool
+	}{{"stats", true}, {"nostats", false}} {
+		b.Run(arm.name, func(b *testing.B) {
+			r, err := New(context.Background(), seedBench(400), driver.Options{Scheme: partition.Angular})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.EnableQueryStats(arm.stats)
+			h := r.Handler()
+			req := httptest.NewRequest("GET", "/skyline", nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+			}
+		})
+	}
+}
+
+// BenchmarkServeExplain measures the instrumented re-merge path — the
+// expected cost of asking "why", for comparison against the cached read.
+func BenchmarkServeExplain(b *testing.B) {
+	r, err := New(context.Background(), seedBench(400), driver.Options{Scheme: partition.Angular})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := r.Handler()
+	req := httptest.NewRequest("GET", "/skyline?explain=1", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+	}
+}
+
+func seedBench(n int) []Service {
+	return seedServices(n)
+}

@@ -30,11 +30,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	samples := scrape(t, srv.URL)
-	if samples[`registry_requests_total{endpoint="skyline"}`] < 1 {
+	if samples[`registry_requests_total{endpoint="skyline",status="2xx"}`] < 1 {
 		t.Error("no skyline request counted")
 	}
 	if samples[`registry_request_seconds_count{endpoint="stats"}`] < 1 {
 		t.Error("no stats latency observed")
+	}
+	// Error paths carry their real status class and still observe latency.
+	if _, err := http.Get(srv.URL + "/services"); err != nil { // wrong method → 405
+		t.Fatal(err)
+	}
+	samples = scrape(t, srv.URL)
+	if samples[`registry_requests_total{endpoint="services",status="4xx"}`] != 1 {
+		t.Error("405 not counted under its status class")
+	}
+	if samples[`registry_request_seconds_count{endpoint="services"}`] < 1 {
+		t.Error("error-path latency not observed")
 	}
 	if got := samples["registry_services"]; got != 40 {
 		t.Errorf("registry_services = %v, want 40 (seed size)", got)
@@ -109,7 +120,7 @@ func TestConcurrentScrape(t *testing.T) {
 	wg.Wait()
 
 	final := scrape(t, srv.URL)
-	if got := final[`registry_requests_total{endpoint="services"}`]; got != writers*rounds {
+	if got := final[`registry_requests_total{endpoint="services",status="2xx"}`]; got != writers*rounds {
 		t.Errorf("services requests counted = %v, want %d", got, writers*rounds)
 	}
 	if got := final["registry_services"]; got != 40+writers*rounds {

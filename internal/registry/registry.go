@@ -4,6 +4,12 @@
 // incremental skyline index (driver.Index), so publishing a service
 // touches only its partition's local skyline — the paper's dynamic
 // scenario — and exposes the whole thing over HTTP with JSON bodies.
+//
+// Every tracked request (publishes and skyline reads) carries a
+// telemetry.QueryStats record through the index, so the registry can
+// answer "which query was slow and why" from /debug/queries and
+// /debug/slowlog, serve per-query EXPLAIN plans from /skyline?explain=1,
+// and evaluate latency/availability SLOs at /debug/slo.
 package registry
 
 import (
@@ -12,7 +18,9 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/driver"
@@ -37,10 +45,31 @@ type Registry struct {
 	ix       *driver.Index
 	services map[string]Service
 	tele     *telemetry.Registry
+	queries  *telemetry.QueryLog
+	slo      *telemetry.SLOTracker
+	// statsOff disables per-query attribution (the ring, the slow log and
+	// the context plumbing) while leaving the endpoint counters and
+	// latency histograms untouched — the control arm of the serve
+	// benchmark's overhead split.
+	statsOff atomic.Bool
+	// reqTotal / req5xx feed the availability SLO source: requests whose
+	// status class is 5xx count against the error budget.
+	reqTotal atomic.Int64
+	req5xx   atomic.Int64
 }
 
+// Defaults for the query log; ConfigureQueryLog overrides them.
+const (
+	defaultQueryLogCapacity = 256
+	defaultSlowLogK         = 16
+	defaultSlowThreshold    = 100 * time.Millisecond
+)
+
 // New builds a registry seeded with initial services (at least one is
-// required to fit the partitioner; the paper's UDDI bootstrap).
+// required to fit the partitioner; the paper's UDDI bootstrap). When
+// opts.Metrics is nil the registry's own telemetry registry is used, so
+// boot-time kernel counters (skyline_dominance_tests_total and friends)
+// land on the same scrape surface the per-query bridge feeds later.
 func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry, error) {
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("registry: need at least one seed service")
@@ -61,11 +90,21 @@ func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry
 		data[i] = points.Point(s.QoS)
 		services[s.Name] = s
 	}
+	tele := telemetry.NewRegistry()
+	if opts.Metrics == nil {
+		opts.Metrics = tele
+	}
 	ix, err := driver.BuildIndex(ctx, data, opts)
 	if err != nil {
 		return nil, err
 	}
-	r := &Registry{dim: dim, ix: ix, services: services, tele: telemetry.NewRegistry()}
+	r := &Registry{
+		dim:      dim,
+		ix:       ix,
+		services: services,
+		tele:     tele,
+		queries:  telemetry.NewQueryLog(defaultQueryLogCapacity, defaultSlowLogK, defaultSlowThreshold),
+	}
 	telemetry.RegisterProcessMetrics(r.tele)
 	// The registry's shape is sampled at scrape time rather than tracked
 	// on every publish, so gauges never drift from the index.
@@ -83,6 +122,72 @@ func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry
 // larger exposition or asserting on in tests.
 func (r *Registry) Metrics() *telemetry.Registry { return r.tele }
 
+// QueryLog returns the per-query record log behind /debug/queries.
+func (r *Registry) QueryLog() *telemetry.QueryLog { return r.queries }
+
+// ConfigureQueryLog replaces the query log's ring capacity, slow-log K
+// and slow threshold. Records already filed are dropped; call before
+// serving traffic.
+func (r *Registry) ConfigureQueryLog(capacity, slowK int, threshold time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries = telemetry.NewQueryLog(capacity, slowK, threshold)
+}
+
+// EnableQueryStats toggles per-query attribution. Disabled, requests
+// still hit the endpoint counters and latency histograms but no
+// QueryStats record is created or filed — the measured-overhead control.
+func (r *Registry) EnableQueryStats(on bool) { r.statsOff.Store(!on) }
+
+// SLOOptions configures the registry's service-level objectives.
+type SLOOptions struct {
+	// P99Threshold is the skyline read latency the 99th percentile must
+	// stay under. Zero disables the latency objective.
+	P99Threshold time.Duration
+	// Availability is the target fraction of requests answered without a
+	// 5xx, e.g. 0.999. Zero disables the availability objective.
+	Availability float64
+	// Events, when non-nil, receives budget-burn warnings.
+	Events *telemetry.EventLog
+	// Windows overrides the burn-rate windows (default 1m/5m/30m).
+	Windows []time.Duration
+}
+
+// ConfigureSLO installs an SLO tracker evaluating the configured
+// objectives against the registry's own metrics: the skyline endpoint's
+// latency histogram and the 5xx share of all instrumented requests. It
+// returns the tracker so the caller can drive its evaluation loop
+// (tracker.Run) and is also mounted at /debug/slo by Handler.
+func (r *Registry) ConfigureSLO(opts SLOOptions) *telemetry.SLOTracker {
+	tr := telemetry.NewSLOTracker(telemetry.SLOConfig{
+		Windows: opts.Windows,
+		Events:  opts.Events,
+	})
+	if opts.P99Threshold > 0 {
+		h := r.tele.Histogram("registry_request_seconds", telemetry.DurationBuckets(),
+			telemetry.L("endpoint", "skyline"))
+		tr.AddLatency("skyline-p99", 0.99, opts.P99Threshold, telemetry.LatencySLOSource(h, opts.P99Threshold))
+	}
+	if opts.Availability > 0 {
+		tr.AddAvailability("availability", opts.Availability, telemetry.CounterSLOSource(
+			func() int64 { return r.reqTotal.Load() - r.req5xx.Load() },
+			r.req5xx.Load,
+		))
+	}
+	r.mu.Lock()
+	r.slo = tr
+	r.mu.Unlock()
+	return tr
+}
+
+// SLO returns the configured SLO tracker, or nil when ConfigureSLO has
+// not been called (in which case /debug/slo serves 404).
+func (r *Registry) SLO() *telemetry.SLOTracker {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.slo
+}
+
 // Dim returns the registry's attribute dimensionality.
 func (r *Registry) Dim() int { return r.dim }
 
@@ -96,6 +201,13 @@ func (r *Registry) Len() int {
 // Publish registers a new service and updates the skyline incrementally.
 // It reports whether the service entered the skyline.
 func (r *Registry) Publish(s Service) (inSkyline bool, err error) {
+	return r.PublishContext(context.Background(), s)
+}
+
+// PublishContext is Publish with per-query attribution: a query record in
+// ctx (telemetry.WithQueryStats) picks up the update path's candidate
+// and dominance-test costs from the index.
+func (r *Registry) PublishContext(ctx context.Context, s Service) (inSkyline bool, err error) {
 	if s.Name == "" {
 		return false, fmt.Errorf("registry: service needs a name")
 	}
@@ -107,20 +219,51 @@ func (r *Registry) Publish(s Service) (inSkyline bool, err error) {
 	if _, dup := r.services[s.Name]; dup {
 		return false, fmt.Errorf("registry: service %q already published", s.Name)
 	}
-	_, in, err := r.ix.Add(points.Point(s.QoS))
+	_, in, err := r.ix.AddContext(ctx, points.Point(s.QoS))
 	if err != nil {
 		return false, err
 	}
 	r.services[s.Name] = s
+	if in {
+		telemetry.QueryStatsFrom(ctx).SetResult(1)
+	}
 	return in, nil
 }
 
 // Skyline returns the names and QoS of the current skyline services,
 // sorted by name. Coordinate-equal services all appear.
 func (r *Registry) Skyline() []Service {
+	return r.SkylineContext(context.Background())
+}
+
+// SkylineContext is Skyline with per-query attribution: the cached read
+// path and result size are noted on a query record in ctx.
+func (r *Registry) SkylineContext(ctx context.Context) []Service {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	sky := r.ix.Global()
+	sky := r.ix.GlobalContext(ctx)
+	out := r.matchServices(sky)
+	telemetry.QueryStatsFrom(ctx).SetResult(len(out))
+	return out
+}
+
+// ExplainContext answers a skyline query the expensive, honest way: it
+// bypasses the cached global skyline and re-merges the local skylines
+// with the instrumented merge, returning the services plus the
+// per-partition plan (candidates, dominance tests, survivors, stage
+// timings). The service list is identical to SkylineContext's.
+func (r *Registry) ExplainContext(ctx context.Context) ([]Service, *driver.Explain) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sky, ex := r.ix.Explain(ctx)
+	out := r.matchServices(sky)
+	telemetry.QueryStatsFrom(ctx).SetResult(len(out))
+	return out, ex
+}
+
+// matchServices maps skyline points back to the published services that
+// carry those coordinates. Callers hold r.mu.
+func (r *Registry) matchServices(sky points.Set) []Service {
 	keys := make(map[string]struct{}, len(sky))
 	for _, p := range sky {
 		keys[points.Key(p)] = struct{}{}
@@ -143,18 +286,34 @@ type statsResponse struct {
 	Dim         int `json:"dim"`
 }
 
+// ExplainResponse is the /skyline?explain=1 JSON shape.
+type ExplainResponse struct {
+	Services []Service       `json:"services"`
+	Plan     *driver.Explain `json:"plan"`
+}
+
 // Handler returns the HTTP API:
 //
 //	POST /services          {"name": ..., "qos": [...]} → {"in_skyline": bool}
 //	GET  /skyline           → [{"name": ..., "qos": [...]}, ...]
+//	GET  /skyline?explain=1 → {"services": [...], "plan": {...}}
 //	GET  /stats             → {"services": n, "skyline_size": k, ...}
 //	GET  /metrics           → Prometheus text exposition
 //	GET  /dashboard         → HTML status page for operators
+//	GET  /debug/queries     → recent per-query cost records + totals
+//	GET  /debug/slowlog     → top-K slowest queries
+//	GET  /debug/slo         → SLO burn state (404 until ConfigureSLO)
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.tele.Handler())
-	mux.HandleFunc("/dashboard", r.instrument("dashboard", r.serveDashboard))
-	mux.HandleFunc("/services", r.instrument("services", func(w http.ResponseWriter, req *http.Request) {
+	telemetry.MountQueryLog(mux, func() *telemetry.QueryLog {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return r.queries
+	})
+	telemetry.MountSLO(mux, r.SLO)
+	mux.HandleFunc("/dashboard", r.instrument("dashboard", false, r.serveDashboard))
+	mux.HandleFunc("/services", r.instrument("services", true, func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -164,21 +323,26 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		in, err := r.Publish(s)
+		in, err := r.PublishContext(req.Context(), s)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
 		writeJSON(w, map[string]bool{"in_skyline": in})
 	}))
-	mux.HandleFunc("/skyline", r.instrument("skyline", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("/skyline", r.instrument("skyline", true, func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, r.Skyline())
+		if explain, _ := strconv.ParseBool(req.URL.Query().Get("explain")); explain {
+			services, plan := r.ExplainContext(req.Context())
+			writeJSON(w, ExplainResponse{Services: services, Plan: plan})
+			return
+		}
+		writeJSON(w, r.SkylineContext(req.Context()))
 	}))
-	mux.HandleFunc("/stats", r.instrument("stats", func(w http.ResponseWriter, req *http.Request) {
+	mux.HandleFunc("/stats", r.instrument("stats", false, func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -196,17 +360,83 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
-// instrument wraps an endpoint with a request counter and a latency
-// histogram, both labelled by endpoint.
-func (r *Registry) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	requests := r.tele.Counter("registry_requests_total", telemetry.L("endpoint", endpoint))
+// statusWriter captures the response status code so instrument can label
+// the request counter by status class and attribute it to the query
+// record. An unwritten header counts as 200, matching net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code for the requests counter: "2xx",
+// "3xx", "4xx", "5xx".
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// instrument wraps an endpoint with a request counter labelled by
+// endpoint and status class, and a latency histogram labelled by
+// endpoint. Both are recorded after the handler runs, so error responses
+// are counted under their real status and their latency is observed too.
+// When track is set (the query-shaped endpoints: skyline reads and
+// publishes), the request additionally carries a telemetry.QueryStats
+// record through its context; the index annotates it with path and cost,
+// and it is filed into the query log with its dominance tests bridged
+// into skyline_dominance_tests_total — the reconciliation surface the
+// EXPLAIN tests pin.
+func (r *Registry) instrument(endpoint string, track bool, h http.HandlerFunc) http.HandlerFunc {
 	seconds := r.tele.Histogram("registry_request_seconds", telemetry.DurationBuckets(),
 		telemetry.L("endpoint", endpoint))
 	return func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
-		requests.Inc()
-		h(w, req)
+		sw := &statusWriter{ResponseWriter: w}
+		var qs *telemetry.QueryStats
+		if track && !r.statsOff.Load() {
+			qs = telemetry.BeginQuery(endpoint)
+			req = req.WithContext(telemetry.WithQueryStats(req.Context(), qs))
+		}
+		h(sw, req)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		r.tele.Counter("registry_requests_total",
+			telemetry.L("endpoint", endpoint), telemetry.L("status", statusClass(sw.status))).Inc()
 		seconds.Observe(time.Since(start).Seconds())
+		r.reqTotal.Add(1)
+		if sw.status >= 500 {
+			r.req5xx.Add(1)
+		}
+		if qs != nil {
+			qs.SetStatus(sw.status)
+			r.mu.RLock()
+			log := r.queries
+			r.mu.RUnlock()
+			log.Record(qs)
+			r.tele.Counter("skyline_dominance_tests_total").Add(qs.DominanceTests)
+		}
 	}
 }
 

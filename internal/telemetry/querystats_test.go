@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestQueryLogRing: the recent ring keeps the newest capacity records,
+// newest first, and totals keep counting past evictions.
+func TestQueryLogRing(t *testing.T) {
+	l := NewQueryLog(16, 4, 0)
+	for i := 0; i < 40; i++ {
+		q := BeginQuery("skyline")
+		q.AddCost(2, 10, 5)
+		q.SetResult(i)
+		l.Record(q)
+	}
+	recent := l.Recent(0)
+	if len(recent) != 16 {
+		t.Fatalf("recent len = %d, want 16 (capacity)", len(recent))
+	}
+	if recent[0].ID != 40 || recent[15].ID != 25 {
+		t.Errorf("ring order wrong: newest id %d oldest id %d", recent[0].ID, recent[15].ID)
+	}
+	if got := l.Recent(3); len(got) != 3 || got[0].ID != 40 {
+		t.Errorf("limited recent wrong: %+v", got)
+	}
+	tot := l.Totals()
+	if tot.Queries != 40 || tot.DominanceTests != 40*5 || tot.CandidatesScanned != 40*10 {
+		t.Errorf("totals = %+v, want 40 queries, 200 tests, 400 candidates", tot)
+	}
+}
+
+// TestQueryLogSlow: the slow log retains the top-K by duration in
+// descending order, and the threshold flags records.
+func TestQueryLogSlow(t *testing.T) {
+	l := NewQueryLog(16, 3, 10*time.Millisecond)
+	durations := []time.Duration{5 * time.Millisecond, 50 * time.Millisecond,
+		time.Millisecond, 30 * time.Millisecond, 20 * time.Millisecond}
+	for i, d := range durations {
+		q := BeginQuery("skyline")
+		q.Start = time.Now().Add(-d) // synthesize the duration
+		q.SetResult(i)
+		l.Record(q)
+	}
+	slow := l.Slow()
+	if len(slow) != 3 {
+		t.Fatalf("slow len = %d, want 3 (K)", len(slow))
+	}
+	if !(slow[0].DurationSeconds >= slow[1].DurationSeconds &&
+		slow[1].DurationSeconds >= slow[2].DurationSeconds) {
+		t.Errorf("slow log not descending: %v %v %v",
+			slow[0].DurationSeconds, slow[1].DurationSeconds, slow[2].DurationSeconds)
+	}
+	// The three slowest are 50ms, 30ms, 20ms — all above the threshold.
+	for _, q := range slow {
+		if !q.Slow {
+			t.Errorf("record with %.3fs not flagged slow (threshold 10ms)", q.DurationSeconds)
+		}
+		if q.DurationSeconds < 0.015 {
+			t.Errorf("slow log kept a fast query: %.4fs", q.DurationSeconds)
+		}
+	}
+	if tot := l.Totals(); tot.SlowQueries != 3 {
+		t.Errorf("slow totals = %d, want 3 (5ms and 1ms under threshold)", tot.SlowQueries)
+	}
+}
+
+// TestQueryStatsNilSafe: nil records and logs drop everything without
+// panicking, and the context plumbing round-trips.
+func TestQueryStatsNilSafe(t *testing.T) {
+	var q *QueryStats
+	q.AddStage("merge", time.Millisecond)
+	q.AddCost(1, 2, 3)
+	q.SetPath("cached")
+	q.SetResult(7)
+	q.SetStatus(200)
+	var l *QueryLog
+	l.Record(BeginQuery("x"))
+	if l.Recent(0) != nil || l.Slow() != nil || l.Totals() != (QueryTotals{}) {
+		t.Error("nil log returned data")
+	}
+	if QueryStatsFrom(context.Background()) != nil {
+		t.Error("empty context returned stats")
+	}
+	qs := BeginQuery("skyline")
+	ctx := WithQueryStats(context.Background(), qs)
+	if QueryStatsFrom(ctx) != qs {
+		t.Error("context round-trip failed")
+	}
+}
+
+// TestQueryLogEndpoints: /debug/queries and /debug/slowlog serve JSON
+// with totals, honour ?limit, and 404 when the source returns nil.
+func TestQueryLogEndpoints(t *testing.T) {
+	l := NewQueryLog(16, 8, 0)
+	for i := 0; i < 5; i++ {
+		q := BeginQuery("skyline")
+		q.AddStage("merge", time.Millisecond)
+		q.AddCost(8, 100, 250)
+		l.Record(q)
+	}
+	mux := http.NewServeMux()
+	MountQueryLog(mux, func() *QueryLog { return l })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var doc struct {
+		Totals  QueryTotals  `json:"totals"`
+		Queries []QueryStats `json:"queries"`
+	}
+	get := func(path string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s Content-Type = %q", path, ct)
+		}
+		doc.Queries = nil
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("GET %s does not parse: %v", path, err)
+		}
+	}
+	get(QueriesPath)
+	if len(doc.Queries) != 5 || doc.Totals.Queries != 5 || doc.Totals.DominanceTests != 5*250 {
+		t.Errorf("queries doc wrong: %d queries, totals %+v", len(doc.Queries), doc.Totals)
+	}
+	if doc.Queries[0].PartitionsProbed != 8 || len(doc.Queries[0].Stages) != 1 {
+		t.Errorf("query record lost detail: %+v", doc.Queries[0])
+	}
+	get(QueriesPath + "?limit=2")
+	if len(doc.Queries) != 2 {
+		t.Errorf("limit ignored: %d queries", len(doc.Queries))
+	}
+	get(SlowLogPath)
+	if len(doc.Queries) != 5 {
+		t.Errorf("slowlog doc wrong: %d queries, want 5 (K=8 keeps all)", len(doc.Queries))
+	}
+
+	// Absent log → 404 (what older skytop/new skytop's n/a path sees).
+	mux2 := http.NewServeMux()
+	MountQueryLog(mux2, func() *QueryLog { return nil })
+	srv2 := httptest.NewServer(mux2)
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + QueriesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("nil source status = %d, want 404", resp.StatusCode)
+	}
+}
