@@ -75,10 +75,14 @@ const pipelineNote = "gate applies to the kernel rows; the pipeline row is infor
 	"ratio is Amdahl-bounded by the kernels' share of total wall time"
 
 // best returns the fastest of runs invocations of f — minimum, not mean,
-// because scheduling noise only ever adds time.
-func best(runs int, f func()) int64 {
+// because scheduling noise only ever adds time. An optional prep function
+// runs before each invocation, outside the timed region.
+func best(runs int, f func(), prep ...func()) int64 {
 	var min int64 = 1<<63 - 1
 	for i := 0; i < runs; i++ {
+		for _, p := range prep {
+			p()
+		}
 		start := time.Now()
 		f()
 		if el := time.Since(start).Nanoseconds(); el < min {

@@ -20,6 +20,19 @@
 // achieved-versus-target lines, and exits nonzero when an objective is
 // missed — the CI-able form of "does the registry meet its SLO under
 // this load".
+//
+// With -duration, skyload switches to closed-loop throughput mode:
+// -workers goroutines issue skyline reads back-to-back for the duration
+// (optionally against a concurrent publish stream, -publish-interval)
+// and the report is achieved QPS plus p50/p99. -min-qps turns that into
+// a gate that exits nonzero below the target — the serving core's
+// capacity check:
+//
+//	skyload -workers 16 -duration 3s -min-qps 100000 -slo-p99 5ms
+//
+// In closed-loop in-process mode (no -url) the workers drive the
+// registry handler directly, function call per request, so the gate
+// measures the serving core rather than the kernel's TCP stack.
 package main
 
 import (
@@ -55,12 +68,182 @@ func main() {
 	prom := flag.String("prom", "", "write client-side latency histograms to this file as Prometheus text (empty = off)")
 	sloP99 := flag.Duration("slo-p99", 0, "fail unless the achieved skyline-read p99 is at most this (0 = no check)")
 	sloAvail := flag.Float64("slo-avail", 0, "fail unless the achieved non-failure fraction is at least this (0 = no check)")
+	workers := flag.Int("workers", 16, "closed-loop mode: concurrent query workers")
+	duration := flag.Duration("duration", 0, "closed-loop mode: run workers back-to-back for this long (0 = fixed-op mode)")
+	minQPS := flag.Float64("min-qps", 0, "closed-loop mode: fail below this achieved queries/s (0 = report only)")
+	pubEvery := flag.Duration("publish-interval", 0, "closed-loop mode: publish a fresh service this often in the background (0 = reads only)")
 	flag.Parse()
 
-	if err := run(*url, *publishes, *queries, *concurrency, *dim, *seed, *prom, *sloP99, *sloAvail); err != nil {
+	var err error
+	if *duration > 0 {
+		err = runClosedLoop(*url, *workers, *duration, *minQPS, *dim, *seed, *sloP99, *pubEvery)
+	} else {
+		err = run(*url, *publishes, *queries, *concurrency, *dim, *seed, *prom, *sloP99, *sloAvail)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// discardWriter is the closed-loop in-process ResponseWriter: it
+// swallows the body, so a "request" is one handler call with no kernel
+// round-trip — exactly the serving-core cost.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 2)
+	}
+	return w.h
+}
+func (w *discardWriter) WriteHeader(code int)        { w.status = code }
+func (w *discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// runClosedLoop is the throughput mode: workers hammer GET /skyline for
+// the duration and the achieved QPS / p50 / p99 are gated.
+func runClosedLoop(baseURL string, workers int, duration time.Duration, minQPS float64,
+	dim int, seed int64, sloP99, pubEvery time.Duration) error {
+	if workers < 1 {
+		return fmt.Errorf("workers %d, need >= 1", workers)
+	}
+
+	var handler http.Handler
+	var reg *registry.Registry
+	if baseURL == "" {
+		data := skymr.GenerateQWS(seed, 1000, dim)
+		seeds := make([]registry.Service, len(data))
+		for i, p := range data {
+			seeds[i] = registry.Service{Name: fmt.Sprintf("seed-%06d", i), QoS: p}
+		}
+		var err error
+		reg, err = registry.New(context.Background(), seeds, driver.Options{Scheme: partition.Angular})
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		handler = reg.Handler()
+		fmt.Fprintf(os.Stderr, "skyload: closed loop against in-process registry (%d seed services, handler-direct)\n", reg.Len())
+	}
+
+	// Optional background publish stream: fresh services entering during
+	// the measurement, so the gate covers reads under write load (cache
+	// invalidations included).
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	var published int64
+	if pubEvery > 0 {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			newcomers := skymr.GenerateQWS(seed+2, 1<<16, dim)
+			client := &http.Client{Timeout: 30 * time.Second}
+			tick := time.NewTicker(pubEvery)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				s := registry.Service{
+					Name: fmt.Sprintf("cl-%d-%06d", seed, i),
+					QoS:  newcomers[i%len(newcomers)],
+				}
+				if reg != nil {
+					if _, err := reg.Publish(s); err != nil {
+						return
+					}
+				} else {
+					body, _ := json.Marshal(s)
+					if err := doPublish(client, baseURL, body); err != nil {
+						return
+					}
+				}
+				atomic.AddInt64(&published, 1)
+			}
+		}()
+	}
+
+	shards := make([]latency.Tracker, workers)
+	counts := make([]int64, workers)
+	var failures int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if handler != nil {
+				req := httptest.NewRequest(http.MethodGet, "/skyline", nil)
+				var dw discardWriter
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					dw.status = 0
+					handler.ServeHTTP(&dw, req)
+					shards[w].Observe(time.Since(t0))
+					counts[w]++
+					if dw.status >= 400 {
+						atomic.AddInt64(&failures, 1)
+					}
+				}
+				return
+			}
+			client := &http.Client{Timeout: 30 * time.Second}
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := doQuery(client, baseURL)
+				shards[w].Observe(time.Since(t0))
+				counts[w]++
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	pubWG.Wait()
+
+	var lat latency.Tracker
+	var total int64
+	for w := 0; w < workers; w++ {
+		lat.Merge(&shards[w])
+		total += counts[w]
+	}
+	qps := float64(total) / elapsed.Seconds()
+	sum := lat.Summary()
+
+	fmt.Printf("closed loop: %d workers x %s: %d queries (%.0f queries/s), %d background publishes\n\n",
+		workers, duration, total, qps, atomic.LoadInt64(&published))
+	sum.Write(os.Stdout, "skyline")
+	if failures > 0 {
+		return fmt.Errorf("%d requests failed", failures)
+	}
+	failed := false
+	if minQPS > 0 {
+		ok := qps >= minQPS
+		fmt.Printf("\ngate: throughput    achieved=%-12.0f target>=%-10.0f %s\n", qps, minQPS, passFail(ok))
+		failed = failed || !ok
+	}
+	if sloP99 > 0 {
+		ok := sum.P99 <= sloP99
+		if minQPS <= 0 {
+			fmt.Println()
+		}
+		fmt.Printf("gate: skyline p99   achieved=%-12s target<=%-10s %s\n",
+			sum.P99.Round(time.Microsecond), sloP99, passFail(ok))
+		failed = failed || !ok
+	}
+	if failed {
+		return fmt.Errorf("throughput gate failed")
+	}
+	return nil
 }
 
 func run(baseURL string, publishes, queries, concurrency, dim int, seed int64, promFile string,

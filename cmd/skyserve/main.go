@@ -8,6 +8,13 @@
 //	skyserve [-addr :8080] [-method angle] [-seed-n 1000] [-seed-d 4]
 //	         [-seed-file data.csv] [-header] [-snapshot registry.jsonl]
 //	         [-slo-p99 250ms] [-slo-avail 0.999] [-slow-threshold 100ms]
+//	         [-publish-queue 1024] [-publish-batch 256]
+//
+// Publishes ride a batching pipeline (group commit: one index epoch per
+// coalesced batch; an acknowledged publish is always visible) whose
+// queue depth and maximum batch size -publish-queue/-publish-batch
+// resize. On shutdown the pipeline is drained before the snapshot is
+// written, so every accepted publish lands in the saved catalogue.
 //
 // API:
 //
@@ -76,16 +83,18 @@ func main() {
 	sloP99 := flag.Duration("slo-p99", 250*time.Millisecond, "p99 latency objective for skyline reads (0 disables)")
 	sloAvail := flag.Float64("slo-avail", 0.999, "availability objective: target non-5xx request fraction (0 disables)")
 	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "queries at least this slow are flagged into /debug/slowlog")
+	publishQueue := flag.Int("publish-queue", 0, "publish pipeline queue depth (0 = default)")
+	publishBatch := flag.Int("publish-batch", 0, "publish pipeline max group-commit batch (0 = default)")
 	flag.Parse()
 
-	if err := run(*addr, *method, *seedN, *seedD, *seedFile, *header, *snapshot, *sloP99, *sloAvail, *slowThreshold); err != nil {
+	if err := run(*addr, *method, *seedN, *seedD, *seedFile, *header, *snapshot, *sloP99, *sloAvail, *slowThreshold, *publishQueue, *publishBatch); err != nil {
 		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, method string, seedN, seedD int, seedFile string, header bool, snapshot string,
-	sloP99 time.Duration, sloAvail float64, slowThreshold time.Duration) error {
+	sloP99 time.Duration, sloAvail float64, slowThreshold time.Duration, publishQueue, publishBatch int) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -102,6 +111,11 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 		return err
 	}
 	events.BindMetrics(reg.Metrics())
+	if publishQueue > 0 || publishBatch > 0 {
+		if err := reg.ConfigurePublish(publishQueue, publishBatch); err != nil {
+			return err
+		}
+	}
 	reg.ConfigureQueryLog(256, 16, slowThreshold)
 	sloCtx, stopSLO := context.WithCancel(context.Background())
 	defer stopSLO()
@@ -148,6 +162,9 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 			telemetry.A("services", reg.Len()))
 		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, reg.Metrics())
 	}
+	// Drain the publish pipeline before snapshotting: every queued publish
+	// is folded and acknowledged, so the saved catalogue includes them.
+	reg.Close()
 	if snapshot != "" {
 		f, err := os.Create(snapshot)
 		if err != nil {

@@ -4,27 +4,110 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/partition"
 	"repro/internal/points"
-	"repro/internal/skyline"
 	"repro/internal/telemetry"
 )
 
 // Index supports the paper's incremental scenario (§II): when a new
 // service is registered, only its partition's local skyline is updated and
-// the global skyline is re-merged from local skylines — no full recompute
-// over the whole service registry.
+// the global skyline is folded incrementally — no full recompute over the
+// whole service registry.
+//
+// Concurrency model (the serving core): the entire queryable state lives
+// in an immutable epochState behind one atomic pointer. Readers — Global,
+// View, Explain, LocalSkyline, Size, Save — do a single atomic load and
+// then work on frozen data; they never block, never take a lock, and can
+// never observe a half-installed update, because an epoch is built in
+// full before the pointer swings. Writers serialize on ix.mu, fold a
+// batch of publishes copy-on-write (touched shards and the global are
+// replaced, untouched shards are shared with the previous epoch), and
+// install exactly one new epoch per batch.
 //
 // An Index is safe for concurrent use.
 type Index struct {
-	mu     sync.RWMutex
 	scheme partition.Scheme
 	part   partition.Partitioner
-	kernel skyline.Func
-	local  map[int]points.Set // partition id → local skyline
+	dim    int
+
+	state atomic.Pointer[epochState]
+
+	// mu is the write domain: it serializes batch folds (and pipeline
+	// reconfiguration) but is never taken by readers.
+	mu       sync.Mutex
+	onCommit func(Commit)
+	pipe     atomic.Pointer[pipeline]
+}
+
+// epochState is one immutable version of the index. Nothing reachable
+// from an installed epochState is ever mutated.
+type epochState struct {
+	epoch  uint64
+	shards []*shard // indexed by partition id
 	global points.Set
+}
+
+// Commit describes one installed epoch to the onCommit observer.
+type Commit struct {
+	// Epoch is the just-installed version number.
+	Epoch uint64
+	// Entered holds the batch points that entered the global skyline —
+	// the only publishes that can change any query result, which makes
+	// this the exact invalidation signal for result caches (a dominated
+	// publish changes nothing a reader can see).
+	Entered points.Set
+}
+
+// View is a consistent, immutable snapshot of the index at one epoch.
+// Everything reachable from a View is frozen: callers may read the
+// returned sets freely but must not mutate them. Acquiring a View costs
+// one atomic load.
+type View struct {
+	st *epochState
+}
+
+// Epoch returns the snapshot's version number.
+func (v View) Epoch() uint64 { return v.st.epoch }
+
+// Global returns the snapshot's global skyline without copying. The set
+// is immutable; callers needing to mutate must Clone.
+func (v View) Global() points.Set { return v.st.global }
+
+// Local returns one partition's local skyline without copying (nil for
+// an unknown or empty partition). Immutable; Clone before mutating.
+func (v View) Local(id int) points.Set {
+	if id < 0 || id >= len(v.st.shards) {
+		return nil
+	}
+	return v.st.shards[id].local
+}
+
+// Partitions returns the number of shard slots in the snapshot.
+func (v View) Partitions() int { return len(v.st.shards) }
+
+// Size returns the total points retained across local skylines — the
+// working-set size of the incremental index at this epoch.
+func (v View) Size() int {
+	n := 0
+	for _, sh := range v.st.shards {
+		n += len(sh.local)
+	}
+	return n
+}
+
+// locals returns the non-empty local skylines as a partition-id map —
+// the shape ExplainMerge and the snapshot writer consume.
+func (v View) locals() map[int]points.Set {
+	out := make(map[int]points.Set, len(v.st.shards))
+	for id, sh := range v.st.shards {
+		if len(sh.local) > 0 {
+			out[id] = sh.local
+		}
+	}
+	return out
 }
 
 // BuildIndex computes an initial index with the given options. The
@@ -45,18 +128,57 @@ func BuildIndex(ctx context.Context, data points.Set, opts Options) (*Index, err
 	for id, ls := range stats.LocalSkylines {
 		local[id] = ls.Clone()
 	}
-	return &Index{
+	ix := &Index{
 		scheme: opts.Scheme,
 		part:   part,
-		kernel: opts.kernelFunc(),
-		local:  local,
-		global: global.Clone(),
-	}, nil
+		dim:    data.Dim(),
+	}
+	ix.install(1, local, global.Clone())
+	return ix, nil
+}
+
+// install builds and publishes an epochState from a partition-id → local
+// skyline map. Used at construction and restore time only; live updates
+// go through foldBatch.
+func (ix *Index) install(epoch uint64, local map[int]points.Set, global points.Set) {
+	n := ix.part.Partitions()
+	for id := range local {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	shards := make([]*shard, n)
+	for id := range shards {
+		shards[id] = newShard(local[id])
+	}
+	ix.state.Store(&epochState{epoch: epoch, shards: shards, global: global})
+}
+
+// View returns the current epoch snapshot: one atomic load, no locks, no
+// copying. This is the high-QPS read path.
+func (ix *Index) View() View {
+	return View{st: ix.state.Load()}
+}
+
+// Epoch returns the current epoch number.
+func (ix *Index) Epoch() uint64 { return ix.state.Load().epoch }
+
+// SetOnCommit installs an observer invoked once per installed epoch,
+// under the write lock (callbacks arrive in epoch order) and before any
+// publish of that batch is acknowledged — so by the time an Add returns,
+// the observer has seen its commit. Used by the registry's query cache
+// for dominance-aware invalidation. Call before serving traffic.
+func (ix *Index) SetOnCommit(fn func(Commit)) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.onCommit = fn
 }
 
 // Global returns the current global skyline (a copy). The read costs no
 // dominance work — the global is maintained incrementally on Add — so a
 // context query record, when present, is annotated with the cached path.
+// Lock-free callers that can honor the no-mutation contract should
+// prefer View().Global().
 func (ix *Index) Global() points.Set {
 	return ix.GlobalContext(context.Background())
 }
@@ -67,38 +189,30 @@ func (ix *Index) Global() points.Set {
 func (ix *Index) GlobalContext(ctx context.Context) points.Set {
 	qs := telemetry.QueryStatsFrom(ctx)
 	start := time.Now()
-	ix.mu.RLock()
-	sky := ix.global.Clone()
-	ix.mu.RUnlock()
+	sky := ix.state.Load().global.Clone()
 	qs.SetPath("cached")
 	qs.AddCost(0, int64(len(sky)), 0)
 	qs.AddStage("snapshot", time.Since(start))
 	return sky
 }
 
-// Explain bypasses the cached global skyline: it re-merges the local
+// Explain bypasses the maintained global skyline: it re-merges the local
 // skylines with the instrumented merge, returning both the skyline and
 // the per-partition plan breakdown (candidates, dominance tests,
 // survivors, stage timings). A query record in ctx is annotated with the
 // merge path and the plan's totals. The result is identical to Global()
-// — the pinned equivalence every explained query re-proves.
+// — the pinned equivalence every explained query re-proves. The merge
+// runs entirely on an epoch snapshot, so it blocks no publisher.
 func (ix *Index) Explain(ctx context.Context) (points.Set, *Explain) {
 	qs := telemetry.QueryStatsFrom(ctx)
 
 	start := time.Now()
-	ix.mu.RLock()
-	// Snapshot the local skylines (slice headers only — the merge reads,
-	// never mutates) so the merge runs without holding the index lock.
-	local := make(map[int]points.Set, len(ix.local))
-	for id, ls := range ix.local {
-		local[id] = ls
-	}
-	scheme := ix.scheme.String()
-	ix.mu.RUnlock()
+	v := ix.View()
+	local := v.locals()
 	snapshot := time.Since(start)
 
 	start = time.Now()
-	sky, ex := ExplainMerge(scheme, local)
+	sky, ex := ExplainMerge(ix.scheme.String(), local)
 	merge := time.Since(start)
 
 	ex.Stages = []telemetry.StageTiming{
@@ -114,65 +228,162 @@ func (ix *Index) Explain(ctx context.Context) (points.Set, *Explain) {
 
 // LocalSkyline returns a copy of one partition's local skyline.
 func (ix *Index) LocalSkyline(id int) points.Set {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.local[id].Clone()
+	return ix.View().Local(id).Clone()
 }
 
 // Add registers a new service point: it is placed into its partition, the
-// local skyline of only that partition is updated, and the global skyline
-// is re-merged from the (small) union of local skylines. It returns the
-// partition the point was assigned to and whether the point survived into
-// the new global skyline.
+// local skyline of only that partition is updated, and the point is
+// folded into the global skyline. It returns the partition the point was
+// assigned to and whether the point survived into the new global skyline.
+// When a pipeline is running (StartPipeline), the point rides a coalesced
+// batch and Add returns once that batch's epoch is installed — group
+// commit: the acknowledgement still implies visibility.
 func (ix *Index) Add(p points.Point) (partitionID int, inGlobal bool, err error) {
 	return ix.AddContext(context.Background(), p)
 }
 
 // AddContext is Add with per-query attribution: a query record in ctx is
-// annotated with the candidates scanned (the touched partition's local
-// skyline plus the merge union) and the kernel's dominance-test delta.
-// The delta is read from the flat kernels' process counter under the
-// index's exclusive lock, so it is exact whenever this index is the only
-// kernel user in the process (the registry server's situation); classic
-// or override kernels do not feed that counter and report 0.
+// annotated with the one partition touched, the candidates scanned (the
+// shard's local skyline plus — for shard survivors — the global), and
+// the exact dominance tests the fold spent on this point.
 func (ix *Index) AddContext(ctx context.Context, p points.Point) (partitionID int, inGlobal bool, err error) {
 	qs := telemetry.QueryStatsFrom(ctx)
 	start := time.Now()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	id, err := ix.part.Assign(p)
-	if err != nil {
-		return 0, false, fmt.Errorf("driver: incremental add: %w", err)
+	res := ix.submit(p)
+	if res.err != nil {
+		return 0, false, res.err
 	}
-	testsBefore := skyline.DominanceTests()
-	updated := append(ix.local[id].Clone(), p.Clone())
-	local := int64(len(updated))
-	ix.local[id] = ix.kernel(updated)
-
-	var union points.Set
-	for _, ls := range ix.local {
-		union = append(union, ls...)
-	}
-	ix.global = ix.kernel(union)
 	qs.SetPath("update")
-	qs.AddCost(len(ix.local), local+int64(len(union)), skyline.DominanceTests()-testsBefore)
+	qs.AddCost(1, res.candidates, res.tests)
 	qs.AddStage("update", time.Since(start))
-	return id, ix.global.Contains(p), nil
+	return res.partition, res.inGlobal, nil
+}
+
+// submit routes one point to the batching pipeline when running, else
+// folds it synchronously as a batch of one.
+func (ix *Index) submit(p points.Point) addResult {
+	if pipe := ix.pipe.Load(); pipe != nil {
+		if res, ok := pipe.submit(p); ok {
+			return res
+		}
+		// Pipeline closed while we held the point: fall through to the
+		// synchronous path so late publishes are never lost.
+	}
+	pd := &pending{p: p, done: make(chan addResult, 1)}
+	ix.foldBatch([]*pending{pd})
+	return <-pd.done
+}
+
+// pending is one queued publish: the point plus the channel its result
+// is delivered on after the batch's epoch commits.
+type pending struct {
+	p    points.Point
+	done chan addResult
+}
+
+type addResult struct {
+	partition  int
+	inGlobal   bool
+	err        error
+	tests      int64
+	candidates int64
+}
+
+// foldBatch is the single write path: it folds a batch of publishes into
+// the current epoch copy-on-write and installs exactly one new epoch.
+// Each point updates only its own shard (batch-local follow-ups to an
+// already-touched shard scan the working set linearly; the shard's
+// R-tree, when present, prunes the first touch) and then folds into the
+// global skyline with a one-pass incremental update — checking the old
+// global suffices, because any dominator of p outside it would itself be
+// dominated by a global member. Results are delivered after the epoch is
+// installed and the commit observer has run, so an acknowledged publish
+// is visible to every subsequent View and its cache entries are already
+// invalidated.
+func (ix *Index) foldBatch(batch []*pending) {
+	results := make([]addResult, len(batch))
+
+	ix.mu.Lock()
+	cur := ix.state.Load()
+	shards := cur.shards
+	global := cur.global
+	working := make(map[int]points.Set) // shard id → batch-local skyline
+	var entered points.Set
+
+	for i, pd := range batch {
+		id, err := ix.part.Assign(pd.p)
+		if err != nil {
+			results[i] = addResult{err: fmt.Errorf("driver: incremental add: %w", err)}
+			continue
+		}
+		if id >= len(shards) {
+			grown := make([]*shard, id+1)
+			copy(grown, shards)
+			for j := len(shards); j <= id; j++ {
+				grown[j] = newShard(nil)
+			}
+			shards = grown
+		}
+		p := pd.p.Clone()
+		var newLocal points.Set
+		var ok bool
+		var tests int64
+		var candidates int64
+		if wl, touched := working[id]; touched {
+			tmp := shard{local: wl}
+			candidates = int64(len(wl))
+			newLocal, ok, tests = tmp.addLinear(p)
+		} else {
+			candidates = int64(len(shards[id].local))
+			newLocal, ok, tests = shards[id].add(p)
+		}
+		res := addResult{partition: id, tests: tests, candidates: candidates}
+		if ok {
+			working[id] = newLocal
+			g2, in, gtests := globalAdd(global, p)
+			res.tests += gtests
+			res.candidates += int64(len(global))
+			global = g2
+			res.inGlobal = in
+			if in {
+				entered = append(entered, p)
+			}
+		}
+		results[i] = res
+	}
+
+	if len(working) > 0 || len(shards) != len(cur.shards) {
+		if len(shards) == len(cur.shards) {
+			grown := make([]*shard, len(shards))
+			copy(grown, shards)
+			shards = grown
+		}
+		for id, wl := range working {
+			shards[id] = newShard(wl)
+		}
+	}
+	next := &epochState{epoch: cur.epoch + 1, shards: shards, global: global}
+	ix.state.Store(next)
+	if ix.onCommit != nil {
+		ix.onCommit(Commit{Epoch: next.epoch, Entered: entered})
+	}
+	ix.mu.Unlock()
+
+	for i, pd := range batch {
+		pd.done <- results[i]
+	}
 }
 
 // Size returns the total number of points retained across local skylines —
 // the working-set size of the incremental index.
 func (ix *Index) Size() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	n := 0
-	for _, ls := range ix.local {
-		n += len(ls)
-	}
-	return n
+	return ix.View().Size()
 }
 
 // Partitions returns the index's planned partition count.
 func (ix *Index) Partitions() int {
 	return ix.part.Partitions()
 }
+
+// Dim returns the index's attribute dimensionality.
+func (ix *Index) Dim() int { return ix.dim }

@@ -1,0 +1,161 @@
+package driver
+
+import (
+	"math"
+
+	"repro/internal/points"
+	"repro/internal/rtree"
+)
+
+// A shard owns one angular partition's local skyline inside the serving
+// index. Shards are immutable: a publish that changes a shard's local
+// skyline produces a *new* shard value, so epoch snapshots can share
+// untouched shards across versions without copying and readers never see
+// a shard mid-update.
+//
+// Candidate pruning on the write path runs two ways: small shards take a
+// single linear BNL-style pass over the local skyline; shards at or above
+// shardTreeCrossover carry an STR-packed R-tree over their members, and a
+// publish resolves its dominators (box [-inf, p]) and its victims (box
+// [p, +inf]) with two bounded box searches instead of a full scan. The
+// crossover is justified by BenchmarkShardAdd in shard_test.go: local
+// skylines are mutually non-dominated (anti-correlated shape), and on
+// that shape the tree is ahead from roughly 128 points for both
+// skyline-entering and dominated probes — 256 is the conservative pick,
+// because correlated publish streams with abundant dominators let the
+// linear scan early-exit in a handful of tests.
+const shardTreeCrossover = 256
+
+type shard struct {
+	local points.Set  // this partition's local skyline; treat as immutable
+	tree  *rtree.Tree // non-nil iff len(local) >= shardTreeCrossover
+}
+
+// newShard wraps a local skyline, building the R-tree accelerator when
+// the shard is large enough to repay it. The set is adopted, not copied.
+func newShard(local points.Set) *shard {
+	s := &shard{local: local}
+	if len(local) >= shardTreeCrossover {
+		if t, err := rtree.New(local, rtree.DefaultFanout); err == nil {
+			s.tree = t
+		}
+	}
+	return s
+}
+
+// dominatesStrict is the repo-wide skyline convention: q kills p when q
+// is at least as good everywhere and not coordinate-equal (coordinate
+// duplicates all survive — registry semantics).
+func dominatesStrict(q, p points.Point) bool {
+	return points.DominatesOrEqual(q, p) && !q.Equal(p)
+}
+
+// add attempts to insert p into the shard's local skyline. It returns
+// the replacement local skyline (nil when p is dominated and the shard
+// is unchanged), whether p survived, and the number of dominance tests
+// spent deciding — the per-query attribution currency.
+func (s *shard) add(p points.Point) (newLocal points.Set, ok bool, tests int64) {
+	if s.tree != nil {
+		return s.addTree(p)
+	}
+	return s.addLinear(p)
+}
+
+// addLinear is the small-shard path: one pass, testing both directions
+// per incumbent. The classic BNL argument applies — incumbents are
+// mutually non-dominated, so once p evicts someone nothing later can
+// dominate p, and once p dies it cannot have evicted anyone.
+func (s *shard) addLinear(p points.Point) (points.Set, bool, int64) {
+	var tests int64
+	evict := -1 // index of first eviction, -1 while none
+	for i, q := range s.local {
+		tests++
+		if evict < 0 && dominatesStrict(q, p) {
+			return nil, false, tests
+		}
+		if dominatesStrict(p, q) && evict < 0 {
+			evict = i
+		}
+	}
+	if evict < 0 {
+		out := make(points.Set, 0, len(s.local)+1)
+		out = append(out, s.local...)
+		return append(out, p), true, tests
+	}
+	out := make(points.Set, 0, len(s.local))
+	out = append(out, s.local[:evict]...)
+	for _, q := range s.local[evict+1:] {
+		if !dominatesStrict(p, q) {
+			out = append(out, q)
+		}
+	}
+	return append(out, p), true, tests
+}
+
+// addTree is the large-shard path: two corner-box searches against the
+// R-tree. Dominators of p live in [-inf, p]; victims of p live in
+// [p, +inf]. Leaf-entry box checks are counted as dominance tests — each
+// is exactly one "is q ≤ p componentwise" comparison.
+func (s *shard) addTree(p points.Point) (points.Set, bool, int64) {
+	d := p.Dim()
+	lo := make(points.Point, d)
+	hi := make(points.Point, d)
+	for j := 0; j < d; j++ {
+		lo[j] = math.Inf(-1)
+		hi[j] = math.Inf(1)
+	}
+	dominators, tests := s.tree.SearchCounted(lo, p)
+	for _, q := range dominators {
+		if !q.Equal(p) {
+			return nil, false, tests
+		}
+	}
+	victims, t2 := s.tree.SearchCounted(p, hi)
+	tests += t2
+	evict := make(map[string]struct{}, len(victims))
+	for _, q := range victims {
+		if !q.Equal(p) {
+			evict[points.Key(q)] = struct{}{}
+		}
+	}
+	out := make(points.Set, 0, len(s.local)+1-len(evict))
+	if len(evict) == 0 {
+		out = append(out, s.local...)
+	} else {
+		for _, q := range s.local {
+			if _, dead := evict[points.Key(q)]; !dead {
+				out = append(out, q)
+			}
+		}
+	}
+	return append(out, p), true, tests
+}
+
+// globalAdd folds one shard-surviving point into the global skyline with
+// the same one-pass logic as addLinear, copy-on-write: the input set is
+// never mutated, and it is returned unchanged when p is dominated.
+func globalAdd(global points.Set, p points.Point) (out points.Set, entered bool, tests int64) {
+	evict := -1
+	for i, q := range global {
+		tests++
+		if evict < 0 && dominatesStrict(q, p) {
+			return global, false, tests
+		}
+		if dominatesStrict(p, q) && evict < 0 {
+			evict = i
+		}
+	}
+	if evict < 0 {
+		out = make(points.Set, 0, len(global)+1)
+		out = append(out, global...)
+		return append(out, p), true, tests
+	}
+	out = make(points.Set, 0, len(global))
+	out = append(out, global[:evict]...)
+	for _, q := range global[evict+1:] {
+		if !dominatesStrict(p, q) {
+			out = append(out, q)
+		}
+	}
+	return append(out, p), true, tests
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/partition"
 	"repro/internal/points"
 	"repro/internal/sequencefile"
 )
@@ -21,18 +22,37 @@ import (
 // Format: a sequencefile whose first record is ("meta", JSON header) and
 // whose remaining records are (partition-id, encoded point), one per local
 // skyline member.
+//
+// Version history:
+//
+//	v1 — {version, dim, partitions}; restore recomputes everything.
+//	v2 — adds the serving core's epoch and the partitioning scheme, plus
+//	     the per-shard record counts, so a restored index resumes at the
+//	     epoch it was saved at and the restore path can sanity-check the
+//	     shard layout without re-running a MapReduce job.
+//
+// LoadIndex accepts both: the record stream is identical, v1 files simply
+// restart the epoch clock at 1.
 
 // snapshotMeta is the JSON header of a snapshot.
 type snapshotMeta struct {
-	Version    int `json:"version"`
-	Dim        int `json:"dim"`
-	Partitions int `json:"partitions"`
+	Version    int    `json:"version"`
+	Dim        int    `json:"dim"`
+	Partitions int    `json:"partitions"`
+	Epoch      uint64 `json:"epoch,omitempty"`  // v2
+	Scheme     string `json:"scheme,omitempty"` // v2
+	// Shards records each persisted shard's size (partition id → point
+	// count), letting restore verify it reassembled exactly the saved
+	// layout. v2 only.
+	Shards map[string]int `json:"shards,omitempty"`
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the index's state: options header plus all local skyline
-// points tagged with their partition.
+// points tagged with their partition. The write runs entirely on an
+// epoch snapshot (one atomic load), so it never blocks publishes — a
+// live registry can checkpoint under full write load.
 //
 // Restoring builds a partitioner from the *restored* union of local
 // skylines. Because every retained point keeps its partition tag, restore
@@ -42,11 +62,11 @@ const snapshotVersion = 1
 // aligned with the original sector boundaries, costing balance, not
 // correctness).
 func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	v := ix.View()
+	local := v.locals()
 
 	dim := 0
-	for _, ls := range ix.local {
+	for _, ls := range local {
 		if len(ls) > 0 {
 			dim = ls[0].Dim()
 			break
@@ -55,10 +75,21 @@ func (ix *Index) Save(w io.Writer) error {
 	if dim == 0 {
 		return fmt.Errorf("driver: cannot snapshot an empty index")
 	}
+	ids := make([]int, 0, len(local))
+	shardSizes := make(map[string]int, len(local))
+	for id := range local {
+		ids = append(ids, id)
+		shardSizes[strconv.Itoa(id)] = len(local[id])
+	}
+	sort.Ints(ids)
+
 	meta := snapshotMeta{
 		Version:    snapshotVersion,
 		Dim:        dim,
 		Partitions: ix.part.Partitions(),
+		Epoch:      v.Epoch(),
+		Scheme:     ix.scheme.String(),
+		Shards:     shardSizes,
 	}
 	hdr, err := json.Marshal(meta)
 	if err != nil {
@@ -69,14 +100,9 @@ func (ix *Index) Save(w io.Writer) error {
 		return err
 	}
 	// Deterministic order: partitions ascending, points in stored order.
-	ids := make([]int, 0, len(ix.local))
-	for id := range ix.local {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	for _, id := range ids {
 		key := []byte(strconv.Itoa(id))
-		for _, p := range ix.local[id] {
+		for _, p := range local[id] {
 			if err := sw.Append(key, points.Encode(p)); err != nil {
 				return err
 			}
@@ -85,10 +111,11 @@ func (ix *Index) Save(w io.Writer) error {
 	return sw.Flush()
 }
 
-// LoadIndex restores an index from a snapshot. opts selects the
-// partitioner for future additions (typically the same options the index
-// was built with); the snapshot's partition tags are preserved for the
-// restored points.
+// LoadIndex restores an index from a snapshot (v1 or v2). opts selects
+// the partitioner for future additions (typically the same options the
+// index was built with); the snapshot's partition tags are preserved for
+// the restored points. A v2 snapshot resumes at its saved epoch; a v1
+// snapshot restarts the epoch clock.
 func LoadIndex(ctx context.Context, r io.Reader, opts Options) (*Index, error) {
 	recs, err := sequencefile.ReadAll(r)
 	if err != nil {
@@ -101,8 +128,8 @@ func LoadIndex(ctx context.Context, r io.Reader, opts Options) (*Index, error) {
 	if err := json.Unmarshal(recs[0].Value, &meta); err != nil {
 		return nil, fmt.Errorf("driver: snapshot meta: %w", err)
 	}
-	if meta.Version != snapshotVersion {
-		return nil, fmt.Errorf("driver: snapshot version %d, want %d", meta.Version, snapshotVersion)
+	if meta.Version < 1 || meta.Version > snapshotVersion {
+		return nil, fmt.Errorf("driver: snapshot version %d, want 1..%d", meta.Version, snapshotVersion)
 	}
 	local := make(map[int]points.Set)
 	var union points.Set
@@ -124,17 +151,39 @@ func LoadIndex(ctx context.Context, r io.Reader, opts Options) (*Index, error) {
 	if len(union) == 0 {
 		return nil, fmt.Errorf("driver: snapshot holds no points")
 	}
+	if meta.Version >= 2 {
+		for key, want := range meta.Shards {
+			id, err := strconv.Atoi(key)
+			if err != nil {
+				return nil, fmt.Errorf("driver: snapshot shard key %q", key)
+			}
+			if got := len(local[id]); got != want {
+				return nil, fmt.Errorf("driver: snapshot shard %d holds %d points, header says %d", id, got, want)
+			}
+		}
+		if len(local) != len(meta.Shards) {
+			return nil, fmt.Errorf("driver: snapshot holds %d shards, header says %d", len(local), len(meta.Shards))
+		}
+	}
+
+	// Rebuild the serving state directly — no MapReduce job needed: the
+	// persisted locals ARE the working set, and the global skyline is one
+	// kernel pass over their (small) union.
 	opts = opts.withDefaults()
-	ix, err := BuildIndex(ctx, union, opts)
+	part, err := partition.New(opts.Scheme, union, opts.Partitions)
 	if err != nil {
 		return nil, err
 	}
-	// Replace the rebuilt local map with the persisted partition tags so
-	// the restored index is exactly the saved one.
-	ix.mu.Lock()
-	ix.local = local
-	ix.global = opts.kernelFunc()(union)
-	ix.mu.Unlock()
+	epoch := meta.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	ix := &Index{
+		scheme: opts.Scheme,
+		part:   part,
+		dim:    meta.Dim,
+	}
+	ix.install(epoch, local, opts.kernelFunc()(union))
 	return ix, nil
 }
 

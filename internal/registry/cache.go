@@ -1,0 +1,145 @@
+package registry
+
+import (
+	"sync"
+
+	"repro/internal/driver"
+	"repro/internal/points"
+	"repro/internal/telemetry"
+)
+
+// queryCache memoizes fully rendered skyline responses keyed by their
+// constraint signature (the normalized ?max= parameter; "" for the
+// unconstrained read). Hits are lock-free (sync.Map load); fills and
+// invalidations serialize on a small mutex.
+//
+// Invalidation is dominance-aware and exact: the driver's commit
+// callback reports which batch points ENTERED the global skyline, and an
+// entry is evicted iff some entered point satisfies the entry's max
+// constraint. That rule is minimal — a dominated (rejected) publish
+// changes no query result, so it evicts nothing — and complete: a cached
+// constrained result changes only when a point enters its box (any
+// former member leaving the box's skyline was evicted by a dominator,
+// which has componentwise-smaller coordinates and therefore is itself in
+// the box and entered).
+//
+// The fill/invalidate race (a fill computed at epoch E landing after a
+// later commit already invalidated) is closed by the floor epoch: every
+// evicting commit raises floor to its epoch, and a put whose snapshot
+// epoch is below floor is discarded — the filler simply serves its
+// correct-at-E result without caching it.
+type queryCache struct {
+	entries sync.Map // signature → *cacheEntry
+
+	mu       sync.Mutex // guards floor, size and fills
+	floor    uint64
+	size     int
+	capacity int
+
+	evictions *telemetry.Counter
+}
+
+// cacheEntry is one rendered response: the matched services and the
+// exact JSON body the handler would write, plus the epoch it was
+// computed at and the constraint that scopes its invalidation.
+type cacheEntry struct {
+	epoch    uint64
+	max      points.Point // nil = unconstrained
+	services []Service
+	body     []byte
+}
+
+const defaultCacheCapacity = 512
+
+func newQueryCache(capacity int, evictions *telemetry.Counter) *queryCache {
+	if capacity <= 0 {
+		capacity = defaultCacheCapacity
+	}
+	return &queryCache{capacity: capacity, evictions: evictions}
+}
+
+// get returns the cached entry for a signature, lock-free.
+func (c *queryCache) get(sig string) *cacheEntry {
+	if v, ok := c.entries.Load(sig); ok {
+		return v.(*cacheEntry)
+	}
+	return nil
+}
+
+// put installs a freshly computed entry unless a commit newer than the
+// entry's snapshot epoch has already invalidated (floor check), evicting
+// an arbitrary entry first when the cache is full.
+func (c *queryCache) put(sig string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.epoch < c.floor {
+		return // stale fill: a later commit already changed the answer
+	}
+	if _, exists := c.entries.Load(sig); !exists {
+		if c.size >= c.capacity {
+			c.entries.Range(func(k, _ interface{}) bool {
+				c.entries.Delete(k)
+				c.size--
+				return false
+			})
+		}
+		c.size++
+	}
+	c.entries.Store(sig, e)
+}
+
+// invalidate applies one commit: entries whose constraint admits an
+// entered point are evicted, and the floor rises so in-flight fills from
+// older epochs cannot resurrect them. Commits whose batch changed
+// nothing visible (every publish dominated) evict nothing and leave the
+// floor alone — cached results stay warm across them by design.
+func (c *queryCache) invalidate(commit driver.Commit) {
+	if len(commit.Entered) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if commit.Epoch > c.floor {
+		c.floor = commit.Epoch
+	}
+	c.entries.Range(func(k, v interface{}) bool {
+		e := v.(*cacheEntry)
+		if entersBox(commit.Entered, e.max) {
+			c.entries.Delete(k)
+			c.size--
+			if c.evictions != nil {
+				c.evictions.Inc()
+			}
+		}
+		return true
+	})
+}
+
+// entersBox reports whether any entered point satisfies the max
+// constraint (nil = unconstrained, satisfied by anything).
+func entersBox(entered points.Set, max points.Point) bool {
+	if max == nil {
+		return len(entered) > 0
+	}
+	for _, p := range entered {
+		if withinMax(p, max) {
+			return true
+		}
+	}
+	return false
+}
+
+// withinMax reports p[j] <= max[j] for all attributes — the "QoS demand
+// ceiling" constraint shape the registry serves. (Only max bounds are
+// sound on the incremental index: its working set retains every point
+// that could ever re-enter a ceiling-constrained skyline, whereas points
+// pruned by a dominator inside a *lower*-bounded region may be exactly
+// the answer there; see the /skyline handler's rejection of min bounds.)
+func withinMax(p points.Point, max points.Point) bool {
+	for j, v := range p {
+		if v > max[j] {
+			return false
+		}
+	}
+	return true
+}

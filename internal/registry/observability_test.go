@@ -243,9 +243,15 @@ func TestSoakPublishQuery(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
+				// Mix the three read paths: explain (merge), constrained
+				// (ceiling cache) and plain (cached / fill) — all racing
+				// the concurrent publish batches.
 				url := srv.URL + "/skyline"
-				if (g+i)%2 == 0 {
+				switch (g + i) % 3 {
+				case 0:
 					url += "?explain=1"
+				case 1:
+					url += "?max=30,30"
 				}
 				resp, err := http.Get(url)
 				if err != nil {

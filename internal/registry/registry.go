@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,14 +40,27 @@ type Service struct {
 
 // Registry holds published services and maintains their skyline
 // incrementally. Safe for concurrent use.
+//
+// Serving core: skyline reads resolve an immutable index epoch (one
+// atomic load) and, for repeated queries, a rendered-response cache with
+// dominance-aware invalidation — neither takes the write lock, so read
+// QPS no longer degrades under publish load. Publishes ride the index's
+// batched group-commit pipeline: one installed epoch per coalesced
+// batch, with every acknowledged publish visible (and its stale cache
+// entries evicted) before the acknowledgement.
 type Registry struct {
 	mu       sync.RWMutex
 	dim      int
 	ix       *driver.Index
 	services map[string]Service
+	cache    *queryCache
 	tele     *telemetry.Registry
 	queries  *telemetry.QueryLog
 	slo      *telemetry.SLOTracker
+	// Pre-resolved hot-path counters: resolving a labelled counter takes
+	// a registry lookup, too expensive per request at serving rates.
+	pathCached, pathMerge, pathUpdate *telemetry.Counter
+	cacheHits, cacheMisses            *telemetry.Counter
 	// statsOff disables per-query attribution (the ring, the slow log and
 	// the context plumbing) while leaving the endpoint counters and
 	// latency histograms untouched — the control arm of the serve
@@ -99,23 +113,54 @@ func New(ctx context.Context, initial []Service, opts driver.Options) (*Registry
 		return nil, err
 	}
 	r := &Registry{
-		dim:      dim,
-		ix:       ix,
-		services: services,
-		tele:     tele,
-		queries:  telemetry.NewQueryLog(defaultQueryLogCapacity, defaultSlowLogK, defaultSlowThreshold),
+		dim:         dim,
+		ix:          ix,
+		services:    services,
+		tele:        tele,
+		queries:     telemetry.NewQueryLog(defaultQueryLogCapacity, defaultSlowLogK, defaultSlowThreshold),
+		pathCached:  tele.Counter("registry_query_path_total", telemetry.L("path", "cached")),
+		pathMerge:   tele.Counter("registry_query_path_total", telemetry.L("path", "merge")),
+		pathUpdate:  tele.Counter("registry_query_path_total", telemetry.L("path", "update")),
+		cacheHits:   tele.Counter("registry_cache_hits_total"),
+		cacheMisses: tele.Counter("registry_cache_misses_total"),
+	}
+	r.cache = newQueryCache(defaultCacheCapacity, tele.Counter("registry_cache_evictions_total"))
+	// The commit hook runs in epoch order before any publish of the batch
+	// is acknowledged: once a Publish returns, every cached answer it
+	// could have changed is gone.
+	ix.SetOnCommit(r.cache.invalidate)
+	if err := ix.StartPipeline(0, 0); err != nil {
+		return nil, err
 	}
 	telemetry.RegisterProcessMetrics(r.tele)
 	// The registry's shape is sampled at scrape time rather than tracked
-	// on every publish, so gauges never drift from the index.
+	// on every publish, so gauges never drift from the index. The index
+	// side reads an epoch snapshot — no locks.
 	r.tele.OnScrape(func(t *telemetry.Registry) {
+		v := r.ix.View()
 		r.mu.RLock()
-		defer r.mu.RUnlock()
-		t.Gauge("registry_services").Set(float64(len(r.services)))
-		t.Gauge("registry_skyline_size").Set(float64(len(r.ix.Global())))
-		t.Gauge("registry_index_points").Set(float64(r.ix.Size()))
+		n := len(r.services)
+		r.mu.RUnlock()
+		t.Gauge("registry_services").Set(float64(n))
+		t.Gauge("registry_skyline_size").Set(float64(len(v.Global())))
+		t.Gauge("registry_index_points").Set(float64(v.Size()))
 	})
 	return r, nil
+}
+
+// Close drains and stops the publish pipeline. Publishes accepted before
+// Close are folded and acknowledged; later ones fall back to the
+// synchronous path, so a closed registry still works, just unbatched.
+func (r *Registry) Close() {
+	r.ix.Close()
+}
+
+// ConfigurePublish resizes the publish pipeline's queue depth and
+// maximum batch size (non-positive values keep the defaults). Call
+// before serving traffic.
+func (r *Registry) ConfigurePublish(queue, maxBatch int) error {
+	r.ix.Close()
+	return r.ix.StartPipeline(queue, maxBatch)
 }
 
 // Metrics returns the registry's telemetry surface, for embedding into a
@@ -207,6 +252,12 @@ func (r *Registry) Publish(s Service) (inSkyline bool, err error) {
 // PublishContext is Publish with per-query attribution: a query record in
 // ctx (telemetry.WithQueryStats) picks up the update path's candidate
 // and dominance-test costs from the index.
+//
+// The catalogue entry is reserved under the lock, but the index fold —
+// which may wait on a group commit — runs without it, so publishes never
+// block skyline reads. The name goes into the catalogue before the fold
+// commits: harmless, because reads surface a service only when its
+// coordinates are in the (epoch-snapshotted) skyline.
 func (r *Registry) PublishContext(ctx context.Context, s Service) (inSkyline bool, err error) {
 	if s.Name == "" {
 		return false, fmt.Errorf("registry: service needs a name")
@@ -215,15 +266,21 @@ func (r *Registry) PublishContext(ctx context.Context, s Service) (inSkyline boo
 		return false, fmt.Errorf("registry: service %q has %d attributes, want %d", s.Name, len(s.QoS), r.dim)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.services[s.Name]; dup {
+		r.mu.Unlock()
 		return false, fmt.Errorf("registry: service %q already published", s.Name)
 	}
+	r.services[s.Name] = s
+	r.mu.Unlock()
+
 	_, in, err := r.ix.AddContext(ctx, points.Point(s.QoS))
 	if err != nil {
+		r.mu.Lock()
+		delete(r.services, s.Name)
+		r.mu.Unlock()
 		return false, err
 	}
-	r.services[s.Name] = s
+	r.pathUpdate.Inc()
 	if in {
 		telemetry.QueryStatsFrom(ctx).SetResult(1)
 	}
@@ -236,15 +293,81 @@ func (r *Registry) Skyline() []Service {
 	return r.SkylineContext(context.Background())
 }
 
-// SkylineContext is Skyline with per-query attribution: the cached read
-// path and result size are noted on a query record in ctx.
+// SkylineContext is Skyline with per-query attribution: the serving path
+// taken (cached for a cache hit, merge for a fill) and result size are
+// noted on a query record in ctx.
 func (r *Registry) SkylineContext(ctx context.Context) []Service {
+	services, _, _ := r.skylineCached(ctx, "", nil)
+	return services
+}
+
+// ConstrainedSkylineContext answers a skyline query under a QoS demand
+// ceiling: only services with QoS[j] <= max[j] for every attribute
+// compete. Over the index's retained working set that is exactly the
+// constrained skyline — any dominator of an in-ceiling point has
+// componentwise-smaller coordinates, so it is in the ceiling too, which
+// is why filtering the maintained global is sound. (Lower bounds are NOT
+// sound on the incremental index and are rejected at the API layer: a
+// point pruned by a dominator below the floor may be precisely the
+// answer inside the window.)
+func (r *Registry) ConstrainedSkylineContext(ctx context.Context, max []float64) ([]Service, error) {
+	if len(max) != r.dim {
+		return nil, fmt.Errorf("registry: constraint has %d attributes, want %d", len(max), r.dim)
+	}
+	sig := "max:" + fmt.Sprint(max)
+	services, _, _ := r.skylineCached(ctx, sig, points.Point(max))
+	return services, nil
+}
+
+// skylineCached is the common skyline read: serve the rendered response
+// from the query cache when present (lock-free hit), else compute it
+// from the current epoch snapshot, render it once, and install it at
+// that epoch. hit reports which path ran; body is the exact JSON the
+// HTTP handler writes.
+func (r *Registry) skylineCached(ctx context.Context, sig string, max points.Point) (services []Service, body []byte, hit bool) {
+	qs := telemetry.QueryStatsFrom(ctx)
+	if e := r.cache.get(sig); e != nil {
+		r.pathCached.Inc()
+		r.cacheHits.Inc()
+		qs.SetPath("cached")
+		qs.AddCost(0, int64(len(e.services)), 0)
+		qs.SetResult(len(e.services))
+		return e.services, e.body, true
+	}
+	r.pathMerge.Inc()
+	r.cacheMisses.Inc()
+
+	start := time.Now()
+	v := r.ix.View()
+	sky := v.Global()
+	var tests int64
+	if max != nil {
+		filtered := make(points.Set, 0, len(sky))
+		for _, p := range sky {
+			tests++
+			if withinMax(p, max) {
+				filtered = append(filtered, p)
+			}
+		}
+		sky = filtered
+	}
+	snapshot := time.Since(start)
+
+	start = time.Now()
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	sky := r.ix.GlobalContext(ctx)
-	out := r.matchServices(sky)
-	telemetry.QueryStatsFrom(ctx).SetResult(len(out))
-	return out
+	services = r.matchServices(sky)
+	r.mu.RUnlock()
+	body, err := json.Marshal(services)
+	if err == nil {
+		body = append(body, '\n')
+		r.cache.put(sig, &cacheEntry{epoch: v.Epoch(), max: max, services: services, body: body})
+	}
+	qs.SetPath("merge")
+	qs.AddCost(0, int64(len(v.Global())), tests)
+	qs.AddStage("snapshot", snapshot)
+	qs.AddStage("match", time.Since(start))
+	qs.SetResult(len(services))
+	return services, body, false
 }
 
 // ExplainContext answers a skyline query the expensive, honest way: it
@@ -253,10 +376,11 @@ func (r *Registry) SkylineContext(ctx context.Context) []Service {
 // per-partition plan (candidates, dominance tests, survivors, stage
 // timings). The service list is identical to SkylineContext's.
 func (r *Registry) ExplainContext(ctx context.Context) ([]Service, *driver.Explain) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.pathMerge.Inc()
 	sky, ex := r.ix.Explain(ctx)
+	r.mu.RLock()
 	out := r.matchServices(sky)
+	r.mu.RUnlock()
 	telemetry.QueryStatsFrom(ctx).SetResult(len(out))
 	return out, ex
 }
@@ -335,27 +459,61 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		if explain, _ := strconv.ParseBool(req.URL.Query().Get("explain")); explain {
+		q := req.URL.Query()
+		if q.Get("min") != "" {
+			// Lower bounds are unsound on the incremental index: a point
+			// pruned by a dominator below the floor may be exactly the
+			// constrained answer, but it is no longer retained.
+			http.Error(w, "min bounds are not supported: the incremental index retains only "+
+				"ceiling-recoverable points; use max=v1,...,vd", http.StatusBadRequest)
+			return
+		}
+		maxParam := q.Get("max")
+		if explain, _ := strconv.ParseBool(q.Get("explain")); explain {
+			if maxParam != "" {
+				http.Error(w, "explain does not support constrained queries", http.StatusBadRequest)
+				return
+			}
 			services, plan := r.ExplainContext(req.Context())
 			writeJSON(w, ExplainResponse{Services: services, Plan: plan})
 			return
 		}
-		writeJSON(w, r.SkylineContext(req.Context()))
+		var maxP points.Point
+		sig := ""
+		if maxParam != "" {
+			p, err := parseBounds(maxParam, r.dim)
+			if err != nil {
+				http.Error(w, "bad max bounds: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			maxP = p
+			sig = "max:" + maxParam
+		}
+		// Serve the rendered body directly — on a hit this is the whole
+		// request: no locks, no matching, no re-marshalling.
+		_, body, _ := r.skylineCached(req.Context(), sig, maxP)
+		if body == nil {
+			http.Error(w, "encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
 	}))
 	mux.HandleFunc("/stats", r.instrument("stats", false, func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		v := r.ix.View()
 		r.mu.RLock()
-		resp := statsResponse{
-			Services:    len(r.services),
-			SkylineSize: len(r.ix.Global()),
-			IndexPoints: r.ix.Size(),
-			Dim:         r.dim,
-		}
+		n := len(r.services)
 		r.mu.RUnlock()
-		writeJSON(w, resp)
+		writeJSON(w, statsResponse{
+			Services:    n,
+			SkylineSize: len(v.Global()),
+			IndexPoints: v.Size(),
+			Dim:         r.dim,
+		})
 	}))
 	return mux
 }
@@ -438,6 +596,23 @@ func (r *Registry) instrument(endpoint string, track bool, h http.HandlerFunc) h
 			r.tele.Counter("skyline_dominance_tests_total").Add(qs.DominanceTests)
 		}
 	}
+}
+
+// parseBounds parses a comma-separated attribute vector of length dim.
+func parseBounds(s string, dim int) (points.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("%d bounds, want %d", len(parts), dim)
+	}
+	p := make(points.Point, dim)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bound %d: %w", i, err)
+		}
+		p[i] = v
+	}
+	return p, nil
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -157,6 +157,37 @@ func (t *Tree) Search(lo, hi points.Point) points.Set {
 	return out
 }
 
+// SearchCounted is Search plus a cost: the number of leaf-entry box
+// checks performed. Each check is one componentwise comparison of a
+// candidate against the box corner — the same unit the skyline kernels
+// count as a dominance test — so callers using corner boxes for
+// dominator/victim queries can attribute index probes in the same
+// currency as linear scans.
+func (t *Tree) SearchCounted(lo, hi points.Point) (points.Set, int64) {
+	var out points.Set
+	var checks int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !boxesIntersect(n.lo, n.hi, lo, hi) {
+			return
+		}
+		if n.children == nil {
+			checks += int64(len(n.entries))
+			for _, p := range n.entries {
+				if inBox(p, lo, hi) {
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out, checks
+}
+
 func boxesIntersect(alo, ahi, blo, bhi points.Point) bool {
 	for i := range alo {
 		if ahi[i] < blo[i] || bhi[i] < alo[i] {
