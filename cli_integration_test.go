@@ -54,6 +54,26 @@ func TestCLIToolsEndToEnd(t *testing.T) {
 		t.Errorf("implausibly small skyline: %d rows", mrLines)
 	}
 
+	// A reducer budget small enough to force spill passes must not change
+	// the skyline (row order may differ — compare as sets).
+	budOut := goRun("./cmd/skyline", "-method", "angle", "-header", "-reducer-budget", "4096", csv)
+	asSet := func(out string) map[string]bool {
+		set := make(map[string]bool)
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+			set[line] = true
+		}
+		return set
+	}
+	mrSet, budSet := asSet(mrOut), asSet(budOut)
+	if len(mrSet) != len(budSet) {
+		t.Errorf("budgeted skyline has %d distinct rows, unbudgeted %d", len(budSet), len(mrSet))
+	}
+	for row := range mrSet {
+		if !budSet[row] {
+			t.Errorf("budgeted skyline missing row %s", row)
+		}
+	}
+
 	repOut := goRun("./cmd/skyline", "-method", "angle", "-header", "-rep", "3", csv)
 	if got := strings.Count(strings.TrimSpace(repOut), "\n") + 1; got != 4 { // header + 3 rows
 		t.Errorf("representative output has %d lines, want 4", got)

@@ -16,13 +16,20 @@
 //
 // Usage:
 //
-//	benchgate [-suite kernels|shuffle|serve] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
+//	benchgate [-suite kernels|shuffle|serve|spill] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
 //
 // The shuffle suite (-suite shuffle) compares the classic Pair shuffle
 // against the block-framed path at the same configuration — records/s,
 // shuffle payload bytes, and allocations per point — and writes
 // BENCH_shuffle.json, gating on a 1.5x framed throughput advantage plus
 // reduced allocs/point.
+//
+// The spill suite (-suite spill) measures the out-of-core engine: frame
+// codec v2 vs v1 bytes per distribution (gated at 0.7 on correlated and
+// clustered), budgeted vs unbudgeted pipeline throughput, and a big-run
+// row that streams -n points through driver.ComputeStream under the
+// -budget reducer byte budget and certifies the skyline exactly with a
+// second streaming pass. Writes BENCH_spill.json.
 //
 // The serve suite (-suite serve) measures the registry's HTTP skyline
 // read path with per-query attribution on versus off, plus the EXPLAIN
@@ -108,7 +115,8 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	min := flag.Float64("min", 1.5, "minimum acceptable kernel-row speedup (flat over classic)")
 	quick := flag.Bool("quick", false, "CI mode: n=20000, 2 runs, report only (no gate)")
-	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle or serve")
+	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle, serve or spill")
+	budget := flag.Int64("budget", 1<<30, "reducer byte budget for the spill suite")
 	out := flag.String("out", "", "report path (default BENCH_kernels.json / BENCH_shuffle.json per suite)")
 	flag.Parse()
 
@@ -118,12 +126,20 @@ func main() {
 			*out = "BENCH_shuffle.json"
 		case "serve":
 			*out = "BENCH_serve.json"
+		case "spill":
+			*out = "BENCH_spill.json"
 		default:
 			*out = "BENCH_kernels.json"
 		}
 	}
 	if *suite == "serve" {
 		serveSuite(*n, *d, *runs, *quick, *out)
+		return
+	}
+	if *suite == "spill" {
+		// The spill suite owns its own quick scaling (-n is the big-run
+		// cardinality, never rewritten to the kernels-suite default).
+		spillSuite(*n, *d, *nodes, *runs, *budget, *quick, *out)
 		return
 	}
 	if *quick {
@@ -135,7 +151,7 @@ func main() {
 		return
 	case "kernels":
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels or shuffle)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels, shuffle, serve or spill)\n", *suite)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: n=%d d=%d nodes=%d runs=%d\n", *n, *d, *nodes, *runs)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	skyline [-method angle|grid|dim|random|seq] [-nodes N] [-header]
-//	        [-stats] [-explain] [-out file.csv] input.csv
+//	        [-stats] [-explain] [-reducer-budget BYTES] [-out file.csv] input.csv
 //
 // The input must be numeric CSV, one service per row, attributes oriented
 // so lower is better. With -method seq the skyline is computed with plain
@@ -42,6 +42,7 @@ func main() {
 	rep := flag.Int("rep", 0, "reduce the result to this many representative points (0 = all)")
 	flight := flag.Bool("flight", false, "print the flight-recorder partition chart to stderr (MapReduce methods only)")
 	explain := flag.Bool("explain", false, "print the per-partition merge plan to stderr (MapReduce methods, k=1)")
+	budget := flag.Int64("reducer-budget", 0, "reducer memory budget in bytes; overflow spills and resolves in extra passes (0 = unbudgeted, MapReduce methods, k=1)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,13 +50,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight, *explain); err != nil {
+	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight, *explain, *budget); err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight, explain bool) error {
+func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight, explain bool, budget int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -115,7 +116,8 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 			recorder = telemetry.NewRecorder(fmt.Sprintf("skyline:%s", m))
 			ctx = telemetry.WithRecorder(ctx, recorder)
 		}
-		res, err := skymr.Compute(ctx, data, skymr.Options{Method: m, Nodes: nodes})
+		res, err := skymr.Compute(ctx, data, skymr.Options{Method: m, Nodes: nodes,
+			ReducerBudgetBytes: budget})
 		if err != nil {
 			return err
 		}

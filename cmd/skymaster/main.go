@@ -6,7 +6,7 @@
 //
 //	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
 //	          [-partitions 8] [-reducers 4] [-min-workers 1]
-//	          [-liveness 10s] [-linger 0s]
+//	          [-liveness 10s] [-linger 0s] [-reducer-budget BYTES]
 //	          [-metrics-addr 127.0.0.1:9090] [-trace run.json]
 //	          [-flight-out flight.json] [-header] input.csv
 //
@@ -43,6 +43,7 @@ import (
 
 	skymr "repro"
 	"repro/internal/partition"
+	"repro/internal/points"
 	"repro/internal/rpcmr"
 	"repro/internal/skyjob"
 	"repro/internal/telemetry"
@@ -63,6 +64,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/* on this address (empty = off)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
 	flightFile := flag.String("flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
+	budget := flag.Int64("reducer-budget", 0,
+		"per-worker reducer memory budget in bytes; overflow spills to frames and resolves in extra passes (0 = unbudgeted)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -71,14 +74,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header,
-		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile); err != nil {
+		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile, *budget); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, method, path string, partitions, reducers, minWorkers int, header bool,
-	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile string) error {
+	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile string, budget int64) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -199,7 +202,16 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	}()
 
 	start := time.Now()
-	res, err := skyjob.Compute(ctx, master, data, scheme, partitions, reducers)
+	spec, err := skyjob.SpecFor(data, scheme, partitions)
+	if err != nil {
+		close(progressDone)
+		return err
+	}
+	if budget > 0 {
+		spec.ReducerBudgetBytes = budget
+		spec.Codec = points.FrameAuto
+	}
+	res, err := skyjob.ComputeSpec(ctx, master, data, spec, reducers)
 	close(progressDone)
 	if err != nil {
 		return err

@@ -12,15 +12,72 @@ import (
 	"repro/internal/points"
 )
 
+// The per-point fill functions are the single source of truth for each
+// distribution's RNG call sequence: the materializing generators below
+// and the streaming Source both go through them, so "one point" consumes
+// an identical number of draws everywhere. Changing a fill changes every
+// golden value downstream — don't.
+
+// fillIndependent draws every coordinate i.i.d. uniform in [0, 1).
+func fillIndependent(rng *rand.Rand, p []float64) {
+	for j := range p {
+		p[j] = rng.Float64()
+	}
+}
+
+// fillCorrelated draws one point near the main diagonal.
+func fillCorrelated(rng *rand.Rand, p []float64) {
+	base := rng.Float64()
+	for j := range p {
+		p[j] = clamp01(base + rng.NormFloat64()*0.05)
+	}
+}
+
+// fillAnticorrelated starts uniform, then projects toward the plane
+// sum = d/2 with a small normal offset — the standard construction.
+func fillAnticorrelated(rng *rand.Rand, p []float64) {
+	d := len(p)
+	sum := 0.0
+	for j := range p {
+		p[j] = rng.Float64()
+		sum += p[j]
+	}
+	target := float64(d)/2 + rng.NormFloat64()*0.08*float64(d)
+	shift := (target - sum) / float64(d)
+	for j := range p {
+		p[j] = clamp01(p[j] + shift)
+	}
+}
+
+// fillClustered draws one point around a randomly chosen centre.
+func fillClustered(rng *rand.Rand, centres points.Set, p []float64) {
+	c := centres[rng.Intn(len(centres))]
+	for j := range p {
+		p[j] = clamp01(c[j] + rng.NormFloat64()*0.08)
+	}
+}
+
+// clusterCentres draws the k cluster centres — the prefix of the
+// clustered distribution's RNG stream.
+func clusterCentres(rng *rand.Rand, d, k int) points.Set {
+	centres := make(points.Set, k)
+	for i := range centres {
+		c := make(points.Point, d)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		centres[i] = c
+	}
+	return centres
+}
+
 // Independent draws every coordinate i.i.d. uniform in [0, 1).
 func Independent(seed int64, n, d int) points.Set {
 	rng := rand.New(rand.NewSource(seed))
 	s := make(points.Set, n)
 	for i := range s {
 		p := make(points.Point, d)
-		for j := range p {
-			p[j] = rng.Float64()
-		}
+		fillIndependent(rng, p)
 		s[i] = p
 	}
 	return s
@@ -32,12 +89,8 @@ func Correlated(seed int64, n, d int) points.Set {
 	rng := rand.New(rand.NewSource(seed))
 	s := make(points.Set, n)
 	for i := range s {
-		base := rng.Float64()
 		p := make(points.Point, d)
-		for j := range p {
-			v := base + rng.NormFloat64()*0.05
-			p[j] = clamp01(v)
-		}
+		fillCorrelated(rng, p)
 		s[i] = p
 	}
 	return s
@@ -51,18 +104,7 @@ func Anticorrelated(seed int64, n, d int) points.Set {
 	s := make(points.Set, n)
 	for i := range s {
 		p := make(points.Point, d)
-		// Start uniform, then project toward the plane sum = d/2 with a
-		// small normal offset, the standard construction.
-		sum := 0.0
-		for j := range p {
-			p[j] = rng.Float64()
-			sum += p[j]
-		}
-		target := float64(d)/2 + rng.NormFloat64()*0.08*float64(d)
-		shift := (target - sum) / float64(d)
-		for j := range p {
-			p[j] = clamp01(p[j] + shift)
-		}
+		fillAnticorrelated(rng, p)
 		s[i] = p
 	}
 	return s
@@ -75,21 +117,11 @@ func Clustered(seed int64, n, d, k int) points.Set {
 		k = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	centres := make(points.Set, k)
-	for i := range centres {
-		c := make(points.Point, d)
-		for j := range c {
-			c[j] = rng.Float64()
-		}
-		centres[i] = c
-	}
+	centres := clusterCentres(rng, d, k)
 	s := make(points.Set, n)
 	for i := range s {
-		c := centres[rng.Intn(k)]
 		p := make(points.Point, d)
-		for j := range p {
-			p[j] = clamp01(c[j] + rng.NormFloat64()*0.08)
-		}
+		fillClustered(rng, centres, p)
 		s[i] = p
 	}
 	return s

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/points"
+)
+
+// TestSourceChunkDeterminism: re-reading a chunk, in any order, yields
+// identical rows — the retry-safety contract.
+func TestSourceChunkDeterminism(t *testing.T) {
+	for _, kind := range []Kind{KindIndependent, KindCorrelated, KindAnticorrelated, KindClustered} {
+		t.Run(kind.String(), func(t *testing.T) {
+			src, err := NewSource(kind, 42, 1000, 4, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src.Chunks() != 8 {
+				t.Fatalf("Chunks() = %d, want 8", src.Chunks())
+			}
+			// Read chunks 3 then 1 then 3 again.
+			a := points.NewBlock(4, 0)
+			if err := src.ReadChunk(3, a); err != nil {
+				t.Fatal(err)
+			}
+			mid := points.NewBlock(4, 0)
+			if err := src.ReadChunk(1, mid); err != nil {
+				t.Fatal(err)
+			}
+			b := points.NewBlock(4, 0)
+			if err := src.ReadChunk(3, b); err != nil {
+				t.Fatal(err)
+			}
+			if a.Len() != b.Len() || a.Len() != 128 {
+				t.Fatalf("chunk lens %d vs %d, want 128", a.Len(), b.Len())
+			}
+			for i := 0; i < a.Len(); i++ {
+				ra, rb := a.Row(i), b.Row(i)
+				for j := range ra {
+					if ra[j] != rb[j] {
+						t.Fatalf("chunk 3 row %d dim %d: %v vs %v", i, j, ra[j], rb[j])
+					}
+				}
+			}
+			// Distinct chunks must not repeat the same stream.
+			same := true
+			for j := 0; j < 4; j++ {
+				if a.Row(0)[j] != mid.Row(0)[j] {
+					same = false
+				}
+			}
+			if same {
+				t.Fatal("chunks 1 and 3 start with identical rows — seeds not split")
+			}
+		})
+	}
+}
+
+// TestSourceTotals: chunk lengths sum to n, last chunk ragged, values in
+// range.
+func TestSourceTotals(t *testing.T) {
+	src, err := NewSource(KindAnticorrelated, 7, 1010, 3, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Chunks() != 4 {
+		t.Fatalf("Chunks() = %d, want 4", src.Chunks())
+	}
+	total := 0
+	for i := 0; i < src.Chunks(); i++ {
+		blk := points.NewBlock(3, 0)
+		if err := src.ReadChunk(i, blk); err != nil {
+			t.Fatal(err)
+		}
+		total += blk.Len()
+		for r := 0; r < blk.Len(); r++ {
+			for _, v := range blk.Row(r) {
+				if v < 0 || v > 1 {
+					t.Fatalf("chunk %d row %d value %v out of [0,1]", i, r, v)
+				}
+			}
+		}
+	}
+	if total != 1010 {
+		t.Fatalf("total %d, want 1010", total)
+	}
+	if err := src.ReadChunk(4, points.NewBlock(3, 0)); err == nil {
+		t.Fatal("out-of-range chunk read succeeded")
+	}
+}
+
+// TestSourceStreamMatchesReadChunk: Stream must visit exactly the
+// concatenation of ReadChunk(0..Chunks-1).
+func TestSourceStreamMatchesReadChunk(t *testing.T) {
+	src, err := NewSource(KindClustered, 99, 777, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < src.Chunks(); i++ {
+		blk := points.NewBlock(5, 0)
+		if err := src.ReadChunk(i, blk); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < blk.Len(); r++ {
+			want = append(want, fmt.Sprintf("%x", blk.Row(r)))
+		}
+	}
+	var got []string
+	if err := src.Stream(func(blk *points.Block) error {
+		for r := 0; r < blk.Len(); r++ {
+			got = append(got, fmt.Sprintf("%x", blk.Row(r)))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 777 {
+		t.Fatalf("stream %d rows, chunks %d rows, want 777", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs between Stream and ReadChunk", i)
+		}
+	}
+}
+
+// TestSourceEmptyAndDefaults: n=0 sources and default chunk size.
+func TestSourceEmptyAndDefaults(t *testing.T) {
+	src, err := NewSource(KindIndependent, 1, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Chunks() != 0 {
+		t.Fatalf("empty source has %d chunks", src.Chunks())
+	}
+	if err := src.Stream(func(*points.Block) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSource(KindIndependent, 1, 10, 0, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}

@@ -74,6 +74,17 @@ type Options struct {
 	DisableGridPruning bool
 	// SpillDir, when set, spills intermediate data to sequence files.
 	SpillDir string
+	// Codec selects the wire codec for the framed shuffle: the zero value
+	// keeps raw v1 frames, points.FrameAuto enables the bit-packed v2
+	// encoding wherever it is smaller. Ignored on the classic paths.
+	Codec points.FrameCodec
+	// ReducerBudgetBytes, when > 0, switches the framed reducers to the
+	// memory-budgeted streaming fold: frames are folded one at a time into
+	// a bounded skyline window that spills and multi-passes when the local
+	// skyline outgrows it, so reduce memory stays near the budget instead
+	// of scaling with partition size. 0 keeps the assemble-everything
+	// reducers.
+	ReducerBudgetBytes int64
 	// HierarchicalMerge enables the paper's §II iterative extension: the
 	// merge proceeds in rounds of MergeFanIn-way partial merges instead of
 	// a single global reduce — the Twister-style iterative MapReduce path
@@ -136,6 +147,18 @@ type Stats struct {
 	PartitionJob, MergeJob, Timing mapreduce.Timing
 	// Counters merges both jobs' framework counters.
 	Counters map[string]int64
+	// ReducerPeakBytes is the largest reducer-resident working set any
+	// reduce task or merge fold reached (0 when the budgeted streaming
+	// path was off).
+	ReducerPeakBytes int64
+	// MergePasses is the largest BudgetedFold pass count any fold needed
+	// (>1 means a skyline overflowed its window and multi-passed).
+	MergePasses int
+	// MergeRounds counts the rounds of ComputeStream's multi-round merge
+	// schedule; MergeRoundBytes[i] is the candidate volume entering round
+	// i. Zero/nil when the merge ran as a single job.
+	MergeRounds     int
+	MergeRoundBytes []int64
 }
 
 // LocalSkylineTotal returns the number of points across all local
@@ -403,6 +426,7 @@ func feedRecorder(ctx context.Context, opts Options, stats *Stats, global points
 		rec.SetGlobalSurvivors(id, hits)
 	}
 	rec.SetGlobalSkyline(len(global))
+	rec.SetReducerPeak(stats.ReducerPeakBytes)
 	rec.Publish(opts.Metrics)
 }
 

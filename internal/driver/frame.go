@@ -69,17 +69,30 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		}
 	}
 	cfg1 := mapreduce.Config{
-		Name:     fmt.Sprintf("%s-partitioning", opts.Scheme),
-		Workers:  opts.Workers,
-		Reducers: opts.Workers,
-		SpillDir: opts.SpillDir,
-		Metrics:  opts.Metrics,
-		Trace:    traceSink(ctx),
+		Name:               fmt.Sprintf("%s-partitioning", opts.Scheme),
+		Workers:            opts.Workers,
+		Reducers:           opts.Workers,
+		SpillDir:           opts.SpillDir,
+		Metrics:            opts.Metrics,
+		Trace:              traceSink(ctx),
+		Codec:              opts.Codec,
+		ReducerBudgetBytes: opts.ReducerBudgetBytes,
 	}
-	res1, err := mapreduce.RunFrames(ctx, cfg1, input, mapper, combiner, localSkyline)
+	var res1 *mapreduce.FrameResult
+	var err error
+	if opts.ReducerBudgetBytes > 0 {
+		// Budgeted path: reducers fold frames one at a time into a bounded
+		// skyline window instead of assembling whole partitions.
+		res1, err = mapreduce.RunFramesFold(ctx, cfg1, input, mapper, combiner,
+			BudgetedFolder(data.Dim(), opts.ReducerBudgetBytes, opts.SpillDir, opts.Codec))
+	} else {
+		res1, err = mapreduce.RunFrames(ctx, cfg1, input, mapper, combiner, localSkyline)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.ReducerPeakBytes = res1.ReducerPeakBytes
+	stats.MergePasses = res1.MergePasses
 
 	for id, blk := range res1.Blocks {
 		if id < 0 || id >= part.Partitions() {
@@ -142,12 +155,14 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		return nil
 	})
 	cfg2 := mapreduce.Config{
-		Name:     fmt.Sprintf("%s-merging", opts.Scheme),
-		Workers:  opts.Workers,
-		Reducers: 1, // all local skylines share one partition (paper line 12-15)
-		SpillDir: opts.SpillDir,
-		Metrics:  opts.Metrics,
-		Trace:    traceSink(ctx),
+		Name:               fmt.Sprintf("%s-merging", opts.Scheme),
+		Workers:            opts.Workers,
+		Reducers:           1, // all local skylines share one partition (paper line 12-15)
+		SpillDir:           opts.SpillDir,
+		Metrics:            opts.Metrics,
+		Trace:              traceSink(ctx),
+		Codec:              opts.Codec,
+		ReducerBudgetBytes: opts.ReducerBudgetBytes,
 	}
 	var mergeCombiner mapreduce.FrameCombiner
 	if !opts.DisableCombiner {
@@ -164,9 +179,21 @@ func computeFramed(ctx context.Context, data points.Set, opts Options, part part
 		}
 		return nil
 	})
-	res2, err := mapreduce.RunFrames(ctx, cfg2, mergeInput, identity, mergeCombiner, mergeReduce)
+	var res2 *mapreduce.FrameResult
+	if opts.ReducerBudgetBytes > 0 {
+		res2, err = mapreduce.RunFramesFold(ctx, cfg2, mergeInput, identity, mergeCombiner,
+			BudgetedFolder(data.Dim(), opts.ReducerBudgetBytes, opts.SpillDir, opts.Codec))
+	} else {
+		res2, err = mapreduce.RunFrames(ctx, cfg2, mergeInput, identity, mergeCombiner, mergeReduce)
+	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if res2.ReducerPeakBytes > stats.ReducerPeakBytes {
+		stats.ReducerPeakBytes = res2.ReducerPeakBytes
+	}
+	if res2.MergePasses > stats.MergePasses {
+		stats.MergePasses = res2.MergePasses
 	}
 
 	var global points.Set

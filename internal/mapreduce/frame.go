@@ -83,6 +83,13 @@ type FrameStats struct {
 	Groups       int64
 	ReduceIn     int64
 	ReduceOut    int64
+	// PeakBytes is the task's streaming-reduce working-set high-water
+	// mark (folds + decode scratch); 0 on the assemble-everything path.
+	// Aggregation takes the max, not the sum — it is a per-task peak.
+	PeakBytes int64
+	// Passes counts multi-pass fold resolutions (max across folds); 1
+	// means everything fit the window.
+	Passes int
 	// Partitions breaks the shuffle volume down by data-space partition
 	// id (map tasks only; nil on the reduce side).
 	Partitions map[int]PartStat
@@ -99,6 +106,12 @@ func (s *FrameStats) add(o FrameStats) {
 	s.Groups += o.Groups
 	s.ReduceIn += o.ReduceIn
 	s.ReduceOut += o.ReduceOut
+	if o.PeakBytes > s.PeakBytes {
+		s.PeakBytes = o.PeakBytes
+	}
+	if o.Passes > s.Passes {
+		s.Passes = o.Passes
+	}
 	if len(o.Partitions) > 0 {
 		if s.Partitions == nil {
 			s.Partitions = make(map[int]PartStat, len(o.Partitions))
@@ -123,6 +136,13 @@ type FrameResult struct {
 	// Partitions breaks the map-side shuffle volume down by data-space
 	// partition id, for the flight recorder's skew picture.
 	Partitions map[int]PartStat
+	// ReducerPeakBytes is the largest streaming-reduce working set any
+	// reduce task reached (0 on the assemble-everything path) — the
+	// number the ReducerBudgetBytes budget is judged against.
+	ReducerPeakBytes int64
+	// MergePasses is the largest fold pass count any reduce task needed
+	// (1 = single pass; >1 means a local skyline overflowed its window).
+	MergePasses int
 }
 
 // ---------------------------------------------------------------------------
@@ -175,8 +195,9 @@ func (fb *frameBuilder) reset() {
 // seal encodes every touched partition's block into per-reducer frame
 // streams (partition p goes to reducer p mod reducers), in ascending
 // partition order for determinism. When parts is non-nil the payload
-// bytes are also booked per partition.
-func (fb *frameBuilder) seal(reducers int, parts map[int]PartStat) (streams [][]byte, recs, bytes int64) {
+// bytes are also booked per partition. codec selects the frame wire
+// codec (FrameDefault → v1, the historical bytes).
+func (fb *frameBuilder) seal(reducers int, parts map[int]PartStat, codec points.FrameCodec) (streams [][]byte, recs, bytes int64) {
 	streams = make([][]byte, reducers)
 	sort.Ints(fb.touched)
 	for _, p := range fb.touched {
@@ -186,7 +207,7 @@ func (fb *frameBuilder) seal(reducers int, parts map[int]PartStat) (streams [][]
 		}
 		r := p % reducers
 		before := len(streams[r])
-		streams[r] = points.AppendFrame(streams[r], p, blk)
+		streams[r] = points.AppendFrameCodec(streams[r], p, blk, codec)
 		recs += int64(blk.Len())
 		frameBytes := int64(len(streams[r]) - before)
 		bytes += frameBytes
@@ -203,8 +224,8 @@ func (fb *frameBuilder) seal(reducers int, parts map[int]PartStat) (streams [][]
 // task's records, returning one sealed frame stream per reducer plus the
 // task's tallies. It is the map-side half of the frame shuffle, shared
 // by the in-process engine and the rpcmr workers so both move identical
-// bytes.
-func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner FrameCombiner) ([][]byte, FrameStats, error) {
+// bytes. codec picks the sealed frames' wire codec.
+func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner FrameCombiner, codec points.FrameCodec) ([][]byte, FrameStats, error) {
 	if reducers < 1 {
 		reducers = 1
 	}
@@ -248,7 +269,7 @@ func BuildFrames(records [][]byte, reducers int, mapper FrameMapper, combiner Fr
 		}
 		st.CombineNanos = time.Since(cs).Nanoseconds()
 	}
-	streams, recs, bytes := fb.seal(reducers, st.Partitions)
+	streams, recs, bytes := fb.seal(reducers, st.Partitions, codec)
 	st.ShuffleRecs, st.ShuffleBytes = recs, bytes
 	return streams, st, nil
 }
@@ -295,8 +316,9 @@ func sortedPartitions(parts map[int]*points.Block) []int {
 // ReduceFrames assembles per-partition blocks from the given frame
 // streams, runs the reducer on each partition in ascending id order, and
 // seals the emitted points back into one output frame stream. Shared by
-// the in-process engine's reduce tasks and the rpcmr workers.
-func ReduceFrames(streams [][]byte, reducer FrameReducer) ([]byte, FrameStats, error) {
+// the in-process engine's reduce tasks and the rpcmr workers. codec
+// picks the output frames' wire codec.
+func ReduceFrames(streams [][]byte, reducer FrameReducer, codec points.FrameCodec) ([]byte, FrameStats, error) {
 	var st FrameStats
 	parts, err := AssembleFrames(streams)
 	if err != nil {
@@ -320,7 +342,7 @@ func ReduceFrames(streams [][]byte, reducer FrameReducer) ([]byte, FrameStats, e
 	}
 	// Seal with a single "reducer" so every output partition lands in one
 	// stream, ascending by partition id.
-	out, recs, _ := fb.seal(1, nil)
+	out, recs, _ := fb.seal(1, nil, codec)
 	st.ReduceOut = recs
 	return out[0], st, nil
 }
@@ -348,8 +370,29 @@ type frameTaskOutput struct {
 // coordinates). Config.Combiner is ignored on this path — pass the
 // frame combiner explicitly.
 func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapper, combiner FrameCombiner, reducer FrameReducer) (*FrameResult, error) {
-	if mapper == nil || reducer == nil {
-		return nil, fmt.Errorf("mapreduce: %s: mapper and reducer must be non-nil", cfg.Name)
+	if reducer == nil {
+		return nil, fmt.Errorf("mapreduce: %s: reducer must be non-nil", cfg.Name)
+	}
+	return runFramesEngine(ctx, cfg, input, mapper, combiner, reducer, nil)
+}
+
+// RunFramesFold executes a frame-shuffle job whose reduce side streams:
+// instead of assembling each partition's full block, every reduce task
+// feeds its frames — from memory or spill, one frame at a time — into
+// per-partition folds created by folder, and the folds' finished output
+// becomes the result. Reduce-side memory is bounded by the folds'
+// budgets plus one frame of decode scratch, never by partition size;
+// FrameResult.ReducerPeakBytes reports the observed peak.
+func RunFramesFold(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapper, combiner FrameCombiner, folder FrameFolder) (*FrameResult, error) {
+	if folder == nil {
+		return nil, fmt.Errorf("mapreduce: %s: folder must be non-nil", cfg.Name)
+	}
+	return runFramesEngine(ctx, cfg, input, mapper, combiner, nil, folder)
+}
+
+func runFramesEngine(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapper, combiner FrameCombiner, reducer FrameReducer, folder FrameFolder) (*FrameResult, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("mapreduce: %s: mapper must be non-nil", cfg.Name)
 	}
 	cfg = cfg.withDefaults(len(input))
 	counters := NewCounters()
@@ -423,7 +466,7 @@ func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapp
 	cfg.emit("phase-start", "reduce", -1, "")
 	redCtx, reduceSpan := telemetry.StartSpan(ctx, "reduce", telemetry.A("tasks", cfg.Reducers))
 	reduceStart := time.Now()
-	blocks, err := runFrameReducePhase(redCtx, cfg, outputs, reducer, counters)
+	blocks, redStats, err := runFrameReducePhase(redCtx, cfg, outputs, reducer, folder, counters)
 	reduceSpan.End()
 	if err != nil {
 		return fail(err)
@@ -435,9 +478,11 @@ func RunFrames(ctx context.Context, cfg Config, input [][]byte, mapper FrameMapp
 	jobSpan.End()
 
 	res := &FrameResult{
-		Blocks:     blocks,
-		Counters:   counters,
-		Partitions: partStats,
+		Blocks:           blocks,
+		Counters:         counters,
+		Partitions:       partStats,
+		ReducerPeakBytes: redStats.PeakBytes,
+		MergePasses:      redStats.Passes,
 		Timing: Timing{
 			Map:     mapDur,
 			Combine: combineDur,
@@ -496,7 +541,7 @@ func runFrameMapPhase(ctx context.Context, cfg Config, splits [][][]byte, mapper
 
 func runFrameMapTask(cfg Config, task int, records [][]byte, mapper FrameMapper, combiner FrameCombiner, counters *Counters) (frameTaskOutput, error) {
 	counters.Add(CounterMapIn, int64(len(records)))
-	streams, st, err := BuildFrames(records, cfg.Reducers, mapper, combiner)
+	streams, st, err := BuildFrames(records, cfg.Reducers, mapper, combiner, cfg.Codec)
 	if err != nil {
 		return frameTaskOutput{}, err
 	}
@@ -519,8 +564,10 @@ func runFrameMapTask(cfg Config, task int, records [][]byte, mapper FrameMapper,
 	return out, nil
 }
 
-func runFrameReducePhase(ctx context.Context, cfg Config, outputs []frameTaskOutput, reducer FrameReducer, counters *Counters) (map[int]*points.Block, error) {
+func runFrameReducePhase(ctx context.Context, cfg Config, outputs []frameTaskOutput, reducer FrameReducer, folder FrameFolder, counters *Counters) (map[int]*points.Block, FrameStats, error) {
 	outStreams := make([][]byte, cfg.Reducers)
+	var aggMu sync.Mutex
+	var agg FrameStats
 	err := runTasks(ctx, cfg.Workers, cfg.Reducers, func(worker, r int) error {
 		var lastErr error
 		cfg.emit("task-start", "reduce", r, "")
@@ -532,12 +579,22 @@ func runFrameReducePhase(ctx context.Context, cfg Config, outputs []frameTaskOut
 				counters.Add(CounterRedRetries, 1)
 				cfg.emit("task-retry", "reduce", r, lastErr.Error())
 			}
-			out, st, err := runFrameReduceTask(cfg, r, outputs, reducer)
+			var out []byte
+			var st FrameStats
+			var err error
+			if folder != nil {
+				out, st, err = runFrameReduceTaskStream(cfg, r, outputs, folder)
+			} else {
+				out, st, err = runFrameReduceTask(cfg, r, outputs, reducer)
+			}
 			if err == nil {
 				outStreams[r] = out
 				counters.Add(CounterGroups, st.Groups)
 				counters.Add(CounterReduceIn, st.ReduceIn)
 				counters.Add(CounterReduceOut, st.ReduceOut)
+				aggMu.Lock()
+				agg.add(st)
+				aggMu.Unlock()
 				span.SetAttr("records", int(st.ReduceOut))
 				span.End()
 				cfg.emitEvent(Event{Kind: "task-end", Phase: "reduce", Task: r,
@@ -555,15 +612,15 @@ func runFrameReducePhase(ctx context.Context, cfg Config, outputs []frameTaskOut
 			cfg.Name, r, cfg.MaxAttempts, lastErr)
 	})
 	if err != nil {
-		return nil, err
+		return nil, agg, err
 	}
 	// Decode the per-task output streams into the result blocks, in
 	// reduce-task order for determinism.
 	blocks, err := AssembleFrames(outStreams)
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: %s: assembling reduce output: %w", cfg.Name, err)
+		return nil, agg, fmt.Errorf("mapreduce: %s: assembling reduce output: %w", cfg.Name, err)
 	}
-	return blocks, nil
+	return blocks, agg, nil
 }
 
 // runFrameReduceTask gathers reducer r's frame streams (memory or spill)
@@ -585,7 +642,7 @@ func runFrameReduceTask(cfg Config, r int, outputs []frameTaskOutput, reducer Fr
 			streams = append(streams, out.streams[r])
 		}
 	}
-	return ReduceFrames(streams, reducer)
+	return ReduceFrames(streams, reducer, cfg.Codec)
 }
 
 // removeFrameSpills deletes every spill file of a finished frame job.

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/points"
 	"repro/internal/telemetry"
 )
 
@@ -98,6 +99,18 @@ type Config struct {
 	// cheaper I/O for cold spills at some CPU cost. Only meaningful with
 	// SpillDir.
 	CompressSpill bool
+	// Codec selects the frame wire codec for sealed shuffle and spill
+	// frames on the frame path (RunFrames and friends). The zero value is
+	// the raw v1 codec; points.FrameAuto enables the bit-packed v2
+	// encoding wherever it is smaller. Pair-path jobs ignore it.
+	Codec points.FrameCodec
+	// ReducerBudgetBytes is the working-memory target for one streaming
+	// reduce task (RunFramesFold / RunFramesChunked): the budget handed to
+	// the task's frame folds, and the reference the reported peak is
+	// judged against. 0 means unbudgeted. The engine records the peak —
+	// FrameResult.ReducerPeakBytes — rather than killing tasks, so an
+	// over-budget fold is visible, not fatal.
+	ReducerBudgetBytes int64
 	// Trace, when non-nil, receives job/phase/task lifecycle events.
 	Trace EventSink
 	// Metrics, when non-nil, receives the job's framework counters and

@@ -1,8 +1,9 @@
 package mapreduce
 
 import (
-	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -116,37 +117,95 @@ func spillFrameStreams(cfg Config, task int, streams [][]byte, counters *Counter
 	return files, nil
 }
 
-// readFrameSpill loads one frame spill file back as the frames it was
-// written from, in order.
-func readFrameSpill(name string) ([][]byte, error) {
-	data, err := os.ReadFile(name)
-	if err != nil {
-		return nil, err
-	}
-	recs, err := sequencefile.ReadAll(bytes.NewReader(data))
-	if err != nil {
-		return nil, err
-	}
-	frames := make([][]byte, len(recs))
-	for i, rec := range recs {
-		frames[i] = rec.Value
-	}
-	return frames, nil
+// ErrSpillTruncated is returned (wrapped) when a spill file ends
+// mid-record or fails a record checksum — a torn write or on-disk
+// corruption. Callers distinguish it from plain I/O errors so a damaged
+// spill is reported as data loss, not silently short-read.
+var ErrSpillTruncated = errors.New("mapreduce: truncated or corrupt spill file")
+
+// frameSpillReader streams frames out of one spill file one record at a
+// time. Memory is bounded by the largest single frame (sequencefile's
+// capped read-buffer growth bounds even that against forged lengths) —
+// never by the file size, which is the point: reducers fold spill runs
+// far larger than RAM through it.
+type frameSpillReader struct {
+	name string
+	f    *os.File
+	r    *sequencefile.Reader
 }
 
-// readSpill loads one spill file back into pairs.
+// openFrameSpill opens one frame spill file for streaming reads.
+func openFrameSpill(name string) (*frameSpillReader, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &frameSpillReader{name: name, f: f, r: sequencefile.NewReader(f)}, nil
+}
+
+// Next returns the next spilled frame, io.EOF after the last one, or an
+// error wrapping ErrSpillTruncated if the file ends mid-record or a
+// record fails its checksum. The returned bytes are freshly allocated
+// and owned by the caller.
+func (r *frameSpillReader) Next() ([]byte, error) {
+	rec, err := r.r.Next()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		if errors.Is(err, sequencefile.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: %s: %v", ErrSpillTruncated, r.name, err)
+		}
+		return nil, fmt.Errorf("mapreduce: reading frame spill %s: %w", r.name, err)
+	}
+	return rec.Value, nil
+}
+
+func (r *frameSpillReader) Close() error { return r.f.Close() }
+
+// readFrameSpill loads one frame spill file back as the frames it was
+// written from, in order. Retained for the gather-everything reduce
+// path; the budgeted path streams through frameSpillReader instead.
+func readFrameSpill(name string) ([][]byte, error) {
+	r, err := openFrameSpill(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var frames [][]byte
+	for {
+		frame, err := r.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+}
+
+// readSpill loads one spill file back into pairs, streaming records off
+// disk instead of loading the whole file.
 func readSpill(name string) ([]Pair, error) {
-	data, err := os.ReadFile(name)
+	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	recs, err := sequencefile.ReadAll(bytes.NewReader(data))
-	if err != nil {
-		return nil, err
+	defer f.Close()
+	sr := sequencefile.NewReader(f)
+	var pairs []Pair
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return pairs, nil
+		}
+		if err != nil {
+			if errors.Is(err, sequencefile.ErrCorrupt) {
+				return nil, fmt.Errorf("%w: %s: %v", ErrSpillTruncated, name, err)
+			}
+			return nil, fmt.Errorf("mapreduce: reading spill %s: %w", name, err)
+		}
+		pairs = append(pairs, Pair{Key: string(rec.Key), Value: rec.Value})
 	}
-	pairs := make([]Pair, len(recs))
-	for i, rec := range recs {
-		pairs[i] = Pair{Key: string(rec.Key), Value: rec.Value}
-	}
-	return pairs, nil
 }

@@ -1,0 +1,408 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/points"
+	"repro/internal/telemetry"
+)
+
+// Streaming reduce: the out-of-core half of the frame engine. The
+// assemble-everything path (ReduceFrames) materializes each partition's
+// full block before reducing it, which bounds a job by one reducer's
+// memory. The streaming path replaces the assembled block with a
+// FrameFold per partition: frames are decoded one at a time — straight
+// off the spill file via frameSpillReader — and absorbed incrementally,
+// so a reduce task's working set is the folds' bounded state plus one
+// frame of scratch, regardless of partition size.
+
+// FrameFold is incremental per-partition reduce state: Absorb is called
+// once per arriving frame block (the block is scratch — copy what must
+// survive), then Finish emits the fold's result. Implementations need
+// not be safe for concurrent use; the engine creates one fold per
+// partition and drives it from a single goroutine.
+type FrameFold interface {
+	Absorb(blk *points.Block) error
+	Finish(emit EmitPoint) error
+}
+
+// FrameFolder creates the fold for one partition — called lazily the
+// first time a reduce task sees a frame for that partition. Must be safe
+// for concurrent use (reduce tasks run in parallel).
+type FrameFolder func(partition int) FrameFold
+
+// FoldPeaker is optionally implemented by folds that track their
+// working-set high-water mark; the engine sums the peaks into
+// FrameStats.PeakBytes / FrameResult.ReducerPeakBytes.
+type FoldPeaker interface {
+	PeakBytes() int64
+	Passes() int
+}
+
+// FrameSource yields one shuffle frame at a time; io.EOF ends the
+// stream. It abstracts spilled runs (frameSpillReader) and in-memory
+// sealed streams so the streaming reduce path treats both identically.
+type FrameSource interface {
+	Next() ([]byte, error)
+}
+
+// StreamFrameSource adapts one sealed in-memory frame stream to a
+// FrameSource — for callers outside the engine (rpcmr workers) feeding
+// ReduceFramesStream from transport buffers.
+func StreamFrameSource(stream []byte) FrameSource {
+	return &memFrameSource{rest: stream}
+}
+
+// memFrameSource slices one sealed in-memory stream back into frames.
+type memFrameSource struct {
+	rest []byte
+}
+
+func (m *memFrameSource) Next() ([]byte, error) {
+	if len(m.rest) == 0 {
+		return nil, io.EOF
+	}
+	n, err := points.FrameLen(m.rest)
+	if err != nil {
+		return nil, err
+	}
+	frame := m.rest[:n]
+	m.rest = m.rest[n:]
+	return frame, nil
+}
+
+// ReduceFramesStream drains every source in order, folding each frame
+// into its partition's fold, then finishes the folds in ascending
+// partition order and seals the emissions into one output frame stream.
+// Shared by the in-process engine's streaming reduce tasks and the rpcmr
+// workers. Sources are closed by the caller.
+func ReduceFramesStream(srcs []FrameSource, folder FrameFolder, codec points.FrameCodec) ([]byte, FrameStats, error) {
+	var st FrameStats
+	folds := make(map[int]FrameFold)
+	scratch := points.NewBlock(0, 0)
+	var maxFrame int64
+	for _, src := range srcs {
+		for {
+			frame, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, st, err
+			}
+			p, count, err := points.FrameCount(frame)
+			if err != nil {
+				return nil, st, fmt.Errorf("mapreduce: bad frame: %w", err)
+			}
+			if count == 0 {
+				continue
+			}
+			scratch.Clear()
+			if _, _, err := points.DecodeFrame(scratch, frame); err != nil {
+				return nil, st, fmt.Errorf("mapreduce: bad frame: %w", err)
+			}
+			fold := folds[p]
+			if fold == nil {
+				fold = folder(p)
+				folds[p] = fold
+				st.Groups++
+			}
+			st.ReduceIn += int64(count)
+			if err := fold.Absorb(scratch); err != nil {
+				return nil, st, err
+			}
+			if fb := int64(len(frame)); fb > maxFrame {
+				maxFrame = fb
+			}
+		}
+	}
+	fb := frameBuilderPool.Get().(*frameBuilder)
+	defer func() {
+		fb.reset()
+		frameBuilderPool.Put(fb)
+	}()
+	for _, p := range sortedInts(folds) {
+		if err := folds[p].Finish(fb.add); err != nil {
+			return nil, st, err
+		}
+	}
+	if fb.err != nil {
+		return nil, st, fb.err
+	}
+	out, recs, _ := fb.seal(1, nil, codec)
+	st.ReduceOut = recs
+	st.Passes = 1
+	st.PeakBytes = maxFrame
+	for _, fold := range folds {
+		if pk, ok := fold.(FoldPeaker); ok {
+			st.PeakBytes += pk.PeakBytes()
+			if n := pk.Passes(); n > st.Passes {
+				st.Passes = n
+			}
+		}
+	}
+	return out[0], st, nil
+}
+
+func sortedInts[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; partition counts are small
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// runFrameReduceTaskStream is the streaming counterpart of
+// runFrameReduceTask: reducer r's frames are read from memory or spill
+// one frame at a time and folded, never assembled.
+func runFrameReduceTaskStream(cfg Config, r int, outputs []frameTaskOutput, folder FrameFolder) ([]byte, FrameStats, error) {
+	var srcs []FrameSource
+	var open []*frameSpillReader
+	defer func() {
+		for _, sr := range open {
+			sr.Close()
+		}
+	}()
+	for _, out := range outputs {
+		if out.files != nil {
+			if r < len(out.files) && out.files[r] != "" {
+				sr, err := openFrameSpill(out.files[r])
+				if err != nil {
+					return nil, FrameStats{}, fmt.Errorf("mapreduce: %s: opening frame spill: %w", cfg.Name, err)
+				}
+				open = append(open, sr)
+				srcs = append(srcs, sr)
+			}
+			continue
+		}
+		if r < len(out.streams) && len(out.streams[r]) > 0 {
+			srcs = append(srcs, &memFrameSource{rest: out.streams[r]})
+		}
+	}
+	return ReduceFramesStream(srcs, folder, cfg.Codec)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked input: out-of-core map side
+
+// ChunkSource provides the input of an out-of-core job as random-access
+// chunks: one map task per chunk, each read directly into a block, so
+// the full input never exists in memory as [][]byte records. ReadChunk
+// must be safe for concurrent use and re-readable (task retry).
+type ChunkSource interface {
+	Chunks() int
+	ReadChunk(i int, blk *points.Block) error
+}
+
+// BlockMapper routes one input block's rows to partitions. Must be safe
+// for concurrent use.
+type BlockMapper interface {
+	MapBlock(blk *points.Block, emit EmitPoint) error
+}
+
+// BlockMapperFunc adapts a function to the BlockMapper interface.
+type BlockMapperFunc func(blk *points.Block, emit EmitPoint) error
+
+// MapBlock implements BlockMapper.
+func (f BlockMapperFunc) MapBlock(blk *points.Block, emit EmitPoint) error { return f(blk, emit) }
+
+// RunFramesChunked executes an out-of-core frame job: the input arrives
+// chunk-at-a-time from src (one map task per chunk), intermediate frames
+// spill to cfg.SpillDir when set, and the reduce side streams through
+// per-partition folds exactly as RunFramesFold. Nothing in the pipeline
+// ever holds the whole input: peak memory is
+// workers × (chunk + sealed frames) on the map side and the folds'
+// budgets plus decode scratch on the reduce side.
+func RunFramesChunked(ctx context.Context, cfg Config, src ChunkSource, mapper BlockMapper, combiner FrameCombiner, folder FrameFolder) (*FrameResult, error) {
+	if mapper == nil || folder == nil {
+		return nil, fmt.Errorf("mapreduce: %s: mapper and folder must be non-nil", cfg.Name)
+	}
+	chunks := src.Chunks()
+	cfg = cfg.withDefaults(chunks)
+	counters := NewCounters()
+	start := time.Now()
+	cfg.emit("job-start", "", -1, "")
+	ctx, jobSpan := telemetry.StartSpan(ctx, "mr-job:"+cfg.Name,
+		telemetry.A("job", cfg.Name), telemetry.A("workers", cfg.Workers),
+		telemetry.A("reducers", cfg.Reducers), telemetry.A("chunks", chunks),
+		telemetry.A("shuffle", "frames-chunked"))
+	fail := func(err error) (*FrameResult, error) {
+		cfg.emit("job-end", "", -1, err.Error())
+		jobSpan.SetAttr("error", err.Error())
+		jobSpan.End()
+		return nil, err
+	}
+
+	// --- Map (+ combine): one task per chunk --------------------------
+	cfg.emit("phase-start", "map", -1, "")
+	mapCtx, mapSpan := telemetry.StartSpan(ctx, "map", telemetry.A("tasks", chunks))
+	mapStart := time.Now()
+	outputs := make([]frameTaskOutput, chunks)
+	var combineNanos int64
+	err := runTasks(mapCtx, cfg.Workers, chunks, func(worker, task int) error {
+		var lastErr error
+		cfg.emit("task-start", "map", task, "")
+		_, span := telemetry.StartSpan(mapCtx, "map-task", telemetry.A("task", task))
+		span.SetTrack(worker + 1)
+		taskStart := time.Now()
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			if attempt > 1 {
+				counters.Add(CounterMapRetries, 1)
+				cfg.emit("task-retry", "map", task, lastErr.Error())
+			}
+			out, n, err := runChunkMapTask(cfg, task, src, mapper, combiner, counters)
+			if err == nil {
+				outputs[task] = out
+				span.SetAttr("records", n)
+				span.End()
+				cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task,
+					Worker: worker + 1, Duration: time.Since(taskStart), Records: int64(n)})
+				return nil
+			}
+			lastErr = err
+		}
+		span.SetAttr("error", lastErr.Error())
+		span.End()
+		cfg.emitEvent(Event{Kind: "task-end", Phase: "map", Task: task, Err: lastErr.Error(),
+			Worker: worker + 1, Duration: time.Since(taskStart)})
+		return fmt.Errorf("mapreduce: %s: map task %d failed after %d attempt(s): %w",
+			cfg.Name, task, cfg.MaxAttempts, lastErr)
+	})
+	mapSpan.End()
+	defer removeFrameSpills(outputs)
+	if err != nil {
+		return fail(err)
+	}
+	// Combine time is tallied inside runChunkMapTask via outputs.
+	for _, out := range outputs {
+		combineNanos += out.combineNanos
+	}
+	mapDur := time.Since(mapStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "map", Task: -1,
+		Duration: mapDur, Records: counters.Get(CounterMapOut)})
+
+	// --- Shuffle (bookkeeping only; frames are pre-partitioned) -------
+	cfg.emit("phase-start", "shuffle", -1, "")
+	_, shuffleSpan := telemetry.StartSpan(ctx, "shuffle")
+	shuffleStart := time.Now()
+	var shufRecs, shufBytes int64
+	partStats := make(map[int]PartStat)
+	for _, out := range outputs {
+		shufRecs += out.recs
+		shufBytes += out.bytes
+		for id, ps := range out.parts {
+			acc := partStats[id]
+			acc.Records += ps.Records
+			acc.Bytes += ps.Bytes
+			partStats[id] = acc
+		}
+	}
+	counters.Add(CounterShuffle, shufRecs)
+	counters.Add(CounterShuffleBytes, shufBytes)
+	shuffleSpan.End()
+	shuffleDur := time.Since(shuffleStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "shuffle", Task: -1,
+		Duration: shuffleDur, Records: shufRecs})
+
+	// --- Reduce (streaming folds) --------------------------------------
+	cfg.emit("phase-start", "reduce", -1, "")
+	redCtx, reduceSpan := telemetry.StartSpan(ctx, "reduce", telemetry.A("tasks", cfg.Reducers))
+	reduceStart := time.Now()
+	blocks, redStats, err := runFrameReducePhase(redCtx, cfg, outputs, nil, folder, counters)
+	reduceSpan.End()
+	if err != nil {
+		return fail(err)
+	}
+	reduceDur := time.Since(reduceStart)
+	cfg.emitEvent(Event{Kind: "phase-end", Phase: "reduce", Task: -1,
+		Duration: reduceDur, Records: counters.Get(CounterReduceOut)})
+	cfg.emit("job-end", "", -1, "")
+	jobSpan.End()
+
+	res := &FrameResult{
+		Blocks:           blocks,
+		Counters:         counters,
+		Partitions:       partStats,
+		ReducerPeakBytes: redStats.PeakBytes,
+		MergePasses:      redStats.Passes,
+		Timing: Timing{
+			Map:     mapDur,
+			Combine: time.Duration(combineNanos),
+			Shuffle: shuffleDur,
+			Reduce:  reduceDur,
+			Total:   time.Since(start),
+		},
+	}
+	bridgeCounters(cfg, counters, res.Timing)
+	return res, nil
+}
+
+// runChunkMapTask reads one chunk and maps, combines, seals and
+// (optionally) spills it — BuildFrames with a block input.
+func runChunkMapTask(cfg Config, task int, src ChunkSource, mapper BlockMapper, combiner FrameCombiner, counters *Counters) (frameTaskOutput, int, error) {
+	blk := points.NewBlock(0, 0)
+	if err := src.ReadChunk(task, blk); err != nil {
+		return frameTaskOutput{}, 0, fmt.Errorf("mapreduce: %s: reading chunk %d: %w", cfg.Name, task, err)
+	}
+	n := blk.Len()
+	counters.Add(CounterMapIn, int64(n))
+	fb := frameBuilderPool.Get().(*frameBuilder)
+	defer func() {
+		fb.reset()
+		frameBuilderPool.Put(fb)
+	}()
+	var st FrameStats
+	if err := mapper.MapBlock(blk, fb.add); err != nil {
+		return frameTaskOutput{}, 0, err
+	}
+	if fb.err != nil {
+		return frameTaskOutput{}, 0, fb.err
+	}
+	st.Partitions = make(map[int]PartStat, len(fb.touched))
+	for _, p := range fb.touched {
+		c := int64(fb.blocks[p].Len())
+		st.MapOut += c
+		st.Partitions[p] = PartStat{Records: c}
+	}
+	counters.Add(CounterMapOut, st.MapOut)
+	if combiner != nil {
+		cs := time.Now()
+		for _, p := range fb.touched {
+			b := fb.blocks[p]
+			if b.Len() == 0 {
+				continue
+			}
+			st.CombineIn += int64(b.Len())
+			out, err := combiner(p, b)
+			if err != nil {
+				return frameTaskOutput{}, 0, fmt.Errorf("frame combiner: %w", err)
+			}
+			fb.blocks[p] = out
+			st.CombineOut += int64(out.Len())
+		}
+		st.CombineNanos = time.Since(cs).Nanoseconds()
+		counters.Add(CounterCombineIn, st.CombineIn)
+		counters.Add(CounterCombineOut, st.CombineOut)
+	}
+	streams, recs, bytes := fb.seal(cfg.Reducers, st.Partitions, cfg.Codec)
+	out := frameTaskOutput{recs: recs, bytes: bytes, parts: st.Partitions,
+		combineNanos: st.CombineNanos}
+	if cfg.SpillDir == "" {
+		out.streams = streams
+		return out, n, nil
+	}
+	files, err := spillFrameStreams(cfg, task, streams, counters)
+	if err != nil {
+		return frameTaskOutput{}, 0, err
+	}
+	out.files = files
+	return out, n, nil
+}

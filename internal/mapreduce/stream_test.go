@@ -1,0 +1,308 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/points"
+	"repro/internal/skyline"
+)
+
+// budgetFold adapts skyline.BudgetedFold to the FrameFold interface the
+// way the driver does, reporting its peak through FoldPeaker.
+type budgetFold struct {
+	partition int
+	fold      *skyline.BudgetedFold
+	stats     skyline.FoldStats
+}
+
+func newBudgetFold(partition, dim int, budget int64, dir string) *budgetFold {
+	return &budgetFold{partition: partition,
+		fold: skyline.NewBudgetedFold(dim, budget, dir, points.FrameAuto)}
+}
+
+func (b *budgetFold) Absorb(blk *points.Block) error { return b.fold.Absorb(blk) }
+
+func (b *budgetFold) Finish(emit EmitPoint) error {
+	out, err := b.fold.Finish()
+	if err != nil {
+		return err
+	}
+	b.stats = b.fold.Stats()
+	for i := 0; i < out.Len(); i++ {
+		emit(b.partition, out.Row(i))
+	}
+	return nil
+}
+
+func (b *budgetFold) PeakBytes() int64 { return b.fold.Stats().PeakBytes }
+func (b *budgetFold) Passes() int      { return b.fold.Stats().Passes }
+
+// canonicalBlocks renders a result's blocks as sorted strings per
+// partition for multiset comparison.
+func canonicalBlocks(t *testing.T, blocks map[int]*points.Block) map[int][]string {
+	t.Helper()
+	out := make(map[int][]string, len(blocks))
+	for p, blk := range blocks {
+		rows := make([]string, blk.Len())
+		for i := 0; i < blk.Len(); i++ {
+			rows[i] = fmt.Sprintf("%x", blk.Row(i))
+		}
+		sort.Strings(rows)
+		out[p] = rows
+	}
+	return out
+}
+
+func streamTestInput(rng *rand.Rand, n, d int) [][]byte {
+	input := make([][]byte, n)
+	for i := range input {
+		coords := make([]float64, d)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		input[i] = points.Encode(points.Point(coords))
+	}
+	return input
+}
+
+// streamSkyMapper routes each decoded point to partition hash(first
+// coordinate) mod parts.
+func streamSkyMapper(d, parts int) FrameMapper {
+	return FrameMapperFunc(func(rec []byte, emit EmitPoint) error {
+		p, err := points.Decode(rec)
+		if err != nil {
+			return err
+		}
+		part := int(p[0]*1e6) % parts
+		if part < 0 {
+			part = 0
+		}
+		emit(part, p)
+		return nil
+	})
+}
+
+// skylineReducer computes each partition's skyline via the in-memory
+// flat kernel — the oracle the budgeted path must match.
+func skylineReducer() FrameReducer {
+	return FrameReducerFunc(func(partition int, blk *points.Block, emit EmitPoint) error {
+		out := skyline.BlockBNL(blk)
+		for i := 0; i < out.Len(); i++ {
+			emit(partition, out.Row(i))
+		}
+		return nil
+	})
+}
+
+// TestRunFramesFoldOracle: the streaming budgeted reduce must produce
+// exactly the in-memory reduce's skyline, partition by partition, under
+// generous and tiny budgets (the latter forcing multi-pass folds),
+// in-memory and spilled shuffles.
+func TestRunFramesFoldOracle(t *testing.T) {
+	const n, d, parts = 4000, 4, 6
+	rng := rand.New(rand.NewSource(21))
+	input := streamTestInput(rng, n, d)
+	mapper := streamSkyMapper(d, parts)
+
+	oracle, err := RunFrames(context.Background(),
+		Config{Name: "oracle", Workers: 4, Reducers: 3},
+		input, mapper, nil, skylineReducer())
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	want := canonicalBlocks(t, oracle.Blocks)
+
+	for _, tc := range []struct {
+		name   string
+		budget int64
+		spill  bool
+		codec  points.FrameCodec
+	}{
+		{"ample-mem", 1 << 20, false, points.FrameDefault},
+		{"ample-spill-v2", 1 << 20, true, points.FrameAuto},
+		{"tiny-mem", int64(d) * 8 * 8, false, points.FrameDefault}, // 8-row windows
+		{"tiny-spill-v2", int64(d) * 8 * 8, true, points.FrameAuto},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Name: "fold-" + tc.name, Workers: 4, Reducers: 3,
+				Codec: tc.codec, ReducerBudgetBytes: tc.budget}
+			if tc.spill {
+				cfg.SpillDir = dir
+			}
+			folder := func(partition int) FrameFold {
+				return newBudgetFold(partition, d, tc.budget, dir)
+			}
+			res, err := RunFramesFold(context.Background(), cfg, input, mapper, nil, folder)
+			if err != nil {
+				t.Fatalf("RunFramesFold: %v", err)
+			}
+			got := canonicalBlocks(t, res.Blocks)
+			if len(got) != len(want) {
+				t.Fatalf("%d partitions, want %d", len(got), len(want))
+			}
+			for p, rows := range want {
+				if len(got[p]) != len(rows) {
+					t.Fatalf("partition %d: %d rows, want %d", p, len(got[p]), len(rows))
+				}
+				for i := range rows {
+					if got[p][i] != rows[i] {
+						t.Fatalf("partition %d row %d differs", p, i)
+					}
+				}
+			}
+			if res.ReducerPeakBytes <= 0 {
+				t.Fatal("ReducerPeakBytes not recorded")
+			}
+			if tc.budget < 1<<12 && res.MergePasses < 2 {
+				t.Fatalf("tiny budget resolved in %d pass(es); expected multi-pass", res.MergePasses)
+			}
+		})
+	}
+}
+
+// chunkSrc serves deterministic chunks: chunk i holds rows seeded by i,
+// so retries and the oracle see identical data.
+type chunkSrc struct {
+	chunks, per, d int
+}
+
+func (c chunkSrc) Chunks() int { return c.chunks }
+
+func (c chunkSrc) ReadChunk(i int, blk *points.Block) error {
+	rng := rand.New(rand.NewSource(int64(i) * 7919))
+	row := make([]float64, c.d)
+	for p := 0; p < c.per; p++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		blk.AppendRow(row)
+	}
+	return nil
+}
+
+// TestRunFramesChunkedOracle: the chunked out-of-core engine must match
+// RunFrames over the equivalent materialized input.
+func TestRunFramesChunkedOracle(t *testing.T) {
+	const chunks, per, d, parts = 16, 250, 5, 4
+	src := chunkSrc{chunks: chunks, per: per, d: d}
+
+	// Materialize the same rows for the oracle.
+	var input [][]byte
+	for i := 0; i < chunks; i++ {
+		blk := points.NewBlock(d, per)
+		if err := src.ReadChunk(i, blk); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < blk.Len(); r++ {
+			input = append(input, points.Encode(points.Point(blk.Row(r))))
+		}
+	}
+	mapper := streamSkyMapper(d, parts)
+	oracle, err := RunFrames(context.Background(),
+		Config{Name: "chunk-oracle", Workers: 4, Reducers: 2},
+		input, mapper, nil, skylineReducer())
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	want := canonicalBlocks(t, oracle.Blocks)
+
+	blockMapper := BlockMapperFunc(func(blk *points.Block, emit EmitPoint) error {
+		for i := 0; i < blk.Len(); i++ {
+			row := blk.Row(i)
+			part := int(row[0]*1e6) % parts
+			if part < 0 {
+				part = 0
+			}
+			emit(part, row)
+		}
+		return nil
+	})
+	combiner := func(partition int, blk *points.Block) (*points.Block, error) {
+		return skyline.BlockBNL(blk), nil
+	}
+
+	for _, budget := range []int64{1 << 20, int64(d) * 8 * 4} {
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Name: "chunked", Workers: 4, Reducers: 2,
+				SpillDir: dir, Codec: points.FrameAuto, ReducerBudgetBytes: budget}
+			folder := func(partition int) FrameFold {
+				return newBudgetFold(partition, d, budget, dir)
+			}
+			res, err := RunFramesChunked(context.Background(), cfg, src, blockMapper, combiner, folder)
+			if err != nil {
+				t.Fatalf("RunFramesChunked: %v", err)
+			}
+			// The combiner shrinks map output to local skylines; the global
+			// per-partition skyline is the skyline of local skylines, so the
+			// oracle (no combiner) must still match exactly.
+			got := canonicalBlocks(t, res.Blocks)
+			for p, rows := range want {
+				if len(got[p]) != len(rows) {
+					t.Fatalf("partition %d: %d rows, want %d", p, len(got[p]), len(rows))
+				}
+				for i := range rows {
+					if got[p][i] != rows[i] {
+						t.Fatalf("partition %d row %d differs", p, i)
+					}
+				}
+			}
+			if res.Counters.Get(CounterMapIn) != int64(chunks*per) {
+				t.Fatalf("map-in %d, want %d", res.Counters.Get(CounterMapIn), chunks*per)
+			}
+			if res.ReducerPeakBytes <= 0 {
+				t.Fatal("ReducerPeakBytes not recorded")
+			}
+		})
+	}
+}
+
+// TestFrameCodecOnShuffle: a v2/auto-codec job must move fewer or equal
+// shuffle bytes than the identical v1 job and produce identical output.
+func TestFrameCodecOnShuffle(t *testing.T) {
+	const n, d, parts = 2000, 6, 4
+	rng := rand.New(rand.NewSource(77))
+	// Clustered input: shared exponents/mantissa prefixes, v2's case.
+	input := make([][]byte, n)
+	for i := range input {
+		coords := make([]float64, d)
+		base := float64(i%7) / 7
+		for j := range coords {
+			coords[j] = base + rng.NormFloat64()*1e-4
+		}
+		input[i] = points.Encode(points.Point(coords))
+	}
+	mapper := streamSkyMapper(d, parts)
+
+	run := func(codec points.FrameCodec) *FrameResult {
+		res, err := RunFrames(context.Background(),
+			Config{Name: "codec", Workers: 2, Reducers: 2, Codec: codec},
+			input, mapper, nil, skylineReducer())
+		if err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+		return res
+	}
+	v1 := run(points.FrameV1)
+	v2 := run(points.FrameAuto)
+
+	wantRows := canonicalBlocks(t, v1.Blocks)
+	gotRows := canonicalBlocks(t, v2.Blocks)
+	for p, rows := range wantRows {
+		for i := range rows {
+			if gotRows[p][i] != rows[i] {
+				t.Fatalf("codec changed partition %d row %d", p, i)
+			}
+		}
+	}
+	b1 := v1.Counters.Get(CounterShuffleBytes)
+	b2 := v2.Counters.Get(CounterShuffleBytes)
+	if b2 >= b1 {
+		t.Fatalf("auto codec shuffled %d bytes, v1 %d — no compression on clustered input", b2, b1)
+	}
+}

@@ -111,6 +111,13 @@ func frameHeader(b []byte) (partition int, count, dim uint64, hdrLen int, err er
 // without decoding its coordinates — the spill writer uses it to split a
 // sealed stream back into length-prefixed records.
 func FrameLen(b []byte) (int, error) {
+	if len(b) > 0 && b[0] == FrameVersion2 {
+		_, _, _, packed, hdr, err := frameHeaderV2(b)
+		if err != nil {
+			return 0, err
+		}
+		return hdr + packed, nil
+	}
 	_, count, dim, hdr, err := frameHeader(b)
 	if err != nil {
 		return 0, err
@@ -121,6 +128,13 @@ func FrameLen(b []byte) (int, error) {
 // FrameCount returns the owning partition and point count of the first
 // frame in b — header-only, for counters.
 func FrameCount(b []byte) (partition, count int, err error) {
+	if len(b) > 0 && b[0] == FrameVersion2 {
+		p, c, _, _, _, err := frameHeaderV2(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		return p, int(c), nil
+	}
 	p, c, _, _, err := frameHeader(b)
 	if err != nil {
 		return 0, 0, err
@@ -135,6 +149,9 @@ func FrameCount(b []byte) (partition, count int, err error) {
 // mismatches are errors. Framing faults (truncation, bad varints, version
 // or dimension nonsense) are errors, never panics.
 func DecodeFrame(blk *Block, b []byte) (partition int, rest []byte, err error) {
+	if len(b) > 0 && b[0] == FrameVersion2 {
+		return decodeFrameV2(blk, b)
+	}
 	part, count, dim, hdr, err := frameHeader(b)
 	if err != nil {
 		return 0, nil, err

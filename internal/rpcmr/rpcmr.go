@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/mapreduce"
+	"repro/internal/points"
 	"repro/internal/telemetry"
 )
 
@@ -56,6 +57,19 @@ type Job struct {
 	FrameMapper   mapreduce.FrameMapper
 	FrameCombiner mapreduce.FrameCombiner
 	FrameReducer  mapreduce.FrameReducer
+
+	// FrameFolder, when non-nil, switches framed reduce tasks to the
+	// streaming fold path: the worker feeds frames into per-partition
+	// folds one at a time instead of assembling full blocks, bounding
+	// reduce memory by the folds' budget. Takes precedence over
+	// FrameReducer on the reduce side.
+	FrameFolder mapreduce.FrameFolder
+
+	// Codec selects the wire codec for frames the worker seals (map
+	// output and reduce output): the zero value keeps the raw v1 frames,
+	// points.FrameAuto enables the bit-packed v2 encoding wherever it is
+	// smaller.
+	Codec points.FrameCodec
 }
 
 // framed reports whether the job uses the block-framed shuffle.

@@ -311,7 +311,7 @@ func executeMapFramed(task TaskReply) ([][]byte, map[int]mapreduce.PartStat, err
 	if !job.framed() {
 		return nil, nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
 	}
-	streams, st, err := mapreduce.BuildFrames(task.Records, task.Reducers, job.FrameMapper, job.FrameCombiner)
+	streams, st, err := mapreduce.BuildFrames(task.Records, task.Reducers, job.FrameMapper, job.FrameCombiner, job.Codec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -319,7 +319,9 @@ func executeMapFramed(task TaskReply) ([][]byte, map[int]mapreduce.PartStat, err
 }
 
 // executeReduceFramed folds one reducer's frame streams into a single
-// output stream via the shared mapreduce.ReduceFrames.
+// output stream via the shared mapreduce.ReduceFrames — or, when the job
+// carries a FrameFolder, via the streaming mapreduce.ReduceFramesStream,
+// which never assembles a partition's full block.
 func executeReduceFramed(task TaskReply) ([]byte, error) {
 	job, err := lookupJob(task.JobName, task.Params)
 	if err != nil {
@@ -328,7 +330,15 @@ func executeReduceFramed(task TaskReply) ([]byte, error) {
 	if !job.framed() {
 		return nil, fmt.Errorf("rpcmr: job %q: framed task for unframed job", task.JobName)
 	}
-	out, _, err := mapreduce.ReduceFrames(task.FrameStreams, job.FrameReducer)
+	if job.FrameFolder != nil {
+		srcs := make([]mapreduce.FrameSource, 0, len(task.FrameStreams))
+		for _, stream := range task.FrameStreams {
+			srcs = append(srcs, mapreduce.StreamFrameSource(stream))
+		}
+		out, _, err := mapreduce.ReduceFramesStream(srcs, job.FrameFolder, job.Codec)
+		return out, err
+	}
+	out, _, err := mapreduce.ReduceFrames(task.FrameStreams, job.FrameReducer, job.Codec)
 	return out, err
 }
 

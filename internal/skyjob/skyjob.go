@@ -52,6 +52,16 @@ type Spec struct {
 	// partitioner to workers; empty for other schemes.
 	AngularSplits []int         `json:"angular_splits,omitempty"`
 	AngularCuts   [][][]float64 `json:"angular_cuts,omitempty"`
+	// Codec selects the frame wire codec on every worker: 0 keeps raw v1
+	// frames, points.FrameAuto enables the bit-packed v2 encoding wherever
+	// it is smaller. Framed path only.
+	Codec points.FrameCodec `json:"codec,omitempty"`
+	// ReducerBudgetBytes, when > 0, switches framed reduce tasks to the
+	// memory-budgeted streaming fold on every worker: frames fold one at a
+	// time into a bounded skyline window that spills and multi-passes when
+	// a local skyline outgrows it, so worker reduce memory stays near the
+	// budget instead of scaling with partition size.
+	ReducerBudgetBytes int64 `json:"reducer_budget_bytes,omitempty"`
 }
 
 // SpecFor fits a Spec to a dataset, following the paper's partition-count
@@ -165,6 +175,43 @@ func blockReducer(kernel func(*points.Block) *points.Block) mapreduce.Reducer {
 	})
 }
 
+// budgetedFold adapts skyline.BudgetedFold to the engine's FrameFold
+// interface for worker-side streaming reduce (mirrors the driver's
+// adapter; duplicated to keep skyjob free of the in-process driver).
+type budgetedFold struct {
+	partition int
+	fold      *skyline.BudgetedFold
+}
+
+func (b *budgetedFold) Absorb(blk *points.Block) error { return b.fold.Absorb(blk) }
+
+func (b *budgetedFold) Finish(emit mapreduce.EmitPoint) error {
+	out, err := b.fold.Finish()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < out.Len(); i++ {
+		emit(b.partition, out.Row(i))
+	}
+	return nil
+}
+
+func (b *budgetedFold) PeakBytes() int64 { return b.fold.Stats().PeakBytes }
+func (b *budgetedFold) Passes() int      { return b.fold.Stats().Passes }
+
+// folder returns the spec's streaming FrameFolder, or nil when the spec
+// is unbudgeted (keeping the assemble-everything reducers).
+func (s Spec) folder() mapreduce.FrameFolder {
+	if s.ReducerBudgetBytes <= 0 {
+		return nil
+	}
+	dim, budget, codec := s.Dim, s.ReducerBudgetBytes, s.Codec
+	return func(partition int) mapreduce.FrameFold {
+		return &budgetedFold{partition: partition,
+			fold: skyline.NewBudgetedFold(dim, budget, "", codec)}
+	}
+}
+
 // framed reports whether the spec selects the block-framed shuffle:
 // frames pack flat blocks, so the classic kernel path implies the
 // classic shuffle too.
@@ -206,6 +253,8 @@ func newPartitionJob(params []byte) (rpcmr.Job, error) {
 				}
 				return nil
 			}),
+			FrameFolder: spec.folder(),
+			Codec:       spec.Codec,
 		}, nil
 	}
 	reducer := spec.localReducer()
@@ -253,6 +302,8 @@ func newMergeJob(params []byte) (rpcmr.Job, error) {
 				}
 				return nil
 			}),
+			FrameFolder: spec.folder(),
+			Codec:       spec.Codec,
 		}, nil
 	}
 	return rpcmr.Job{

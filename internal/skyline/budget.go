@@ -1,0 +1,325 @@
+package skyline
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/points"
+	"repro/internal/sequencefile"
+)
+
+// BudgetedFold is a streaming skyline accumulator whose working memory is
+// bounded by an explicit byte budget. It is external BNL re-expressed
+// over the flat block kernels: candidates are scanned against a bounded
+// window with the same inlined twin-flag dominance step as scanWindow,
+// and candidates that survive a full window overflow to a temporary
+// frame-encoded sequence file instead of growing it. Finish resolves the
+// overflow in further passes until none remains.
+//
+// Correctness follows the classic BNL timestamp argument: a window row
+// inserted before the pass's first overflow write has been compared
+// against every other point of the pass (earlier points put it in the
+// window or died against it, later points were scanned over it), so if
+// it survives the pass it is in the true skyline and is confirmed.
+// Rows inserted after the first overflow write have missed the overflow
+// points already on disk, so they are carried — re-fed as the next
+// pass's input prefix ahead of the overflow stream. Every pass inserts
+// its first candidate into an empty window, before any overflow, so each
+// pass confirms or kills at least one point and the loop terminates.
+//
+// Duplicate rows are retained, exactly as the in-memory kernels retain
+// them, so BudgetedFold(…) == FlatBNL(…) as multisets on any input.
+//
+// The budget bounds the fold's working state (window, overflow write
+// buffer, decode scratch). The confirmed result necessarily lives in
+// memory too and is counted in PeakBytes, so a skyline larger than the
+// budget reports a peak above it rather than lying.
+type BudgetedFold struct {
+	dim      int
+	winCap   int // window rows the budget allows
+	obufCap  int // overflow write-buffer rows
+	spillDir string
+
+	confirmed *points.Block
+	win       *points.Block
+	ticks     []int64 // insertion tick of each window row, swap-deleted in lockstep
+	tick      int64
+	firstOverflow int64 // tick of this pass's first overflow write; -1 while none
+
+	of      *os.File
+	ow      *sequencefile.Writer
+	obuf    *points.Block
+	codec   points.FrameCodec
+	scratch []byte
+
+	stats FoldStats
+	tests int64
+	done  bool
+}
+
+// FoldStats describes one BudgetedFold run.
+type FoldStats struct {
+	Passes         int   // resolution passes (1 = everything fit the window)
+	OverflowPoints int64 // points written to overflow files across all passes
+	OverflowBytes  int64 // frame-encoded bytes written to overflow files
+	PeakBytes      int64 // high-water mark of window+buffers+result memory
+}
+
+// NewBudgetedFold creates a fold over dim-dimensional rows holding at
+// most budgetBytes of working state. Overflow files go to spillDir (the
+// OS temp dir when empty). A budget too small for even one window row
+// still works — the window is clamped to one row and resolution degrades
+// toward quadratic passes, which the tiny-budget tests exercise on
+// purpose. Overflow frames are encoded with codec (FrameDefault → v1).
+func NewBudgetedFold(dim int, budgetBytes int64, spillDir string, codec points.FrameCodec) *BudgetedFold {
+	if dim <= 0 {
+		panic(fmt.Sprintf("skyline: BudgetedFold dimension %d", dim))
+	}
+	rowBytes := int64(dim * 8)
+	winCap := int(budgetBytes / rowBytes)
+	if winCap < 1 {
+		winCap = 1
+	}
+	obufCap := winCap
+	if obufCap > 256 {
+		obufCap = 256
+	}
+	return &BudgetedFold{
+		dim:           dim,
+		winCap:        winCap,
+		obufCap:       obufCap,
+		spillDir:      spillDir,
+		confirmed:     points.NewBlock(dim, 0),
+		win:           points.NewBlock(dim, min(winCap, 1024)),
+		firstOverflow: -1,
+		codec:         codec,
+		stats:         FoldStats{Passes: 1},
+	}
+}
+
+// Absorb feeds every row of blk into the fold. blk is not retained.
+func (f *BudgetedFold) Absorb(blk *points.Block) error {
+	if f.done {
+		return fmt.Errorf("skyline: Absorb after Finish")
+	}
+	if blk.Len() == 0 {
+		return nil
+	}
+	if blk.Dim() != f.dim {
+		return fmt.Errorf("skyline: absorbing %d-dim block into %d-dim fold", blk.Dim(), f.dim)
+	}
+	n := blk.Len()
+	for i := 0; i < n; i++ {
+		if err := f.absorbRow(blk.Row(i)); err != nil {
+			return err
+		}
+	}
+	f.notePeak(int64(n) * int64(f.dim) * 8) // caller's block is live during the scan
+	return nil
+}
+
+// AbsorbRow feeds a single row.
+func (f *BudgetedFold) AbsorbRow(p []float64) error {
+	if f.done {
+		return fmt.Errorf("skyline: Absorb after Finish")
+	}
+	if len(p) != f.dim {
+		return fmt.Errorf("skyline: absorbing %d-dim row into %d-dim fold", len(p), f.dim)
+	}
+	return f.absorbRow(p)
+}
+
+// absorbRow is one BNL step against the bounded window: kill p if a
+// window row dominates it, evict window rows p dominates, then insert p
+// if there is room and overflow it otherwise.
+func (f *BudgetedFold) absorbRow(p []float64) error {
+	f.tick++
+	d := f.dim
+	wn := f.win.Len()
+	for j := 0; j < wn; {
+		f.tests++
+		q := f.win.Row(j)[:d]
+		pp := p[:d]
+		var qWorse, pWorse bool
+		for k := range q {
+			if q[k] > pp[k] {
+				qWorse = true
+				if pWorse {
+					break
+				}
+			} else if q[k] < pp[k] {
+				pWorse = true
+				if qWorse {
+					break
+				}
+			}
+		}
+		if pWorse && !qWorse { // q dominates p: p dies
+			return nil
+		}
+		if qWorse && !pWorse { // p dominates q: evict, keep ticks in lockstep
+			f.win.SwapDelete(j)
+			f.ticks[j] = f.ticks[len(f.ticks)-1]
+			f.ticks = f.ticks[:len(f.ticks)-1]
+			wn--
+			continue
+		}
+		j++
+	}
+	if f.win.Len() < f.winCap {
+		f.win.AppendRow(p)
+		f.ticks = append(f.ticks, f.tick)
+		return nil
+	}
+	return f.overflowRow(p)
+}
+
+// overflowRow batches p into the overflow write buffer, flushing full
+// buffers to the pass's overflow file as one frame record.
+func (f *BudgetedFold) overflowRow(p []float64) error {
+	if f.firstOverflow < 0 {
+		f.firstOverflow = f.tick
+	}
+	if f.obuf == nil {
+		f.obuf = points.NewBlock(f.dim, f.obufCap)
+	}
+	f.obuf.AppendRow(p)
+	f.stats.OverflowPoints++
+	if f.obuf.Len() >= f.obufCap {
+		return f.flushOverflow()
+	}
+	return nil
+}
+
+func (f *BudgetedFold) flushOverflow() error {
+	if f.obuf == nil || f.obuf.Len() == 0 {
+		return nil
+	}
+	if f.ow == nil {
+		of, err := os.CreateTemp(f.spillDir, "budgetfold-*.fseq")
+		if err != nil {
+			return fmt.Errorf("skyline: creating overflow file: %w", err)
+		}
+		f.of = of
+		f.ow = sequencefile.NewWriter(of)
+	}
+	f.scratch = points.AppendFrameCodec(f.scratch[:0], 0, f.obuf, f.codec)
+	if err := f.ow.Append(nil, f.scratch); err != nil {
+		return fmt.Errorf("skyline: writing overflow: %w", err)
+	}
+	f.stats.OverflowBytes += int64(len(f.scratch))
+	f.obuf.Reset()
+	return nil
+}
+
+// notePeak records the current working-set high-water mark, plus extra
+// transient bytes the caller knows are live (decode scratch, input).
+func (f *BudgetedFold) notePeak(extra int64) {
+	rowBytes := int64(f.dim * 8)
+	live := int64(f.win.Len()+f.confirmed.Len()) * rowBytes
+	if f.obuf != nil {
+		live += int64(f.obuf.Len()) * rowBytes
+	}
+	live += int64(len(f.scratch)) + extra
+	if live > f.stats.PeakBytes {
+		f.stats.PeakBytes = live
+	}
+}
+
+// Finish resolves any overflow and returns the exact skyline of every
+// absorbed row. The fold cannot be used afterwards.
+func (f *BudgetedFold) Finish() (*points.Block, error) {
+	if f.done {
+		return nil, fmt.Errorf("skyline: Finish called twice")
+	}
+	f.done = true
+	defer func() {
+		dominanceTests.Add(f.tests)
+		if f.of != nil { // error-path cleanup; the loop normally consumed it
+			name := f.of.Name()
+			f.of.Close()
+			os.Remove(name)
+			f.of, f.ow = nil, nil
+		}
+	}()
+	for f.firstOverflow >= 0 || (f.obuf != nil && f.obuf.Len() > 0) {
+		if err := f.flushOverflow(); err != nil {
+			return nil, err
+		}
+		if err := f.ow.Flush(); err != nil {
+			return nil, fmt.Errorf("skyline: flushing overflow: %w", err)
+		}
+		overflow := f.of
+		f.of, f.ow = nil, nil
+
+		// Split the window by the timestamp rule: rows inserted before
+		// this pass's first overflow write are confirmed skyline points;
+		// the rest are carried into the next pass ahead of the overflow
+		// stream.
+		carried := points.NewBlock(f.dim, 0)
+		for j := 0; j < f.win.Len(); j++ {
+			if f.ticks[j] < f.firstOverflow {
+				f.confirmed.AppendRow(f.win.Row(j))
+			} else {
+				carried.AppendRow(f.win.Row(j))
+			}
+		}
+		f.win.Reset()
+		f.ticks = f.ticks[:0]
+		f.firstOverflow = -1
+		f.stats.Passes++
+		f.notePeak(int64(carried.Len()) * int64(f.dim) * 8)
+
+		if err := f.replay(overflow, carried); err != nil {
+			return nil, err
+		}
+	}
+	f.confirmed.AppendBlock(f.win)
+	f.notePeak(0)
+	f.win = nil
+	f.ticks = nil
+	return f.confirmed, nil
+}
+
+// replay re-absorbs the carried window rows and then the overflow file's
+// frames as the next pass's input, deleting the file when drained.
+func (f *BudgetedFold) replay(overflow *os.File, carried *points.Block) error {
+	name := overflow.Name()
+	defer os.Remove(name)
+	defer overflow.Close()
+	for j := 0; j < carried.Len(); j++ {
+		if err := f.absorbRow(carried.Row(j)); err != nil {
+			return err
+		}
+	}
+	if _, err := overflow.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("skyline: rewinding overflow: %w", err)
+	}
+	sr := sequencefile.NewReader(overflow)
+	blk := points.NewBlock(f.dim, f.obufCap)
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("skyline: reading overflow: %w", err)
+		}
+		blk.Reset()
+		if _, _, err := points.DecodeFrame(blk, rec.Value); err != nil {
+			return fmt.Errorf("skyline: decoding overflow frame: %w", err)
+		}
+		n := blk.Len()
+		for i := 0; i < n; i++ {
+			if err := f.absorbRow(blk.Row(i)); err != nil {
+				return err
+			}
+		}
+		f.notePeak(int64(len(rec.Value)) + int64(n)*int64(f.dim)*8)
+	}
+}
+
+// Stats reports the fold's pass count, overflow volume and peak memory.
+// Valid after Finish.
+func (f *BudgetedFold) Stats() FoldStats { return f.stats }

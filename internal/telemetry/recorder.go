@@ -87,6 +87,16 @@ type Report struct {
 	// JSON carries the retry/failure picture without a Prometheus scrape.
 	TaskRetries    int64 `json:"task_retries"`
 	WorkerFailures int64 `json:"worker_failures"`
+	// MergeRounds counts the rounds of the out-of-core multi-round merge
+	// schedule (0 when the merge ran as a single job).
+	MergeRounds int `json:"merge_rounds,omitempty"`
+	// MergeRoundBytes[i] is the candidate volume entering merge round i —
+	// the per-round communication the MRC model bounds.
+	MergeRoundBytes []int64 `json:"merge_round_bytes,omitempty"`
+	// ReducerPeakBytes is the largest reducer-resident working set any
+	// reduce task or merge fold reached, the number judged against
+	// Config.ReducerBudgetBytes.
+	ReducerPeakBytes int64 `json:"reducer_peak_bytes,omitempty"`
 }
 
 // Recorder accumulates one job's flight record. Safe for concurrent use;
@@ -101,6 +111,8 @@ type Recorder struct {
 	retries    int64
 	failures   int64
 	globalSky  int
+	mergeRound []int64
+	redPeak    int64
 }
 
 // NewRecorder returns an empty recorder for the named job.
@@ -207,6 +219,30 @@ func (r *Recorder) SetGlobalSkyline(n int) {
 	r.globalSky = n
 }
 
+// AddMergeRound books one round of the out-of-core merge schedule with
+// the candidate bytes that entered it.
+func (r *Recorder) AddMergeRound(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mergeRound = append(r.mergeRound, bytes)
+}
+
+// SetReducerPeak records the largest reducer working set observed so
+// far; smaller reports keep the running maximum.
+func (r *Recorder) SetReducerPeak(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bytes > r.redPeak {
+		r.redPeak = bytes
+	}
+}
+
 // RecordTask appends one completed task; straggler tasks also bump the
 // straggler tally.
 func (r *Recorder) RecordTask(t TaskRecord) {
@@ -244,15 +280,18 @@ func (r *Recorder) Report() *Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := &Report{
-		Job:             r.job,
-		Start:           r.start,
-		DurationSeconds: time.Since(r.start).Seconds(),
-		Partitions:      make([]PartitionRecord, 0, len(r.partitions)),
-		Tasks:           append([]TaskRecord(nil), r.tasks...),
-		GlobalSkyline:   r.globalSky,
-		Stragglers:      r.stragglers,
-		TaskRetries:     r.retries,
-		WorkerFailures:  r.failures,
+		Job:              r.job,
+		Start:            r.start,
+		DurationSeconds:  time.Since(r.start).Seconds(),
+		Partitions:       make([]PartitionRecord, 0, len(r.partitions)),
+		Tasks:            append([]TaskRecord(nil), r.tasks...),
+		GlobalSkyline:    r.globalSky,
+		Stragglers:       r.stragglers,
+		TaskRetries:      r.retries,
+		WorkerFailures:   r.failures,
+		MergeRounds:      len(r.mergeRound),
+		MergeRoundBytes:  append([]int64(nil), r.mergeRound...),
+		ReducerPeakBytes: r.redPeak,
 	}
 	ids := make([]int, 0, len(r.partitions))
 	for id := range r.partitions {
@@ -341,6 +380,8 @@ func (r *Recorder) Publish(reg *Registry) {
 	reg.Gauge("skyline_load_gini").Set(rep.Skew.Gini)
 	reg.Gauge("skyline_local_optimality").Set(rep.Optimality)
 	reg.Gauge("skyline_stragglers").Set(float64(rep.Stragglers))
+	reg.Gauge("skyline_merge_rounds").Set(float64(rep.MergeRounds))
+	reg.Gauge("skyline_reducer_peak_bytes").Set(float64(rep.ReducerPeakBytes))
 	for _, p := range rep.Partitions {
 		reg.Gauge("skyline_partition_optimality",
 			L("partition", strconv.Itoa(p.Partition))).Set(p.Optimality)

@@ -144,6 +144,21 @@ type Options struct {
 	// MergeFanIn is the per-round fan-in of the hierarchical merge
 	// (default 8).
 	MergeFanIn int
+	// ReducerBudgetBytes caps every reducer's resident candidate window
+	// at this many payload bytes; overflow streams through spill frames
+	// and resolves in extra passes (see DESIGN.md "Out-of-core engine").
+	// 0 means unbudgeted. Budgeted runs seal frames with the
+	// size-adaptive auto codec.
+	ReducerBudgetBytes int64
+}
+
+// codec picks the frame codec for a run: budgeted runs spill, so they
+// get the size-adaptive auto codec; unbudgeted runs keep the default.
+func (o Options) codec() points.FrameCodec {
+	if o.ReducerBudgetBytes > 0 {
+		return points.FrameAuto
+	}
+	return 0
 }
 
 // Timing is the per-phase wall-clock breakdown of a computation.
@@ -214,6 +229,8 @@ func Compute(ctx context.Context, data Set, opts Options) (*Result, error) {
 		SpillDir:           opts.SpillDir,
 		HierarchicalMerge:  opts.HierarchicalMerge,
 		MergeFanIn:         opts.MergeFanIn,
+		ReducerBudgetBytes: opts.ReducerBudgetBytes,
+		Codec:              opts.codec(),
 	})
 	if err != nil {
 		return nil, err
