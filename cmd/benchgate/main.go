@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	benchgate [-suite kernels|shuffle|serve|spill] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
+//	benchgate [-suite kernels|shuffle|serve|spill|critpath] [-n 100000] [-d 6] [-nodes 4] [-runs 3] [-min 1.5] [-quick] [-out BENCH_kernels.json]
 //
 // The shuffle suite (-suite shuffle) compares the classic Pair shuffle
 // against the block-framed path at the same configuration — records/s,
@@ -30,6 +30,14 @@
 // row that streams -n points through driver.ComputeStream under the
 // -budget reducer byte budget and certifies the skyline exactly with a
 // second streaming pass. Writes BENCH_spill.json.
+//
+// The critpath suite (-suite critpath) validates the critical-path
+// profiler's what-if model against ground truth: it runs the two-job
+// skyline pipeline on a 3-worker in-process cluster with one worker
+// stalling before every task, takes the trace analyzer's "no-straggler"
+// prediction, re-runs straggler-free, and gates on the prediction
+// matching the measured clean median within -maxerr (default 25%).
+// Writes BENCH_critpath.json; this gate holds in -quick mode too.
 //
 // The serve suite (-suite serve) measures the registry's HTTP skyline
 // read path with per-query attribution on versus off, plus the EXPLAIN
@@ -115,8 +123,9 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	min := flag.Float64("min", 1.5, "minimum acceptable kernel-row speedup (flat over classic)")
 	quick := flag.Bool("quick", false, "CI mode: n=20000, 2 runs, report only (no gate)")
-	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle, serve or spill")
+	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle, serve, spill or critpath")
 	budget := flag.Int64("budget", 1<<30, "reducer byte budget for the spill suite")
+	maxErr := flag.Float64("maxerr", 0.25, "maximum relative error of the critpath suite's no-straggler prediction")
 	out := flag.String("out", "", "report path (default BENCH_kernels.json / BENCH_shuffle.json per suite)")
 	flag.Parse()
 
@@ -128,12 +137,21 @@ func main() {
 			*out = "BENCH_serve.json"
 		case "spill":
 			*out = "BENCH_spill.json"
+		case "critpath":
+			*out = "BENCH_critpath.json"
 		default:
 			*out = "BENCH_kernels.json"
 		}
 	}
 	if *suite == "serve" {
 		serveSuite(*n, *d, *runs, *quick, *out)
+		return
+	}
+	if *suite == "critpath" {
+		// The critpath suite owns its own quick scaling and stays gated
+		// in -quick mode: the injected stall dominates the makespan, so
+		// the prediction check is robust at any dataset size.
+		critpathSuite(*n, *d, *runs, *maxErr, *quick, *out)
 		return
 	}
 	if *suite == "spill" {
@@ -151,7 +169,7 @@ func main() {
 		return
 	case "kernels":
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels, shuffle, serve or spill)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels, shuffle, serve, spill or critpath)\n", *suite)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: n=%d d=%d nodes=%d runs=%d\n", *n, *d, *nodes, *runs)

@@ -23,10 +23,11 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/qws"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/critpath"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which experiment to run: all, 5a, 5b, 6, 7a, 7b, thm, ablation, sensitivity, partitions, flight")
+	figure := flag.String("figure", "all", "which experiment to run: all, 5a, 5b, 6, 7a, 7b, thm, ablation, sensitivity, partitions, flight, critpath")
 	full := flag.Bool("full", false, "run at the paper's full scale (100,000 services)")
 	seed := flag.Int64("seed", 2012, "dataset seed")
 	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
@@ -172,6 +173,39 @@ func main() {
 				return fmt.Errorf("flight %v: %w", scheme, err)
 			}
 			if err := asciiplot.FlightChart(os.Stdout, rec.Report()); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run("critpath", func() error {
+		// One traced run per method: the critical-path waterfall answers
+		// "where did the makespan go" — phase and worker blame plus the
+		// what-if rebalancing predictions, the runtime companion of the
+		// flight figure.
+		n, d := 4000, 4
+		if *full {
+			n, d = 20000, 6
+		}
+		data := qws.Dataset(sc.Seed, n, d)
+		fmt.Printf("Critical path (N=%d, d=%d): makespan attribution and what-if predictions\n\n", n, d)
+		for _, scheme := range experiments.Methods {
+			rec := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
+			tr := telemetry.NewTracer()
+			cctx := telemetry.WithRecorder(telemetry.WithTracer(ctx, tr), rec)
+			if _, _, err := driver.Compute(cctx, data, driver.Options{
+				Scheme:  scheme,
+				Nodes:   sc.Nodes,
+				Workers: sc.Workers,
+			}); err != nil {
+				return fmt.Errorf("critpath %v: %w", scheme, err)
+			}
+			a, err := critpath.Analyze(tr.Spans(), rec.Report(), critpath.Options{})
+			if err != nil {
+				return fmt.Errorf("critpath %v: %w", scheme, err)
+			}
+			if err := asciiplot.CritPathChart(os.Stdout, a); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	skyline [-method angle|grid|dim|random|seq] [-nodes N] [-header]
-//	        [-stats] [-explain] [-reducer-budget BYTES] [-out file.csv] input.csv
+//	        [-stats] [-explain] [-flight] [-critpath] [-reducer-budget BYTES]
+//	        [-out file.csv] input.csv
 //
 // The input must be numeric CSV, one service per row, attributes oriented
 // so lower is better. With -method seq the skyline is computed with plain
@@ -30,6 +31,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/points"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/critpath"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	k := flag.Int("k", 1, "compute the k-skyband instead of the skyline (k=1)")
 	rep := flag.Int("rep", 0, "reduce the result to this many representative points (0 = all)")
 	flight := flag.Bool("flight", false, "print the flight-recorder partition chart to stderr (MapReduce methods only)")
+	critPath := flag.Bool("critpath", false, "print the critical-path waterfall and what-if predictions to stderr (MapReduce methods, k=1)")
 	explain := flag.Bool("explain", false, "print the per-partition merge plan to stderr (MapReduce methods, k=1)")
 	budget := flag.Int64("reducer-budget", 0, "reducer memory budget in bytes; overflow spills and resolves in extra passes (0 = unbudgeted, MapReduce methods, k=1)")
 	flag.Parse()
@@ -50,13 +53,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight, *explain, *budget); err != nil {
+	if err := run(flag.Arg(0), *method, *nodes, *header, *stats, *out, *k, *rep, *flight, *critPath, *explain, *budget); err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight, explain bool, budget int64) error {
+func run(path, method string, nodes int, header, stats bool, out string, k, rep int, flight, critPath, explain bool, budget int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -112,9 +115,14 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 		}
 		ctx := context.Background()
 		var recorder *telemetry.Recorder
-		if flight {
+		if flight || critPath {
 			recorder = telemetry.NewRecorder(fmt.Sprintf("skyline:%s", m))
 			ctx = telemetry.WithRecorder(ctx, recorder)
+		}
+		var tracer *telemetry.Tracer
+		if critPath {
+			tracer = telemetry.NewTracer()
+			ctx = telemetry.WithTracer(ctx, tracer)
 		}
 		res, err := skymr.Compute(ctx, data, skymr.Options{Method: m, Nodes: nodes,
 			ReducerBudgetBytes: budget})
@@ -122,8 +130,17 @@ func run(path, method string, nodes int, header, stats bool, out string, k, rep 
 			return err
 		}
 		sky = res.Skyline
-		if recorder != nil {
+		if flight {
 			if err := asciiplot.FlightChart(os.Stderr, recorder.Report()); err != nil {
+				return err
+			}
+		}
+		if critPath {
+			analysis, err := critpath.Analyze(tracer.Spans(), recorder.Report(), critpath.Options{})
+			if err != nil {
+				return err
+			}
+			if err := asciiplot.CritPathChart(os.Stderr, analysis); err != nil {
 				return err
 			}
 		}

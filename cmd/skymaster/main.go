@@ -47,6 +47,7 @@ import (
 	"repro/internal/rpcmr"
 	"repro/internal/skyjob"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/critpath"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/* on this address (empty = off)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
 	flightFile := flag.String("flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
+	historyFile := flag.String("runhistory", "",
+		"append this run's flight+critpath summary to a bounded JSONL history file and compare against the baseline (empty = in-memory only)")
 	budget := flag.Int64("reducer-budget", 0,
 		"per-worker reducer memory budget in bytes; overflow spills to frames and resolves in extra passes (0 = unbudgeted)")
 	flag.Parse()
@@ -74,14 +77,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header,
-		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile, *budget); err != nil {
+		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile, *historyFile, *budget); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, method, path string, partitions, reducers, minWorkers int, header bool,
-	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile string, budget int64) error {
+	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile, historyFile string, budget int64) error {
 	scheme, err := parseScheme(method)
 	if err != nil {
 		return err
@@ -99,11 +102,17 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		return fmt.Errorf("no data rows in %s", path)
 	}
 
-	// The flight recorder and event log are always on: both are small
-	// bounded structures, and /debug/flightrecorder and /debug/events
-	// read from them.
+	// The flight recorder, event log, tracer and run history are always
+	// on: all are small bounded structures, and /debug/flightrecorder,
+	// /debug/events, /debug/critpath and /debug/runhistory read from
+	// them. (-trace additionally writes the Chrome trace file.)
 	recorder := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
 	events := telemetry.NewEventLog(2048)
+	tracer := telemetry.NewTracer()
+	history, err := telemetry.OpenRunHistory(historyFile, 200)
+	if err != nil {
+		return err
+	}
 
 	var metrics *telemetry.Registry
 	if metricsAddr != "" {
@@ -130,6 +139,14 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
 		telemetry.MountEvents(mux, events)
 		telemetry.MountHealth(mux, func() any { return master.Health() })
+		critpath.Mount(mux, func() *critpath.Analysis {
+			a, err := critpath.Analyze(tracer.Spans(), recorder.Report(), critpath.Options{})
+			if err != nil {
+				return nil
+			}
+			return a
+		})
+		telemetry.MountRunHistory(mux, func() *telemetry.RunHistory { return history })
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "skymaster: metrics server: %v\n", err)
@@ -170,11 +187,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	ctx, cancel := context.WithTimeout(sigCtx, timeout)
 	defer cancel()
 
-	var tracer *telemetry.Tracer
-	if traceFile != "" {
-		tracer = telemetry.NewTracer()
-		ctx = telemetry.WithTracer(ctx, tracer)
-	}
+	ctx = telemetry.WithTracer(ctx, tracer)
 	ctx = telemetry.WithRecorder(ctx, recorder)
 	ctx = telemetry.WithEventLog(ctx, events)
 
@@ -221,7 +234,34 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		len(res.Skyline), len(data), time.Since(start).Round(time.Millisecond),
 		res.MapTime.PartitionJob, res.ReduceTime.PartitionJob,
 		res.MapTime.MergeJob, res.ReduceTime.MergeJob)
-	if tracer != nil {
+	// Critical-path profile: where the makespan went, and what balance
+	// or de-straggling would have bought. The summary joins the bounded
+	// run history, which flags regressions against prior same-shape runs.
+	if analysis, aerr := critpath.Analyze(tracer.Spans(), recorder.Report(), critpath.Options{}); aerr == nil {
+		var top critpath.PhaseBlame
+		for _, p := range analysis.Phases {
+			if p.Seconds > top.Seconds {
+				top = p
+			}
+		}
+		fmt.Fprintf(os.Stderr, "skymaster: critical path %.2fs, bottleneck %s (%.0f%%)",
+			analysis.MakespanSeconds, top.Phase, top.Share*100)
+		for _, sc := range analysis.WhatIf {
+			if sc.Name == "perfect-balance" || sc.Name == "no-straggler" {
+				fmt.Fprintf(os.Stderr, ", %s %.2fs (%.2fx)", sc.Name, sc.PredictedSeconds, sc.SpeedupX)
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+		label := fmt.Sprintf("method=%s n=%d p=%d workers=%d", method, len(data), partitions, master.WorkerCount())
+		if err := history.Append(critpath.Summarize(analysis, recorder.Report(), label)); err != nil {
+			fmt.Fprintf(os.Stderr, "skymaster: run history: %v\n", err)
+		}
+		for _, reg := range history.CompareLatest() {
+			fmt.Fprintf(os.Stderr, "skymaster: REGRESSION %s: %.3f vs baseline %.3f (%.2fx)\n",
+				reg.Metric, reg.Current, reg.Baseline, reg.Ratio)
+		}
+	}
+	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
 			return fmt.Errorf("writing trace: %w", err)

@@ -1,8 +1,9 @@
 // Command skytop is a terminal dashboard for a live skyline cluster: it
 // polls the target's /metrics, /debug/health, /debug/flightrecorder,
-// /debug/events, /debug/slowlog and /debug/slo endpoints and renders
-// phase progress, per-worker state and throughput, straggler/retry
-// flags, partition-load sparklines, the slow-query tail and SLO burn
+// /debug/critpath, /debug/events, /debug/slowlog and /debug/slo
+// endpoints and renders phase progress, per-worker state and
+// throughput, straggler/retry flags, partition-load sparklines, the
+// critical-path bottleneck panel, the slow-query tail and SLO burn
 // state.
 //
 //	skytop -addr 127.0.0.1:9090              # refreshing live view
@@ -30,6 +31,7 @@ import (
 	"repro/internal/asciiplot"
 	"repro/internal/rpcmr"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/critpath"
 )
 
 func main() {
@@ -80,6 +82,7 @@ type sample struct {
 	health  *rpcmr.Health
 	metrics map[string]float64
 	flight  *telemetry.Report
+	crit    *critpath.Analysis
 	events  []telemetry.LogEvent
 	slowlog *queryDoc
 	slo     *sloDoc
@@ -109,6 +112,9 @@ func (c *client) poll() *sample {
 	}
 	if err := c.getJSON(telemetry.FlightRecorderPath, &s.flight); err != nil {
 		s.flight = nil
+	}
+	if err := c.getJSON(critpath.Path, &s.crit); err != nil {
+		s.crit = nil
 	}
 	if err := c.getJSON(telemetry.SlowLogPath, &s.slowlog); err != nil {
 		s.slowlog = nil
@@ -163,6 +169,7 @@ func render(w io.Writer, addr string, s, prev *sample, maxEvents int) {
 	if s.flight != nil {
 		renderFlight(w, s.flight)
 	}
+	renderCritPath(w, s.crit)
 	renderSLO(w, s.slo)
 	renderSlowlog(w, s.slowlog, 5)
 	renderEvents(w, s.events, maxEvents)
@@ -332,6 +339,39 @@ func renderFlight(w io.Writer, r *telemetry.Report) {
 	fmt.Fprintf(w, "\npartition load (%d partitions)  %s\n", len(parts), asciiplot.Spark(loads))
 	fmt.Fprintf(w, "skew: imbalance %.2f, gini %.2f   optimality (Eq.5): %.3f   stragglers: %d\n",
 		r.Skew.Imbalance, r.Skew.Gini, r.Optimality, r.Stragglers)
+}
+
+// renderCritPath shows the bottleneck panel from the critical-path
+// analyzer: phase blame, the worst worker, and the headline what-if
+// predictions. "n/a" when the target serves no /debug/critpath (an
+// older binary, a skyserve target) or has no completed job to analyze.
+func renderCritPath(w io.Writer, a *critpath.Analysis) {
+	if a == nil || a.MakespanSeconds <= 0 {
+		fmt.Fprintf(w, "\nbottleneck: n/a\n")
+		return
+	}
+	var top critpath.PhaseBlame
+	fmt.Fprintf(w, "\nbottleneck: makespan %.2fs  ", a.MakespanSeconds)
+	for _, p := range a.Phases {
+		if p.Seconds > top.Seconds {
+			top = p
+		}
+		fmt.Fprintf(w, " %s %.2fs (%.0f%%)", p.Phase, p.Seconds, p.Share*100)
+	}
+	fmt.Fprintln(w)
+	if len(a.Workers) > 0 {
+		wk := a.Workers[0]
+		mark := ""
+		if wk.Straggler {
+			mark = "  STRAGGLER"
+		}
+		fmt.Fprintf(w, "  worst worker: %s %.2fs (%.0f%%)%s\n", wk.Worker, wk.Seconds, wk.Share*100, mark)
+	}
+	for _, sc := range a.WhatIf {
+		if sc.Name == "perfect-balance" || sc.Name == "no-straggler" {
+			fmt.Fprintf(w, "  what-if %-15s %.2fs (%.2fx)\n", sc.Name, sc.PredictedSeconds, sc.SpeedupX)
+		}
+	}
 }
 
 // renderEvents shows the tail of the event stream.

@@ -1,0 +1,128 @@
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry/critpath"
+)
+
+// fmtSecs renders a duration in seconds at a precision fit for the
+// magnitude — µs-scale in-process runs would otherwise print every row
+// as "0.000s".
+func fmtSecs(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", s)
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}
+
+// phaseGlyphs maps critical-path phases to waterfall fill characters so
+// the chart reads phase structure at a glance without color.
+var phaseGlyphs = map[string]rune{
+	critpath.PhaseMap:        '█',
+	critpath.PhaseShuffle:    '▒',
+	critpath.PhaseReduce:     '▓',
+	critpath.PhaseCoordinate: '░',
+}
+
+// CritPathChart renders a critical-path analysis as an ASCII waterfall
+// — one row per critical segment, indented to its offset in the run and
+// filled with its phase's glyph — followed by the phase/worker blame
+// rollups and the what-if predictions. This is the terminal version of
+// the question "where did the makespan go": reading top to bottom is
+// reading the job's wall clock.
+func CritPathChart(w io.Writer, a *critpath.Analysis) error {
+	if a == nil {
+		return fmt.Errorf("asciiplot: nil critical-path analysis")
+	}
+	const width = 50
+	fmt.Fprintf(w, "critical path %s: makespan %s over %d segments\n",
+		a.Job, fmtSecs(a.MakespanSeconds), len(a.CriticalPath))
+	if a.MakespanSeconds <= 0 {
+		return nil
+	}
+	// Sub-1% segments (poll gaps, µs-scale dispatch) would drown the
+	// waterfall in one-glyph rows; fold them into a footer count.
+	var rows []critpath.Segment
+	var folded int
+	var foldedSecs float64
+	for _, s := range a.CriticalPath {
+		if s.Seconds >= a.MakespanSeconds*0.01 {
+			rows = append(rows, s)
+		} else {
+			folded++
+			foldedSecs += s.Seconds
+		}
+	}
+	labelWidth := 0
+	labels := make([]string, len(rows))
+	for i, s := range rows {
+		l := s.Span
+		if s.Gap {
+			l += " (wait)"
+		}
+		if s.Worker != "" {
+			l += " @" + s.Worker
+		}
+		labels[i] = l
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, s := range rows {
+		lead := int(math.Round(s.Start / a.MakespanSeconds * width))
+		n := int(math.Round(s.Seconds / a.MakespanSeconds * width))
+		if lead+n > width {
+			n = width - lead
+		}
+		if n < 1 {
+			n = 1
+			if lead+n > width {
+				lead = width - n
+			}
+		}
+		glyph, ok := phaseGlyphs[s.Phase]
+		if !ok {
+			glyph = '?'
+		}
+		fmt.Fprintf(w, "%-*s |%s%s%s| %9s\n", labelWidth, labels[i],
+			strings.Repeat(" ", lead), strings.Repeat(string(glyph), n),
+			strings.Repeat(" ", width-lead-n), fmtSecs(s.Seconds))
+	}
+	if folded > 0 {
+		fmt.Fprintf(w, "(+ %d segments under 1%% of the makespan, %s together)\n", folded, fmtSecs(foldedSecs))
+	}
+	fmt.Fprint(w, "phases:")
+	for _, p := range a.Phases {
+		fmt.Fprintf(w, "  %c %s %s (%.0f%%)", phaseGlyphs[p.Phase], p.Phase, fmtSecs(p.Seconds), p.Share*100)
+	}
+	fmt.Fprintln(w)
+	if len(a.Workers) > 0 {
+		fmt.Fprint(w, "workers:")
+		for _, wk := range a.Workers {
+			mark := ""
+			if wk.Straggler {
+				mark = " STRAGGLER"
+			}
+			fmt.Fprintf(w, "  %s %s (%.0f%%)%s", wk.Worker, fmtSecs(wk.Seconds), wk.Share*100, mark)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range a.WhatIf {
+		fmt.Fprintf(w, "what-if %-15s %9s  %5.2fx  %s\n", s.Name, fmtSecs(s.PredictedSeconds), s.SpeedupX, s.Detail)
+	}
+	if c := a.SkewCheck; c != nil {
+		fmt.Fprintf(w, "skew check: flight %.2fx gini %.3f vs worker busy %.2fx — %s\n",
+			c.FlightImbalance, c.FlightGini, c.WorkerBusyImbalance, c.Note)
+	}
+	return nil
+}

@@ -30,6 +30,11 @@ type WorkerConfig struct {
 	// accepted but never executed or reported, exercising the master's
 	// lease-expiry reassignment. 0 disables.
 	VanishAfterTasks int
+	// TaskStall, when > 0, sleeps that long before executing every task —
+	// a controllable straggler for tests and the critical-path benchgate
+	// suite (the stall lands inside the task span, so the profiler sees
+	// it as task time on this worker). 0 disables.
+	TaskStall time.Duration
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -132,6 +137,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// stall applies the TaskStall straggler injection.
+func (w *Worker) stall() {
+	if w.cfg.TaskStall > 0 {
+		time.Sleep(w.cfg.TaskStall)
+	}
+}
+
 // shouldVanish reports whether the crash-while-holding-a-task injection
 // fires now.
 func (w *Worker) shouldVanish() bool {
@@ -192,6 +204,7 @@ func (w *Worker) runMap(task TaskReply) (TaskReply, error) {
 		TraceID:  task.TraceID,
 	}
 	span, finish := w.taskSpan(task, "map-task", len(task.Records))
+	w.stall()
 	var err error
 	if task.Framed {
 		args.FrameParts, args.PartStats, err = executeMapFramed(task)
@@ -220,6 +233,7 @@ func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 		TraceID:  task.TraceID,
 	}
 	span, finish := w.taskSpan(task, "reduce-task", len(task.Groups))
+	w.stall()
 	var err error
 	if task.Framed {
 		args.Frames, err = executeReduceFramed(task)

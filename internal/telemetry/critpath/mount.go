@@ -1,0 +1,72 @@
+package critpath
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Path is where Mount serves the critical-path analysis.
+const Path = "/debug/critpath"
+
+// Mount serves the analysis as indented JSON at Path. The source is
+// re-evaluated per request (a running job re-analyzes its partial
+// trace); a nil result is a 404, so dashboards probing an engine
+// without tracing degrade cleanly.
+func Mount(mux *http.ServeMux, source func() *Analysis) {
+	mux.HandleFunc(Path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		a := source()
+		if a == nil {
+			http.Error(w, "critical-path analysis not available", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a)
+	})
+}
+
+// Summarize flattens an analysis (and the flight record it was checked
+// against) into the telemetry.RunSummary shape the run history stores —
+// flat fields only, so the history file stays greppable and the
+// telemetry package needs no knowledge of this one.
+func Summarize(a *Analysis, rep *telemetry.Report, label string) telemetry.RunSummary {
+	s := telemetry.RunSummary{
+		Time:            time.Now(),
+		Job:             a.Job,
+		Label:           label,
+		MakespanSeconds: a.MakespanSeconds,
+		PhaseSeconds:    map[string]float64{},
+	}
+	var top PhaseBlame
+	for _, p := range a.Phases {
+		s.PhaseSeconds[p.Phase] = p.Seconds
+		if p.Seconds > top.Seconds {
+			top = p
+		}
+	}
+	s.BottleneckPhase = top.Phase
+	if len(a.Workers) > 0 {
+		s.BottleneckWorker = a.Workers[0].Worker
+	}
+	for _, w := range a.WhatIf {
+		if w.Name == "perfect-balance" {
+			s.PredictedBalancedSeconds = w.PredictedSeconds
+		}
+	}
+	if rep != nil {
+		s.Imbalance = rep.Skew.Imbalance
+		s.Gini = rep.Skew.Gini
+		s.Optimality = rep.Optimality
+		s.Stragglers = rep.Stragglers
+		s.GlobalSkyline = rep.GlobalSkyline
+	}
+	return s
+}

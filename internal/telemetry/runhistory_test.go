@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func summary(job, label string, makespan float64) RunSummary {
+	return RunSummary{
+		Time:            time.Now(),
+		Job:             job,
+		Label:           label,
+		MakespanSeconds: makespan,
+		PhaseSeconds:    map[string]float64{"map": makespan * 0.5, "reduce": makespan * 0.3},
+		Imbalance:       1.1,
+	}
+}
+
+func TestRunHistoryPersistsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	h, err := OpenRunHistory(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Append(summary("skyline:angle", "n=1000", 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h2, err := OpenRunHistory(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h2.Runs()); got != 3 {
+		t.Fatalf("reloaded %d runs, want 3", got)
+	}
+}
+
+func TestRunHistoryBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	h, err := OpenRunHistory(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := h.Append(summary("j", "l", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := h.Runs()
+	if len(runs) != 5 {
+		t.Fatalf("retained %d runs, want 5", len(runs))
+	}
+	if runs[len(runs)-1].MakespanSeconds != 11 {
+		t.Fatalf("lost the newest run: %+v", runs[len(runs)-1])
+	}
+	// The file compacts too.
+	h2, err := OpenRunHistory(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h2.Runs()); got != 5 {
+		t.Fatalf("file retained %d runs, want 5", got)
+	}
+}
+
+func TestRunHistoryDetectsRegression(t *testing.T) {
+	h, err := OpenRunHistory("", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.Append(summary("skyline:angle", "n=1000", 1.0))
+	}
+	if regs := h.CompareLatest(); len(regs) != 0 {
+		t.Fatalf("steady runs flagged: %+v", regs)
+	}
+	// A 2x slower run regresses makespan and its phases.
+	h.Append(summary("skyline:angle", "n=1000", 2.0))
+	regs := h.CompareLatest()
+	found := false
+	for _, r := range regs {
+		if r.Metric == "makespan_seconds" {
+			found = true
+			if r.Ratio < 1.9 || r.Ratio > 2.1 {
+				t.Fatalf("makespan ratio %.2f, want ~2.0", r.Ratio)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("2x makespan not flagged: %+v", regs)
+	}
+	// Runs of a different shape never form the baseline.
+	h.Append(summary("skyline:angle", "n=9999999", 50.0))
+	for _, r := range h.CompareLatest() {
+		t.Fatalf("first run of a new shape flagged: %+v", r)
+	}
+}
+
+func TestRunHistorySkipsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	h, _ := OpenRunHistory(path, 10)
+	h.Append(summary("j", "l", 1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{truncated garbage\n")
+	f.Close()
+	h2, err := OpenRunHistory(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h2.Runs()); got != 1 {
+		t.Fatalf("got %d runs from a file with one good line, want 1", got)
+	}
+}
+
+func TestRunHistoryNil(t *testing.T) {
+	var h *RunHistory
+	if err := h.Append(RunSummary{}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Runs() != nil || h.CompareLatest() != nil {
+		t.Fatal("nil history must no-op")
+	}
+}

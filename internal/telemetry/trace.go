@@ -213,9 +213,38 @@ func (t *Tracer) Reset() {
 // batch) are attached under parent. Attrs and tracks ride along
 // untouched, so a worker that pinned its task span to a track hint keeps
 // its timeline row in the stitched Chrome trace.
+//
+// Timestamps are anchored to the importer's clock: see ImportAt, which
+// Import calls with time.Now() as the receipt time.
 func (t *Tracer) Import(parent uint64, spans []SpanData) {
+	t.ImportAt(parent, time.Now(), spans)
+}
+
+// ImportAt is Import with an explicit receipt time. Worker Start times
+// are worker wall-clock readings; with clock skew a stitched trace could
+// show a task starting before the master span that dispatched it, or
+// ending in the future. ImportAt re-anchors the batch: the latest span
+// end is pinned to at — the moment the master received the report, an
+// upper bound on when the work truly finished — and every span in the
+// batch shifts by the same delta, preserving all intra-batch timing. A
+// worker whose clock runs behind slides forward, one running ahead
+// slides back; an in-sync worker moves by only the RPC flight time.
+// Since the batch's work all happened after its dispatch (which happened
+// after the parent span started), an anchored batch can no longer start
+// before its parent. A zero at leaves the batch unanchored.
+func (t *Tracer) ImportAt(parent uint64, at time.Time, spans []SpanData) {
 	if t == nil || len(spans) == 0 {
 		return
+	}
+	var latest time.Time
+	for _, s := range spans {
+		if end := s.Start.Add(s.Duration); end.After(latest) {
+			latest = end
+		}
+	}
+	var delta time.Duration
+	if !at.IsZero() && !latest.IsZero() {
+		delta = at.Sub(latest)
 	}
 	remap := make(map[uint64]uint64, len(spans))
 	for _, s := range spans {
@@ -230,6 +259,7 @@ func (t *Tracer) Import(parent uint64, spans []SpanData) {
 		} else {
 			s.Parent = parent
 		}
+		s.Start = s.Start.Add(delta)
 		t.spans = append(t.spans, s)
 	}
 }

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// A worker whose wall clock runs an hour behind the master ships task
+// spans whose raw Start predates the master's job span. ImportAt must
+// re-anchor the batch to the report-receipt time so the stitched trace
+// never shows a child starting before its parent.
+func TestImportAnchorsSkewedWorkerClock(t *testing.T) {
+	tr := NewTracer()
+	ctx, parent := StartSpan(WithTracer(t.Context(), tr), "job")
+
+	// The report lands a second after the job span opened; the task ran
+	// for 200ms of that second.
+	receipt := time.Now().Add(time.Second)
+	skew := -time.Hour // worker clock an hour behind
+	workerSpans := []SpanData{
+		{ID: 1, Name: "map-task", Start: receipt.Add(skew - 300*time.Millisecond), Duration: 200 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "decode", Start: receipt.Add(skew - 280*time.Millisecond), Duration: 50 * time.Millisecond},
+	}
+	tr.ImportAt(parent.ID(), receipt, workerSpans)
+	parent.End()
+	_ = ctx
+
+	spans := tr.Spans()
+	var job, task, sub *SpanData
+	for i := range spans {
+		switch spans[i].Name {
+		case "job":
+			job = &spans[i]
+		case "map-task":
+			task = &spans[i]
+		case "decode":
+			sub = &spans[i]
+		}
+	}
+	if job == nil || task == nil || sub == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if task.Start.Before(job.Start) {
+		t.Fatalf("anchored task starts %v before its parent %v", task.Start, job.Start)
+	}
+	// The latest batch end is pinned exactly to the receipt time.
+	if end := task.Start.Add(task.Duration); !end.Equal(receipt) {
+		t.Fatalf("batch end %v, want receipt %v", end, receipt)
+	}
+	// Intra-batch offsets survive the shift: the sub-span still starts
+	// 20ms into its task.
+	if off := sub.Start.Sub(task.Start); off != 20*time.Millisecond {
+		t.Fatalf("intra-batch offset %v, want 20ms", off)
+	}
+	if sub.Parent != task.ID {
+		t.Fatalf("intra-batch parent link broken: %d != %d", sub.Parent, task.ID)
+	}
+}
+
+// A clock running *ahead* would put worker spans in the master's
+// future; anchoring pulls them back too.
+func TestImportAnchorsFastWorkerClock(t *testing.T) {
+	tr := NewTracer()
+	receipt := time.Now()
+	tr.ImportAt(0, receipt, []SpanData{
+		{ID: 1, Name: "map-task", Start: receipt.Add(time.Hour), Duration: 100 * time.Millisecond},
+	})
+	got := tr.Spans()[0]
+	if end := got.Start.Add(got.Duration); !end.Equal(receipt) {
+		t.Fatalf("batch end %v, want receipt %v", end, receipt)
+	}
+}
+
+// Import (the production path) anchors to time.Now: after stitching, no
+// span may end meaningfully in the future even with a skewed source.
+func TestImportAnchorsToNow(t *testing.T) {
+	tr := NewTracer()
+	tr.Import(0, []SpanData{
+		{ID: 1, Name: "map-task", Start: time.Now().Add(-2 * time.Hour), Duration: time.Second},
+	})
+	got := tr.Spans()[0]
+	end := got.Start.Add(got.Duration)
+	if d := time.Since(end); d < 0 || d > time.Minute {
+		t.Fatalf("anchored end %v not at ~now (delta %v)", end, d)
+	}
+}
