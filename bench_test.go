@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/driver"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/qws"
 	"repro/internal/skyline"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/timeseries"
 )
 
 const (
@@ -244,6 +246,31 @@ func BenchmarkSkyline(b *testing.B) {
 	b.Run("events=on", func(b *testing.B) {
 		log := telemetry.NewEventLog(256)
 		run(b, base, telemetry.WithEventLog(context.Background(), log))
+	})
+	// sampling=off vs sampling=on is the observability-plane regression
+	// gate: a background sampler ticking the registry plus a watchdog
+	// evaluating its rules must not slow the computation itself — the
+	// sample path reads atomics and writes ring slots, never touching the
+	// compute goroutines. cmd/benchgate's obs suite enforces ≤1.05×.
+	b.Run("sampling=off", func(b *testing.B) {
+		opts := base
+		opts.Metrics = telemetry.NewRegistry()
+		run(b, opts, context.Background())
+	})
+	b.Run("sampling=on", func(b *testing.B) {
+		opts := base
+		reg := telemetry.NewRegistry()
+		opts.Metrics = reg
+		sampler := timeseries.NewSampler(reg, timeseries.Config{Interval: 10 * time.Millisecond, Retention: 512})
+		sampler.Start()
+		defer sampler.Stop()
+		wd := timeseries.NewWatchdog(sampler, timeseries.WatchdogConfig{
+			Interval: 20 * time.Millisecond,
+			Metrics:  reg,
+		}, timeseries.RateAboveRule("gc-pause-spike", "process_gc_pause_seconds_total", 0.05, time.Second))
+		wd.Start()
+		defer wd.Stop()
+		run(b, opts, context.Background())
 	})
 	b.Run("kernel=flat", func(b *testing.B) {
 		run(b, base, context.Background())

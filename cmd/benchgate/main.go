@@ -43,6 +43,12 @@
 // read path with per-query attribution on versus off, plus the EXPLAIN
 // re-merge, writing BENCH_serve.json and gating attribution overhead at
 // 5% of the cached read (the observability acceptance bound).
+//
+// The obs suite (-suite obs) prices the cluster observability plane:
+// the MR-Angle pipeline with a bare metrics registry versus with a
+// background time-series sampler and anomaly watchdog running against
+// it at aggressive cadence, gated at 5% end-to-end overhead. Writes
+// BENCH_obs.json with per-tick micro costs alongside.
 package main
 
 import (
@@ -123,7 +129,7 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions per configuration (best is kept)")
 	min := flag.Float64("min", 1.5, "minimum acceptable kernel-row speedup (flat over classic)")
 	quick := flag.Bool("quick", false, "CI mode: n=20000, 2 runs, report only (no gate)")
-	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle, serve, spill or critpath")
+	suite := flag.String("suite", "kernels", "which suite to run: kernels, shuffle, serve, spill, critpath or obs")
 	budget := flag.Int64("budget", 1<<30, "reducer byte budget for the spill suite")
 	maxErr := flag.Float64("maxerr", 0.25, "maximum relative error of the critpath suite's no-straggler prediction")
 	out := flag.String("out", "", "report path (default BENCH_kernels.json / BENCH_shuffle.json per suite)")
@@ -139,9 +145,16 @@ func main() {
 			*out = "BENCH_spill.json"
 		case "critpath":
 			*out = "BENCH_critpath.json"
+		case "obs":
+			*out = "BENCH_obs.json"
 		default:
 			*out = "BENCH_kernels.json"
 		}
+	}
+	if *suite == "obs" {
+		// The obs suite owns its own quick scaling, like spill/critpath.
+		obsSuite(*n, *d, *nodes, *runs, *quick, *out)
+		return
 	}
 	if *suite == "serve" {
 		serveSuite(*n, *d, *runs, *quick, *out)
@@ -169,7 +182,7 @@ func main() {
 		return
 	case "kernels":
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels, shuffle, serve, spill or critpath)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown suite %q (want kernels, shuffle, serve, spill, critpath or obs)\n", *suite)
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: n=%d d=%d nodes=%d runs=%d\n", *n, *d, *nodes, *runs)

@@ -5,26 +5,35 @@
 // Usage:
 //
 //	skymaster [-addr 127.0.0.1:7077] [-method angle|grid|dim|random]
-//	          [-partitions 8] [-reducers 4] [-min-workers 1]
+//	          [-partitions 8] [-reducers 4] [-min-workers 1] [-split 1000]
 //	          [-liveness 10s] [-linger 0s] [-reducer-budget BYTES]
 //	          [-metrics-addr 127.0.0.1:9090] [-trace run.json]
-//	          [-flight-out flight.json] [-header] input.csv
+//	          [-flight-out flight.json] [-capture-dir DIR] [-header] input.csv
 //
 // With -metrics-addr, the master serves /metrics (Prometheus text),
 // /debug/pprof/, /debug/flightrecorder (the job's flight record as
-// JSON), /debug/events (the structured event stream as JSON lines) and
-// /debug/health (worker states, queue depth, phase progress) on a second
-// listener — the surface `skytop` renders. With -trace, the two-job run
-// — including the workers' task spans, shipped back over RPC and
-// stitched under one trace — is recorded as Chrome trace_event JSON,
-// loadable in chrome://tracing or Perfetto. With -flight-out, the flight
-// record is also written to a file. With -linger, the master keeps the
-// debug endpoints up for that long after the job finishes (or until
-// SIGINT/SIGTERM) so dashboards and CI can inspect the completed run.
+// JSON), /debug/events (the structured event stream as JSON lines),
+// /debug/health (worker states, queue depth, phase progress),
+// /debug/timeseries (sampled metric history) and /debug/cluster (the
+// federated view: every worker's /metrics scraped, re-labeled with its
+// worker id, and merged with the master's own registry) on a second
+// listener — the surface `skytop` renders. An anomaly watchdog watches
+// the sampled history for throughput stalls, heartbeat gaps, reducer
+// budget pressure and GC-pause spikes; each anomaly lands in the event
+// log and bumps telemetry_anomalies_total{rule}, and with -capture-dir
+// the first anomaly per cooldown also writes a CPU+heap profile pair
+// there. With -trace, the two-job run — including the workers' task
+// spans, shipped back over RPC and stitched under one trace — is
+// recorded as Chrome trace_event JSON, loadable in chrome://tracing or
+// Perfetto. With -flight-out, the flight record is also written to a
+// file. With -linger, the master keeps the debug endpoints up for that
+// long after the job finishes (or until SIGINT/SIGTERM) so dashboards
+// and CI can inspect the completed run.
 //
-// On SIGINT/SIGTERM the master drains workers, emits a final shutdown
-// event, and flushes the event log plus a last metrics snapshot to
-// stderr before exiting.
+// On SIGINT/SIGTERM the master drains workers, takes one final
+// time-series sample, shuts the debug server down gracefully, and
+// flushes the event log plus a last metrics snapshot to stderr before
+// exiting.
 //
 // Start workers with: skyworker -master <addr>.
 package main
@@ -35,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,27 +58,65 @@ import (
 	"repro/internal/skyjob"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/critpath"
+	"repro/internal/telemetry/timeseries"
 )
 
+// options bundles the command-line configuration.
+type options struct {
+	addr            string
+	method          string
+	path            string
+	partitions      int
+	reducers        int
+	minWorkers      int
+	split           int
+	header          bool
+	timeout         time.Duration
+	liveness        time.Duration
+	linger          time.Duration
+	metricsAddr     string
+	traceFile       string
+	flightFile      string
+	historyFile     string
+	budget          int64
+	sampleInterval  time.Duration
+	sampleRetention int
+	scrapeInterval  time.Duration
+	stallWindow     time.Duration
+	captureDir      string
+	captureCooldown time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7077", "listen address")
-	method := flag.String("method", "angle", "partitioning method: angle, grid, dim, random")
-	partitions := flag.Int("partitions", 8, "number of data-space partitions")
-	reducers := flag.Int("reducers", 4, "number of reduce tasks for the partitioning job")
-	minWorkers := flag.Int("min-workers", 1, "wait for at least this many workers before starting")
-	header := flag.Bool("header", false, "input has a header row")
-	timeout := flag.Duration("timeout", 10*time.Minute, "overall job timeout")
-	liveness := flag.Duration("liveness", 10*time.Second,
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7077", "listen address")
+	flag.StringVar(&o.method, "method", "angle", "partitioning method: angle, grid, dim, random")
+	flag.IntVar(&o.partitions, "partitions", 8, "number of data-space partitions")
+	flag.IntVar(&o.reducers, "reducers", 4, "number of reduce tasks for the partitioning job")
+	flag.IntVar(&o.minWorkers, "min-workers", 1, "wait for at least this many workers before starting")
+	flag.IntVar(&o.split, "split", 0, "records per map task (0 = default 1000)")
+	flag.BoolVar(&o.header, "header", false, "input has a header row")
+	flag.DurationVar(&o.timeout, "timeout", 10*time.Minute, "overall job timeout")
+	flag.DurationVar(&o.liveness, "liveness", 10*time.Second,
 		"heartbeat window: a worker silent this long is suspect, 3x this long is dead")
-	linger := flag.Duration("linger", 0,
+	flag.DurationVar(&o.linger, "linger", 0,
 		"keep serving debug endpoints this long after the job (0 = exit immediately)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/* on this address (empty = off)")
-	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
-	flightFile := flag.String("flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
-	historyFile := flag.String("runhistory", "",
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/* on this address (empty = off)")
+	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace_event JSON of the run to this file (empty = off)")
+	flag.StringVar(&o.flightFile, "flight-out", "", "write the flight-recorder JSON report to this file (empty = off)")
+	flag.StringVar(&o.historyFile, "runhistory", "",
 		"append this run's flight+critpath summary to a bounded JSONL history file and compare against the baseline (empty = in-memory only)")
-	budget := flag.Int64("reducer-budget", 0,
+	flag.Int64Var(&o.budget, "reducer-budget", 0,
 		"per-worker reducer memory budget in bytes; overflow spills to frames and resolves in extra passes (0 = unbudgeted)")
+	flag.DurationVar(&o.sampleInterval, "sample-interval", time.Second, "metric time-series sampling cadence")
+	flag.IntVar(&o.sampleRetention, "sample-retention", 300, "metric time-series samples retained per series")
+	flag.DurationVar(&o.scrapeInterval, "scrape-interval", 2*time.Second, "worker /metrics federation scrape cadence")
+	flag.DurationVar(&o.stallWindow, "stall-window", 5*time.Second,
+		"a worker holding work with zero completions for this long is a throughput stall")
+	flag.StringVar(&o.captureDir, "capture-dir", "",
+		"write a CPU+heap profile pair here on each anomaly (empty = no capture)")
+	flag.DurationVar(&o.captureCooldown, "capture-cooldown", 5*time.Minute,
+		"minimum spacing between anomaly profile captures")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -76,30 +124,29 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *method, flag.Arg(0), *partitions, *reducers, *minWorkers, *header,
-		*timeout, *liveness, *linger, *metricsAddr, *traceFile, *flightFile, *historyFile, *budget); err != nil {
+	o.path = flag.Arg(0)
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "skymaster: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, method, path string, partitions, reducers, minWorkers int, header bool,
-	timeout, liveness, linger time.Duration, metricsAddr, traceFile, flightFile, historyFile string, budget int64) error {
-	scheme, err := parseScheme(method)
+func run(o options) error {
+	scheme, err := parseScheme(o.method)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(path)
+	f, err := os.Open(o.path)
 	if err != nil {
 		return err
 	}
-	data, cols, err := skymr.ReadCSV(f, header)
+	data, cols, err := skymr.ReadCSV(f, o.header)
 	f.Close()
 	if err != nil {
 		return err
 	}
 	if len(data) == 0 {
-		return fmt.Errorf("no data rows in %s", path)
+		return fmt.Errorf("no data rows in %s", o.path)
 	}
 
 	// The flight recorder, event log, tracer and run history are always
@@ -109,21 +156,22 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	recorder := telemetry.NewRecorder(fmt.Sprintf("skyline:%s", scheme))
 	events := telemetry.NewEventLog(2048)
 	tracer := telemetry.NewTracer()
-	history, err := telemetry.OpenRunHistory(historyFile, 200)
+	history, err := telemetry.OpenRunHistory(o.historyFile, 200)
 	if err != nil {
 		return err
 	}
 
 	var metrics *telemetry.Registry
-	if metricsAddr != "" {
+	if o.metricsAddr != "" {
 		metrics = telemetry.NewRegistry()
 		telemetry.RegisterProcessMetrics(metrics)
 		events.BindMetrics(metrics)
 	}
 
 	master, err := rpcmr.NewMaster(rpcmr.MasterConfig{
-		Addr:           addr,
-		LivenessWindow: liveness,
+		Addr:           o.addr,
+		SplitSize:      o.split,
+		LivenessWindow: o.liveness,
 		Metrics:        metrics,
 		Events:         events,
 	})
@@ -132,13 +180,61 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	}
 	defer master.Close()
 
-	if metricsAddr != "" {
+	// The observability plane: sampler (metric history), federator
+	// (cluster-wide scrape) and watchdog (anomaly rules over the
+	// history). All nil-safe, so the drain path below stops them
+	// unconditionally.
+	var (
+		sampler   *timeseries.Sampler
+		federator *telemetry.Federator
+		watchdog  *timeseries.Watchdog
+		srv       *http.Server
+	)
+	if o.metricsAddr != "" {
+		sampler = timeseries.NewSampler(metrics, timeseries.Config{
+			Interval: o.sampleInterval, Retention: o.sampleRetention,
+		})
+		sampler.Start()
+		federator = telemetry.NewFederator(telemetry.FederatorConfig{
+			Self:     metrics,
+			Targets:  master.DebugTargets,
+			Interval: o.scrapeInterval,
+			Events:   events,
+		})
+		federator.Start()
+		rules := []timeseries.Rule{
+			timeseries.PairedStallRule("throughput-stall",
+				"rpcmr_worker_tasks_done", "rpcmr_worker_inflight", "worker", o.stallWindow, 1),
+			// Worker state >= 1 is suspect or dead: the heartbeat gap the
+			// health machine already flagged, surfaced as an anomaly too.
+			timeseries.GaugeAboveRule("heartbeat-gap", "rpcmr_worker_state", 1, "worker"),
+			// GC pause rate above 5% of wall time is a collector in trouble.
+			timeseries.RateAboveRule("gc-pause-spike", "process_gc_pause_seconds_total", 0.05, o.stallWindow),
+		}
+		if o.budget > 0 {
+			rules = append(rules, timeseries.GaugeAboveRule("reducer-budget",
+				"skyline_reducer_peak_bytes", 0.8*float64(o.budget), ""))
+		}
+		watchdog = timeseries.NewWatchdog(sampler, timeseries.WatchdogConfig{
+			Events:          events,
+			Metrics:         metrics,
+			CaptureDir:      o.captureDir,
+			CaptureCooldown: o.captureCooldown,
+		}, rules...)
+		watchdog.Start()
+
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
 		telemetry.MountPprof(mux)
 		telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
 		telemetry.MountEvents(mux, events)
 		telemetry.MountHealth(mux, func() any { return master.Health() })
+		telemetry.MountCluster(mux, federator)
+		timeseries.Mount(mux, sampler)
 		critpath.Mount(mux, func() *critpath.Analysis {
 			a, err := critpath.Analyze(tracer.Spans(), recorder.Report(), critpath.Options{})
 			if err != nil {
@@ -147,12 +243,14 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 			return a
 		})
 		telemetry.MountRunHistory(mux, func() *telemetry.RunHistory { return history })
+		srv = &http.Server{Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "skymaster: metrics server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "skymaster: metrics on http://%s/metrics, health on /debug/health, events on /debug/events\n", metricsAddr)
+		fmt.Fprintf(os.Stderr, "skymaster: metrics on http://%s/metrics, cluster on /debug/cluster, history on /debug/timeseries\n",
+			ln.Addr().String())
 	}
 
 	// Signal handling: first SIGINT/SIGTERM drains the cluster and aborts
@@ -166,6 +264,18 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 		// TaskShutdown notice before the listener goes away.
 		time.Sleep(200 * time.Millisecond)
 		events.Info("shutdown", telemetry.A("signalled", signalled()))
+		// Drain the observability plane in dependency order: watchdog and
+		// federator first (both read the sampler/registry), then the
+		// sampler (Stop takes the final flush sample), then a bounded
+		// graceful server shutdown so in-flight scrapes finish.
+		watchdog.Stop()
+		federator.Stop()
+		sampler.Stop()
+		if srv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = srv.Shutdown(sctx)
+			cancel()
+		}
 		if signalled() {
 			// Flush the event log and a last metrics snapshot so an
 			// interrupted run still leaves its operational record behind.
@@ -175,8 +285,8 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	}()
 
 	fmt.Fprintf(os.Stderr, "skymaster: listening on %s, waiting for %d worker(s)...\n",
-		master.Addr(), minWorkers)
-	for master.WorkerCount() < minWorkers {
+		master.Addr(), o.minWorkers)
+	for master.WorkerCount() < o.minWorkers {
 		if signalled() {
 			return fmt.Errorf("interrupted while waiting for workers")
 		}
@@ -184,7 +294,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	}
 	fmt.Fprintf(os.Stderr, "skymaster: %d worker(s) connected, starting job\n", master.WorkerCount())
 
-	ctx, cancel := context.WithTimeout(sigCtx, timeout)
+	ctx, cancel := context.WithTimeout(sigCtx, o.timeout)
 	defer cancel()
 
 	ctx = telemetry.WithTracer(ctx, tracer)
@@ -215,16 +325,16 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 	}()
 
 	start := time.Now()
-	spec, err := skyjob.SpecFor(data, scheme, partitions)
+	spec, err := skyjob.SpecFor(data, scheme, o.partitions)
 	if err != nil {
 		close(progressDone)
 		return err
 	}
-	if budget > 0 {
-		spec.ReducerBudgetBytes = budget
+	if o.budget > 0 {
+		spec.ReducerBudgetBytes = o.budget
 		spec.Codec = points.FrameAuto
 	}
-	res, err := skyjob.ComputeSpec(ctx, master, data, spec, reducers)
+	res, err := skyjob.ComputeSpec(ctx, master, data, spec, o.reducers)
 	close(progressDone)
 	if err != nil {
 		return err
@@ -252,7 +362,7 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 			}
 		}
 		fmt.Fprintln(os.Stderr)
-		label := fmt.Sprintf("method=%s n=%d p=%d workers=%d", method, len(data), partitions, master.WorkerCount())
+		label := fmt.Sprintf("method=%s n=%d p=%d workers=%d", o.method, len(data), o.partitions, master.WorkerCount())
 		if err := history.Append(critpath.Summarize(analysis, recorder.Report(), label)); err != nil {
 			fmt.Fprintf(os.Stderr, "skymaster: run history: %v\n", err)
 		}
@@ -261,8 +371,8 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 				reg.Metric, reg.Current, reg.Baseline, reg.Ratio)
 		}
 	}
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			return fmt.Errorf("writing trace: %w", err)
 		}
@@ -274,29 +384,29 @@ func run(addr, method, path string, partitions, reducers, minWorkers int, header
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "skymaster: trace written to %s (%d spans) — open in chrome://tracing\n",
-			traceFile, len(tracer.Spans()))
+			o.traceFile, len(tracer.Spans()))
 	}
-	if flightFile != "" {
+	if o.flightFile != "" {
 		rep, err := json.MarshalIndent(recorder.Report(), "", "  ")
 		if err != nil {
 			return fmt.Errorf("writing flight record: %w", err)
 		}
-		if err := os.WriteFile(flightFile, append(rep, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(o.flightFile, append(rep, '\n'), 0o644); err != nil {
 			return fmt.Errorf("writing flight record: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "skymaster: flight record written to %s\n", flightFile)
+		fmt.Fprintf(os.Stderr, "skymaster: flight record written to %s\n", o.flightFile)
 	}
 	if err := skymr.WriteCSV(os.Stdout, res.Skyline, cols); err != nil {
 		return err
 	}
-	if linger > 0 && !signalled() {
+	if o.linger > 0 && !signalled() {
 		// Keep /metrics and /debug/* up for dashboards (skytop) and CI
 		// probes; workers stay idle-polling until drained on exit.
-		events.Info("lingering", telemetry.A("seconds", linger.Seconds()))
-		fmt.Fprintf(os.Stderr, "skymaster: job done, serving debug endpoints for %s (SIGTERM to exit now)\n", linger)
+		events.Info("lingering", telemetry.A("seconds", o.linger.Seconds()))
+		fmt.Fprintf(os.Stderr, "skymaster: job done, serving debug endpoints for %s (SIGTERM to exit now)\n", o.linger)
 		select {
 		case <-sigCtx.Done():
-		case <-time.After(linger):
+		case <-time.After(o.linger):
 		}
 	}
 	return nil

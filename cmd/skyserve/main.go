@@ -58,6 +58,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/timeseries"
 )
 
 // serveHealth is skyserve's /debug/health document: a long-running
@@ -132,8 +133,14 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 	fmt.Fprintf(os.Stderr, "skyserve: %d services (%d attributes), %s partitioning, listening on %s\n",
 		reg.Len(), reg.Dim(), scheme, addr)
 
+	// Metric history: the sampler feeds /debug/timeseries so operators
+	// can read QPS and latency trends off the registry itself.
+	sampler := timeseries.NewSampler(reg.Metrics(), timeseries.Config{})
+	sampler.Start()
+
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
+	timeseries.Mount(mux, sampler)
 	telemetry.MountPprof(mux)
 	telemetry.MountFlightRecorder(mux, func() *telemetry.Recorder { return recorder })
 	telemetry.MountEvents(mux, events)
@@ -160,6 +167,9 @@ func run(addr, method string, seedN, seedD int, seedFile string, header bool, sn
 		fmt.Fprintf(os.Stderr, "skyserve: %v, shutting down\n", s)
 		events.Info("shutdown", telemetry.A("signal", s.String()),
 			telemetry.A("services", reg.Len()))
+		// Stop takes the final flush sample before the dump, so the last
+		// state of the draining process is in the retained history too.
+		sampler.Stop()
 		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, reg.Metrics())
 	}
 	// Drain the publish pipeline before snapshotting: every queued publish

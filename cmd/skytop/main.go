@@ -32,6 +32,7 @@ import (
 	"repro/internal/rpcmr"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/critpath"
+	"repro/internal/telemetry/timeseries"
 )
 
 func main() {
@@ -83,6 +84,8 @@ type sample struct {
 	metrics map[string]float64
 	flight  *telemetry.Report
 	crit    *critpath.Analysis
+	cluster *telemetry.ClusterSnapshot
+	series  *timeseries.Doc
 	events  []telemetry.LogEvent
 	slowlog *queryDoc
 	slo     *sloDoc
@@ -115,6 +118,12 @@ func (c *client) poll() *sample {
 	}
 	if err := c.getJSON(critpath.Path, &s.crit); err != nil {
 		s.crit = nil
+	}
+	if err := c.getJSON(telemetry.ClusterPath, &s.cluster); err != nil {
+		s.cluster = nil
+	}
+	if err := c.getJSON(timeseries.Path+"?series=rpcmr_tasks_done_total&window=64s", &s.series); err != nil {
+		s.series = nil
 	}
 	if err := c.getJSON(telemetry.SlowLogPath, &s.slowlog); err != nil {
 		s.slowlog = nil
@@ -166,6 +175,8 @@ func render(w io.Writer, addr string, s, prev *sample, maxEvents int) {
 	} else {
 		fmt.Fprintf(w, "\nhealth: n/a\n")
 	}
+	renderThroughput(w, s, prev)
+	renderCluster(w, s, prev)
 	if s.flight != nil {
 		renderFlight(w, s.flight)
 	}
@@ -279,7 +290,10 @@ func renderWorkers(w io.Writer, s, prev *sample) {
 				if pw.ID == wk.ID {
 					dt := s.at.Sub(prev.at).Seconds()
 					if dt > 0 {
-						rate = fmt.Sprintf("%.1f", float64(wk.TasksDone-pw.TasksDone)/dt)
+						// Clamp counter resets (a restarted worker re-registers
+						// with TasksDone back at 0) to zero instead of rendering
+						// negative throughput.
+						rate = fmt.Sprintf("%.1f", clampRate(float64(wk.TasksDone-pw.TasksDone)/dt))
 					}
 				}
 			}
@@ -289,6 +303,140 @@ func renderWorkers(w io.Writer, s, prev *sample) {
 			labeled(s.metrics, "rpcmr_stragglers_total", "worker", wk.ID),
 			labeled(s.metrics, "rpcmr_task_retries_total", "worker", wk.ID),
 			clip(wk.LastError, 40))
+	}
+}
+
+// clampRate floors a counter-delta rate at zero: a counter reset (the
+// source process restarted between polls) must render as 0, never as
+// negative throughput.
+func clampRate(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// renderThroughput draws the cluster task-throughput sparkline from the
+// target's real sampled history (/debug/timeseries): per-interval rates
+// of rpcmr_tasks_done_total, counter resets clamped to zero. Targets
+// without the endpoint degrade to the old two-sample estimate from
+// consecutive /metrics polls.
+func renderThroughput(w io.Writer, s, prev *sample) {
+	if s.series != nil {
+		pts := s.series.Series["rpcmr_tasks_done_total"]
+		if len(pts) >= 2 {
+			rates := make([]float64, 0, len(pts)-1)
+			var last float64
+			for i := 1; i < len(pts); i++ {
+				dt := float64(pts[i].UnixNano-pts[i-1].UnixNano) / 1e9
+				if dt <= 0 {
+					continue
+				}
+				last = clampRate((pts[i].Value - pts[i-1].Value) / dt)
+				rates = append(rates, last)
+			}
+			if len(rates) > 0 {
+				fmt.Fprintf(w, "\nthroughput (%d samples @ %.1fs)  %s  %.1f tasks/s\n",
+					len(pts), s.series.IntervalSeconds, asciiplot.Spark(rates), last)
+				return
+			}
+		}
+	}
+	// Degraded path: two-sample estimate across polls.
+	if prev == nil || s.metrics == nil || prev.metrics == nil {
+		return
+	}
+	cur, ok1 := s.metrics["rpcmr_tasks_done_total"]
+	old, ok2 := prev.metrics["rpcmr_tasks_done_total"]
+	dt := s.at.Sub(prev.at).Seconds()
+	if ok1 && ok2 && dt > 0 {
+		fmt.Fprintf(w, "\nthroughput (2-sample estimate)  %.1f tasks/s\n", clampRate((cur-old)/dt))
+	}
+}
+
+// clusterValue reads one worker's sample of an unlabeled-at-source
+// series from a cluster snapshot member (the federation injected the
+// worker label, rendering canonically).
+func clusterValue(ws telemetry.WorkerSnapshot, name, labelKey string) (float64, bool) {
+	id := telemetry.RenderSeriesID(name, []telemetry.Label{{Key: labelKey, Value: ws.ID}})
+	v, ok := ws.Samples[id]
+	return v, ok
+}
+
+// clusterSum sums every sample of a series family in one member's
+// snapshot — covers source series that carry extra labels (kind,
+// result) beyond the injected worker label.
+func clusterSum(ws telemetry.WorkerSnapshot, name string) float64 {
+	var total float64
+	for id, v := range ws.Samples {
+		if id == name || strings.HasPrefix(id, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// renderCluster shows the federated per-worker panel from
+// /debug/cluster: CPU, RSS, GC and task throughput per member, rates
+// computed against the previous poll and clamped at counter resets.
+// Stale members (unreachable or declared dead) keep their last-good
+// numbers, flagged STALE.
+func renderCluster(w io.Writer, s, prev *sample) {
+	if s.cluster == nil || len(s.cluster.Workers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncluster (%d members)\n", len(s.cluster.Workers))
+	fmt.Fprintf(w, "  %-14s %6s %8s %6s %8s %8s  %s\n",
+		"MEMBER", "CPU%", "RSS", "GC", "TASKS", "TASKS/S", "STATUS")
+	for _, ws := range s.cluster.Workers {
+		var pws *telemetry.WorkerSnapshot
+		if prev != nil && prev.cluster != nil {
+			for i := range prev.cluster.Workers {
+				if prev.cluster.Workers[i].ID == ws.ID {
+					pws = &prev.cluster.Workers[i]
+					break
+				}
+			}
+		}
+		dt := 0.0
+		if pws != nil && prev != nil {
+			dt = s.at.Sub(prev.at).Seconds()
+		}
+		cpu := "-"
+		if cur, ok := clusterValue(ws, "process_cpu_seconds_total", "worker"); ok && pws != nil && dt > 0 {
+			if old, ok := clusterValue(*pws, "process_cpu_seconds_total", "worker"); ok {
+				cpu = fmt.Sprintf("%.0f", clampRate((cur-old)/dt)*100)
+			}
+		}
+		rss := "-"
+		if v, ok := clusterValue(ws, "process_rss_bytes", "worker"); ok {
+			rss = fmt.Sprintf("%.0fM", v/(1<<20))
+		}
+		gc := "-"
+		if v, ok := clusterValue(ws, "process_gc_runs_total", "worker"); ok {
+			gc = fmt.Sprintf("%.0f", v)
+		}
+		tasks := clusterSum(ws, "rpcmr_worker_tasks_total")
+		if ws.ID == "master" {
+			tasks = clusterSum(ws, "rpcmr_tasks_done_total")
+		}
+		rate := "-"
+		if pws != nil && dt > 0 {
+			old := clusterSum(*pws, "rpcmr_worker_tasks_total")
+			if ws.ID == "master" {
+				old = clusterSum(*pws, "rpcmr_tasks_done_total")
+			}
+			rate = fmt.Sprintf("%.1f", clampRate((tasks-old)/dt))
+		}
+		status := "ok"
+		if ws.Stale {
+			status = "STALE"
+		}
+		if ws.Err != "" {
+			status += " (" + clip(ws.Err, 30) + ")"
+		}
+		fmt.Fprintf(w, "  %-14s %6s %8s %6s %8.0f %8s  %s\n",
+			clip(ws.ID, 14), cpu, rss, gc, tasks, rate, status)
 	}
 }
 

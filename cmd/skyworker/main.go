@@ -2,12 +2,20 @@
 // skymaster, pulls map/reduce tasks of the registered skyline jobs, and
 // executes them until the master shuts down.
 //
-// On SIGINT/SIGTERM the worker stops pulling tasks, emits a final
-// shutdown event, and flushes its event log to stderr before exiting.
+// With -metrics-addr the worker serves the same debug surface as the
+// master — /metrics (Prometheus text), /debug/pprof/, /debug/events and
+// /debug/timeseries (sampled metric history) — and reports the address
+// to the master at registration, so the master's /debug/cluster view
+// federates this worker's metrics automatically.
+//
+// On SIGINT/SIGTERM the worker stops pulling tasks, takes one final
+// time-series sample, shuts the debug server down gracefully, and
+// flushes its event log to stderr before exiting.
 //
 // Usage:
 //
 //	skyworker -master 127.0.0.1:7077 [-id worker-1]
+//	          [-metrics-addr 127.0.0.1:0] [-stall 0s]
 package main
 
 import (
@@ -15,22 +23,77 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/rpcmr"
 	_ "repro/internal/skyjob" // registers the skyline jobs
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/timeseries"
 )
 
 func main() {
 	master := flag.String("master", "127.0.0.1:7077", "master address")
 	id := flag.String("id", "", "worker id (default: generated)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /debug/* on this address and report it to the master (empty = off)")
+	stall := flag.Duration("stall", 0,
+		"sleep this long before every task — straggler fault injection (0 = off)")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "metric time-series sampling cadence")
+	sampleRetention := flag.Int("sample-retention", 300, "metric time-series samples retained per series")
 	flag.Parse()
 
 	events := telemetry.NewEventLog(256)
-	w, err := rpcmr.NewWorker(rpcmr.WorkerConfig{MasterAddr: *master, ID: *id})
+
+	// Debug server first: its resolved address travels with the
+	// registration, so the master can scrape this worker from the start.
+	var (
+		metrics *telemetry.Registry
+		sampler *timeseries.Sampler
+		srv     *http.Server
+	)
+	debugAddr := ""
+	if *metricsAddr != "" {
+		metrics = telemetry.NewRegistry()
+		telemetry.RegisterProcessMetrics(metrics)
+		events.BindMetrics(metrics)
+		sampler = timeseries.NewSampler(metrics, timeseries.Config{
+			Interval: *sampleInterval, Retention: *sampleRetention,
+		})
+		sampler.Start()
+
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyworker: metrics listen: %v\n", err)
+			os.Exit(1)
+		}
+		debugAddr = ln.Addr().String()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		telemetry.MountPprof(mux)
+		telemetry.MountEvents(mux, events)
+		timeseries.Mount(mux, sampler)
+		srv = &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "skyworker: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "skyworker: metrics on http://%s/metrics, history on /debug/timeseries\n", debugAddr)
+	}
+
+	w, err := rpcmr.NewWorker(rpcmr.WorkerConfig{
+		MasterAddr: *master,
+		ID:         *id,
+		TaskStall:  *stall,
+		DebugAddr:  debugAddr,
+		Metrics:    metrics,
+		Events:     events,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)
@@ -40,14 +103,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "skyworker: connected to %s\n", *master)
-	events.Info("worker started", telemetry.A("master", *master), telemetry.A("id", *id))
+	events.Info("worker started", telemetry.A("master", *master), telemetry.A("id", *id),
+		telemetry.A("debug_addr", debugAddr))
 	err = w.Run(ctx)
+
+	// Drain path: one final time-series sample (Stop flushes), then a
+	// bounded graceful shutdown of the debug server so in-flight scrapes
+	// finish before the listener goes away.
+	sampler.Stop()
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(sctx)
+		cancel()
+	}
+
 	if ctx.Err() != nil {
 		// Interrupted: leave the operational record behind on the way out.
 		events.Info("shutdown", telemetry.A("signalled", true),
 			telemetry.A("tasks_completed", w.Completed()))
 		fmt.Fprintln(os.Stderr, "skyworker: interrupted — dumping event log")
-		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, nil)
+		_ = telemetry.DumpOps(os.Stderr, events, slog.LevelInfo, metrics)
 	} else if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)

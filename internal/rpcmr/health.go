@@ -51,6 +51,7 @@ func (s WorkerState) String() string {
 // workerInfo is the master's per-worker book-keeping (mu held).
 type workerInfo struct {
 	id        string
+	debugAddr string // worker's debug HTTP server, "" when it has none
 	lastSeen  time.Time
 	state     WorkerState
 	tasksDone int64
@@ -61,6 +62,9 @@ type workerInfo struct {
 type WorkerHealth struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+	// DebugAddr is the worker's debug HTTP server (scraped into
+	// /debug/cluster), empty when the worker runs without one.
+	DebugAddr string `json:"debug_addr,omitempty"`
 	// LastSeenAgeSeconds is how long ago the worker last called in.
 	LastSeenAgeSeconds float64 `json:"last_seen_age_seconds"`
 	// TasksDone counts this worker's accepted task completions across all
@@ -142,6 +146,7 @@ func (m *Master) Health() Health {
 		h.Workers = append(h.Workers, WorkerHealth{
 			ID:                 w.id,
 			State:              w.state.String(),
+			DebugAddr:          w.debugAddr,
 			LastSeenAgeSeconds: now.Sub(w.lastSeen).Seconds(),
 			TasksDone:          w.tasksDone,
 			InFlight:           inFlight[w.id],

@@ -199,9 +199,68 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		return nil, fmt.Errorf("rpcmr: register service: %w", err)
 	}
 	cfg.Events.Info("master listening", telemetry.A("addr", ln.Addr().String()))
+	m.registerClusterGauges()
 	go m.acceptLoop()
 	go m.healthLoop()
 	return m, nil
+}
+
+// registerClusterGauges installs the scrape hook that refreshes the
+// master's cluster-shape gauges on every exposition or sample: whether
+// a job is running, the current phase's queue depth, and per worker the
+// in-flight task count and cumulative completions. The per-worker pair
+// (rpcmr_worker_inflight / rpcmr_worker_tasks_done) is what the anomaly
+// watchdog's stall rule reads: a worker holding work whose completions
+// stand still is stalled.
+func (m *Master) registerClusterGauges() {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.OnScrape(func(reg *telemetry.Registry) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		running, queue := 0.0, 0.0
+		inFlight := make(map[string]int)
+		if js := m.job; js != nil && !isClosed(js.finished) {
+			running = 1
+			queue = float64(len(js.pending))
+			for _, t := range js.tasks {
+				if t.running && !t.complete {
+					inFlight[t.worker]++
+				}
+			}
+		}
+		reg.Gauge("rpcmr_job_running").Set(running)
+		reg.Gauge("rpcmr_queue_depth").Set(queue)
+		for id, w := range m.workers {
+			reg.Gauge("rpcmr_worker_inflight", telemetry.L("worker", id)).
+				Set(float64(inFlight[id]))
+			reg.Gauge("rpcmr_worker_tasks_done", telemetry.L("worker", id)).
+				Set(float64(w.tasksDone))
+		}
+	})
+}
+
+// DebugTargets enumerates the registered workers as federation scrape
+// targets: workers without a debug server contribute an empty Addr
+// (present in the snapshot, never scraped) and dead workers are marked
+// stale so the federator keeps their last-good series instead of
+// hammering a gone endpoint — the same "remembered, not erased"
+// semantics as the health state machine.
+func (m *Master) DebugTargets() []telemetry.FederationTarget {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]telemetry.FederationTarget, 0, len(m.workers))
+	for id, w := range m.workers {
+		out = append(out, telemetry.FederationTarget{
+			ID:    id,
+			Addr:  w.debugAddr,
+			Stale: w.state == WorkerDead,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Addr returns the listen address (with the resolved port).

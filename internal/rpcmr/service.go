@@ -24,7 +24,10 @@ type MasterService struct {
 func (s *MasterService) Register(args RegisterArgs, reply *RegisterReply) error {
 	s.m.mu.Lock()
 	defer s.m.mu.Unlock()
-	s.m.touchWorker(args.WorkerID)
+	w := s.m.touchWorker(args.WorkerID)
+	if args.DebugAddr != "" {
+		w.debugAddr = args.DebugAddr
+	}
 	reply.OK = true
 	return nil
 }
@@ -319,12 +322,16 @@ func (m *Master) countRetry(worker, cause string) {
 }
 
 // observeTask (mu held) records one successfully finished task's
-// latency into the per-worker histogram.
+// latency into the per-worker histogram, plus the cluster-wide
+// completion counter the time-series sampler turns into a throughput
+// curve (rpcmr_tasks_done_total — the anomaly watchdog's stall rule and
+// skytop's sparkline both read its rate).
 func (m *Master) observeTask(t *taskState, kind, worker string) {
 	reg := m.cfg.Metrics
 	if reg == nil || t.startedAt.IsZero() {
 		return
 	}
+	reg.Counter("rpcmr_tasks_done_total").Inc()
 	reg.Histogram("rpcmr_task_seconds", telemetry.DurationBuckets(),
 		telemetry.L("kind", kind), telemetry.L("worker", worker)).
 		Observe(time.Since(t.startedAt).Seconds())

@@ -35,6 +35,18 @@ type WorkerConfig struct {
 	// suite (the stall lands inside the task span, so the profiler sees
 	// it as task time on this worker). 0 disables.
 	TaskStall time.Duration
+	// DebugAddr is the worker's debug HTTP server address (host:port),
+	// reported to the master at registration so it can federate this
+	// worker's /metrics into the cluster view. Empty when the worker
+	// serves no debug endpoints.
+	DebugAddr string
+	// Metrics, when non-nil, receives worker-side series: per-kind task
+	// counts (rpcmr_worker_tasks_total) and execution latency
+	// (rpcmr_worker_task_seconds). Nil records nothing.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives worker-side operational events.
+	// Nil records nothing.
+	Events *telemetry.EventLog
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -65,10 +77,13 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	w := &Worker{cfg: cfg, client: client}
 	var reply RegisterReply
-	if err := client.Call("Master.Register", RegisterArgs{WorkerID: cfg.ID}, &reply); err != nil {
+	args := RegisterArgs{WorkerID: cfg.ID, DebugAddr: cfg.DebugAddr}
+	if err := client.Call("Master.Register", args, &reply); err != nil {
 		client.Close()
 		return nil, fmt.Errorf("rpcmr: registering: %w", err)
 	}
+	cfg.Events.Info("registered with master",
+		telemetry.A("master", cfg.MasterAddr), telemetry.A("debug_addr", cfg.DebugAddr))
 	return w, nil
 }
 
@@ -135,6 +150,25 @@ func (w *Worker) Run(ctx context.Context) error {
 			return fmt.Errorf("rpcmr: worker %s: unknown task kind %d", w.cfg.ID, task.Kind)
 		}
 	}
+}
+
+// observeTask books one executed task into the worker-side registry:
+// rpcmr_worker_tasks_total{kind,result} and the execution-latency
+// histogram (stall injection included — a stalled worker's own metrics
+// show the slowdown the master's federated view attributes to it).
+func (w *Worker) observeTask(kind string, start time.Time, err error) {
+	reg := w.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "error"
+	}
+	reg.Counter("rpcmr_worker_tasks_total",
+		telemetry.L("kind", kind), telemetry.L("result", result)).Inc()
+	reg.Histogram("rpcmr_worker_task_seconds", telemetry.DurationBuckets(),
+		telemetry.L("kind", kind)).Observe(time.Since(start).Seconds())
 }
 
 // stall applies the TaskStall straggler injection.
@@ -204,6 +238,7 @@ func (w *Worker) runMap(task TaskReply) (TaskReply, error) {
 		TraceID:  task.TraceID,
 	}
 	span, finish := w.taskSpan(task, "map-task", len(task.Records))
+	start := time.Now()
 	w.stall()
 	var err error
 	if task.Framed {
@@ -217,6 +252,7 @@ func (w *Worker) runMap(task TaskReply) (TaskReply, error) {
 		span.SetAttr("error", err.Error())
 	}
 	args.Spans = finish(err != nil)
+	w.observeTask("map", start, err)
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportMap", args, &reply); err != nil {
 		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report map: %w", w.cfg.ID, err)
@@ -233,6 +269,7 @@ func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 		TraceID:  task.TraceID,
 	}
 	span, finish := w.taskSpan(task, "reduce-task", len(task.Groups))
+	start := time.Now()
 	w.stall()
 	var err error
 	if task.Framed {
@@ -246,6 +283,7 @@ func (w *Worker) runReduce(task TaskReply) (TaskReply, error) {
 		span.SetAttr("error", err.Error())
 	}
 	args.Spans = finish(err != nil)
+	w.observeTask("reduce", start, err)
 	var reply ResultReply
 	if err := w.client.Call("Master.ReportReduce", args, &reply); err != nil {
 		return TaskReply{}, fmt.Errorf("rpcmr: worker %s: report reduce: %w", w.cfg.ID, err)

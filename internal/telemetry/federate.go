@@ -1,0 +1,406 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Federation gives the master one pane of glass over the cluster: a
+// Federator periodically scrapes every registered worker's /metrics
+// endpoint (the same Prometheus text format this package writes),
+// re-labels each scraped series with the worker's id, and merges the
+// result with the master's own registry into a cluster snapshot served
+// at /debug/cluster. A worker that stops answering keeps its last-good
+// series, flagged stale — consistent with the rpcmr health state
+// machine, where a silent worker is suspect before it is dead, and
+// "the worker vanished" is itself signal worth displaying.
+
+// FederationTarget is one scrape target, usually a worker's debug
+// server.
+type FederationTarget struct {
+	// ID labels every series scraped from this target (LabelKey=ID).
+	ID string
+	// Addr is the host:port of the target's debug server. Empty means
+	// the target exposes no metrics (registered without -metrics-addr);
+	// it appears in the snapshot with no samples.
+	Addr string
+	// Stale marks a target the caller already believes is gone (e.g.
+	// the health machine declared it dead). The federator skips the
+	// scrape and keeps last-good samples.
+	Stale bool
+}
+
+// FederatorConfig tunes a Federator.
+type FederatorConfig struct {
+	// Self is the local registry merged into every snapshot under
+	// SelfID. Nil skips the local contribution.
+	Self *Registry
+	// SelfID labels the local registry's series. Defaults to "master".
+	SelfID string
+	// Targets enumerates the current scrape targets each cycle —
+	// typically Master.DebugTargets, so workers join and leave the
+	// federation as they register and die.
+	Targets func() []FederationTarget
+	// Interval is the scrape cadence. Defaults to 2s.
+	Interval time.Duration
+	// Timeout bounds each target scrape. Defaults to min(Interval, 1s).
+	Timeout time.Duration
+	// LabelKey is the label injected into scraped series. Defaults to
+	// "worker".
+	LabelKey string
+	// Events receives scrape-failure warnings, once per target outage
+	// (nil drops).
+	Events *EventLog
+	// Client overrides the scrape HTTP client (tests). Defaults to a
+	// client with the configured Timeout.
+	Client *http.Client
+}
+
+func (c FederatorConfig) withDefaults() FederatorConfig {
+	if c.SelfID == "" {
+		c.SelfID = "master"
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+		if c.Interval < c.Timeout {
+			c.Timeout = c.Interval
+		}
+	}
+	if c.LabelKey == "" {
+		c.LabelKey = "worker"
+	}
+	return c
+}
+
+// WorkerSnapshot is one federation member's contribution to the
+// cluster snapshot.
+type WorkerSnapshot struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+	// Stale is true when the samples are last-good values from before
+	// the target stopped answering (or was declared dead).
+	Stale bool `json:"stale"`
+	// LastScrape is when the samples were last refreshed (zero = never
+	// scraped successfully).
+	LastScrape time.Time `json:"last_scrape,omitempty"`
+	// Err is the most recent scrape error, cleared on success.
+	Err string `json:"err,omitempty"`
+	// Samples maps re-labeled series id → value.
+	Samples map[string]float64 `json:"samples,omitempty"`
+}
+
+// ClusterSnapshot is the /debug/cluster document: every member's
+// samples plus the deterministic merge.
+type ClusterSnapshot struct {
+	Time    time.Time        `json:"time"`
+	Workers []WorkerSnapshot `json:"workers"`
+	// Merged is the union of every member's samples. Ids colliding
+	// across members (possible only for series that already carried the
+	// federation label at the source) merge by summation, so the merge
+	// is order-independent and deterministic.
+	Merged map[string]float64 `json:"merged"`
+}
+
+// memberState is the federator's retained per-target state.
+type memberState struct {
+	addr       string
+	stale      bool
+	lastScrape time.Time
+	err        string
+	samples    map[string]float64
+	failing    bool // edge detector for the scrape-failure event
+}
+
+// Federator owns the scrape loop and the retained member states.
+type Federator struct {
+	cfg FederatorConfig
+
+	mu      sync.Mutex
+	members map[string]*memberState
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewFederator builds a federator; call Start for the periodic loop or
+// ScrapeOnce to drive it manually.
+func NewFederator(cfg FederatorConfig) *Federator {
+	return &Federator{
+		cfg:     cfg.withDefaults(),
+		members: make(map[string]*memberState),
+		stopc:   make(chan struct{}),
+	}
+}
+
+// Start launches the background scrape loop.
+func (f *Federator) Start() {
+	if f == nil {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		ticker := time.NewTicker(f.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stopc:
+				return
+			case <-ticker.C:
+				f.ScrapeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop ends the scrape loop.
+func (f *Federator) Stop() {
+	if f == nil {
+		return
+	}
+	f.stopOnce.Do(func() {
+		close(f.stopc)
+		f.wg.Wait()
+	})
+}
+
+// ScrapeOnce scrapes every current target and refreshes member states.
+// The background loop calls it on cadence; tests call it directly.
+func (f *Federator) ScrapeOnce(ctx context.Context) {
+	if f == nil || f.cfg.Targets == nil {
+		return
+	}
+	targets := f.cfg.Targets()
+	live := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		live[t.ID] = true
+		f.scrapeTarget(ctx, t)
+	}
+	// A target that left the Targets set entirely (deregistered, not
+	// just dead) keeps its last-good samples but is marked stale — the
+	// same "gone but remembered" semantics as a dead worker.
+	f.mu.Lock()
+	for id, m := range f.members {
+		if !live[id] {
+			m.stale = true
+		}
+	}
+	f.mu.Unlock()
+}
+
+// scrapeTarget refreshes one member.
+func (f *Federator) scrapeTarget(ctx context.Context, t FederationTarget) {
+	f.mu.Lock()
+	m := f.members[t.ID]
+	if m == nil {
+		m = &memberState{}
+		f.members[t.ID] = m
+	}
+	m.addr = t.Addr
+	if t.Stale || t.Addr == "" {
+		m.stale = t.Stale
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+
+	samples, err := f.scrape(ctx, t.Addr)
+	f.mu.Lock()
+	if err != nil {
+		m.stale = true
+		m.err = err.Error()
+		rising := !m.failing
+		m.failing = true
+		f.mu.Unlock()
+		if rising {
+			f.cfg.Events.Warn("federation scrape failed",
+				A(f.cfg.LabelKey, t.ID), A("addr", t.Addr), A("err", err.Error()))
+		}
+		return
+	}
+	relabeled, relabelErr := f.relabel(samples, t.ID)
+	m.samples = relabeled
+	m.stale = false
+	m.err = ""
+	m.lastScrape = time.Now()
+	recovered := m.failing
+	m.failing = false
+	f.mu.Unlock()
+	if relabelErr != nil {
+		// Unparseable ids were dropped, not fatal — but say so once.
+		f.cfg.Events.Warn("federation relabel dropped series",
+			A(f.cfg.LabelKey, t.ID), A("err", relabelErr.Error()))
+	}
+	if recovered {
+		f.cfg.Events.Info("federation scrape recovered",
+			A(f.cfg.LabelKey, t.ID), A("addr", t.Addr))
+	}
+}
+
+// scrape fetches and parses one /metrics endpoint.
+func (f *Federator) scrape(ctx context.Context, addr string) (map[string]float64, error) {
+	url := "http://" + addr + "/metrics"
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	client := f.cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return ParsePrometheus(string(body))
+}
+
+// relabel injects LabelKey=id into every sample id, re-rendering in
+// canonical sorted order so federated ids are comparable with native
+// registry ids. Histogram bucket series (le label) are skipped — the
+// cluster snapshot is a scalar view; _count and _sum survive and carry
+// the same information for rates.
+func (f *Federator) relabel(samples map[string]float64, id string) (map[string]float64, error) {
+	out := make(map[string]float64, len(samples))
+	var firstErr error
+	for sid, v := range samples {
+		if strings.Contains(sid, `le="`) {
+			continue
+		}
+		nid, err := InjectLabel(sid, f.cfg.LabelKey, id)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[nid] += v
+	}
+	return out, firstErr
+}
+
+// Snapshot assembles the current cluster view. The local registry is
+// visited live (so the master's own numbers are always fresh); worker
+// members contribute their retained samples.
+func (f *Federator) Snapshot() ClusterSnapshot {
+	snap := ClusterSnapshot{Time: time.Now(), Merged: make(map[string]float64)}
+	if f == nil {
+		return snap
+	}
+	if f.cfg.Self != nil {
+		self := WorkerSnapshot{
+			ID:         f.cfg.SelfID,
+			LastScrape: snap.Time,
+			Samples:    make(map[string]float64),
+		}
+		f.cfg.Self.VisitSamples(func(sid string, v float64) {
+			nid, err := InjectLabel(sid, f.cfg.LabelKey, f.cfg.SelfID)
+			if err != nil {
+				return
+			}
+			self.Samples[nid] += v
+		})
+		snap.Workers = append(snap.Workers, self)
+	}
+	f.mu.Lock()
+	ids := make([]string, 0, len(f.members))
+	for id := range f.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := f.members[id]
+		ws := WorkerSnapshot{
+			ID:         id,
+			Addr:       m.addr,
+			Stale:      m.stale,
+			LastScrape: m.lastScrape,
+			Err:        m.err,
+		}
+		if len(m.samples) > 0 {
+			ws.Samples = make(map[string]float64, len(m.samples))
+			for k, v := range m.samples {
+				ws.Samples[k] = v
+			}
+		}
+		snap.Workers = append(snap.Workers, ws)
+	}
+	f.mu.Unlock()
+	for _, w := range snap.Workers {
+		for k, v := range w.Samples {
+			snap.Merged[k] += v
+		}
+	}
+	return snap
+}
+
+// ClusterPath is where MountCluster serves the snapshot.
+const ClusterPath = "/debug/cluster"
+
+// MountCluster serves the federator's cluster snapshot as JSON at
+// /debug/cluster. ?series=prefix filters the merged map and each
+// member's samples to ids with that prefix (comma-separated for
+// several).
+func MountCluster(mux *http.ServeMux, f *Federator) {
+	mux.HandleFunc(ClusterPath, func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := f.Snapshot()
+		if raw := req.URL.Query().Get("series"); raw != "" {
+			var prefixes []string
+			for _, p := range strings.Split(raw, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					prefixes = append(prefixes, p)
+				}
+			}
+			snap.Merged = filterSamples(snap.Merged, prefixes)
+			for i := range snap.Workers {
+				snap.Workers[i].Samples = filterSamples(snap.Workers[i].Samples, prefixes)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// filterSamples keeps ids matching any prefix.
+func filterSamples(samples map[string]float64, prefixes []string) map[string]float64 {
+	if len(prefixes) == 0 || samples == nil {
+		return samples
+	}
+	out := make(map[string]float64)
+	for id, v := range samples {
+		for _, p := range prefixes {
+			if strings.HasPrefix(id, p) {
+				out[id] = v
+				break
+			}
+		}
+	}
+	return out
+}

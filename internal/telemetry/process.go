@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"bytes"
+	"os"
 	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -14,14 +17,19 @@ import (
 //	process_gc_runs_total           completed GC cycles
 //	process_gc_pause_seconds_total  cumulative stop-the-world pause
 //	process_uptime_seconds          seconds since registration
+//	process_cpu_seconds_total       user+system CPU consumed (Linux)
+//	process_rss_bytes               resident set size (Linux)
 //
-// The hook calls runtime.ReadMemStats, which briefly stops the world —
-// scrape cadence, not request cadence.
+// The CPU and RSS gauges are read from /proc/self/stat and /statm and
+// are simply absent on platforms without procfs. The hook calls
+// runtime.ReadMemStats, which briefly stops the world — scrape cadence,
+// not request cadence.
 func RegisterProcessMetrics(r *Registry) {
 	if r == nil {
 		return
 	}
 	start := time.Now()
+	ps := newProcStat()
 	r.OnScrape(func(r *Registry) {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -31,5 +39,74 @@ func RegisterProcessMetrics(r *Registry) {
 		r.Gauge("process_gc_runs_total").Set(float64(ms.NumGC))
 		r.Gauge("process_gc_pause_seconds_total").Set(float64(ms.PauseTotalNs) / 1e9)
 		r.Gauge("process_uptime_seconds").Set(time.Since(start).Seconds())
+		if cpu, rss, ok := ps.read(); ok {
+			r.Gauge("process_cpu_seconds_total").Set(cpu)
+			r.Gauge("process_rss_bytes").Set(rss)
+		}
 	})
+}
+
+// procStat reads CPU seconds and RSS from procfs with a reusable buffer
+// so repeated scrapes stay cheap. Absent procfs (first read fails) it
+// disables itself.
+type procStat struct {
+	buf      []byte
+	pageSize float64
+	clockTck float64
+	disabled bool
+}
+
+func newProcStat() *procStat {
+	return &procStat{
+		buf:      make([]byte, 0, 1024),
+		pageSize: float64(os.Getpagesize()),
+		// USER_HZ is 100 on every Linux configuration Go supports; procfs
+		// stat fields 14/15 (utime/stime) are expressed in these ticks.
+		clockTck: 100,
+	}
+}
+
+// read returns (cpuSeconds, rssBytes, ok).
+func (p *procStat) read() (float64, float64, bool) {
+	if p.disabled {
+		return 0, 0, false
+	}
+	stat, ok := p.readFile("/proc/self/stat")
+	if !ok {
+		p.disabled = true
+		return 0, 0, false
+	}
+	// comm (field 2) may contain spaces; skip past the closing paren.
+	if i := bytes.LastIndexByte(stat, ')'); i >= 0 {
+		stat = stat[i+1:]
+	}
+	fields := bytes.Fields(stat)
+	// After the paren: field 3 (state) is index 0, so utime/stime
+	// (fields 14/15) are indexes 11/12 and rss (field 24) is index 21.
+	if len(fields) < 22 {
+		return 0, 0, false
+	}
+	utime, err1 := strconv.ParseFloat(string(fields[11]), 64)
+	stime, err2 := strconv.ParseFloat(string(fields[12]), 64)
+	rssPages, err3 := strconv.ParseFloat(string(fields[21]), 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, false
+	}
+	return (utime + stime) / p.clockTck, rssPages * p.pageSize, true
+}
+
+// readFile reads path into the reusable buffer.
+func (p *procStat) readFile(path string) ([]byte, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	p.buf = p.buf[:cap(p.buf)]
+	n, err := f.Read(p.buf)
+	if n <= 0 {
+		_ = err
+		return nil, false
+	}
+	return p.buf[:n], true
 }

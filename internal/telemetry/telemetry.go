@@ -195,10 +195,16 @@ func (k kind) String() string {
 }
 
 // series is one registered metric series (a name plus a label set).
+// id is the rendered exposition key (seriesID), cached at creation so
+// sampling visits re-use it instead of re-rendering; countID/sumID are
+// the derived histogram sample keys, filled lazily on first visit.
 type series struct {
 	name    string
 	labels  []Label
 	kind    kind
+	id      string
+	countID string
+	sumID   string
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
@@ -292,6 +298,7 @@ func (r *Registry) lookup(name string, labels []Label, k kind, mk func() *series
 		return s
 	}
 	s = mk()
+	s.id = id
 	r.series[id] = s
 	return s
 }
@@ -345,10 +352,13 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		bs := make([]float64, len(bounds))
 		copy(bs, bounds)
 		sort.Float64s(bs)
-		return &series{name: name, labels: ls, kind: kindHistogram, hist: &Histogram{
-			bounds:  bs,
-			buckets: make([]atomic.Int64, len(bs)+1),
-		}}
+		return &series{name: name, labels: ls, kind: kindHistogram,
+			countID: seriesID(name+"_count", ls),
+			sumID:   seriesID(name+"_sum", ls),
+			hist: &Histogram{
+				bounds:  bs,
+				buckets: make([]atomic.Int64, len(bs)+1),
+			}}
 	})
 	return s.hist
 }
@@ -359,6 +369,122 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+}
+
+// VisitSamples runs the scrape hooks and then calls f once per scalar
+// sample: counters and gauges with their rendered series id and value,
+// histograms as two derived samples (<name>_count and <name>_sum, the
+// pair windowed-rate math needs). All ids are cached at series creation,
+// so steady-state visits allocate nothing — this is the time-series
+// sampler's zero-allocation scrape path. f must not call back into the
+// registry's registration methods.
+func (r *Registry) VisitSamples(f func(id string, v float64)) {
+	if r == nil {
+		return
+	}
+	r.runHooks()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.series {
+		switch s.kind {
+		case kindCounter:
+			f(s.id, float64(s.counter.Value()))
+		case kindGauge:
+			f(s.id, s.gauge.Value())
+		case kindHistogram:
+			f(s.countID, float64(s.hist.count.Load()))
+			f(s.sumID, math.Float64frombits(s.hist.sumBits.Load()))
+		}
+	}
+}
+
+// ParseSeriesID splits a rendered series id — exactly the keys
+// WritePrometheus emits and ParsePrometheus returns — back into its
+// metric name and label set, unescaping label values. The inverse of
+// seriesID, so inject-relabel-rerender round-trips are exact.
+func ParseSeriesID(id string) (name string, labels []Label, err error) {
+	brace := strings.IndexByte(id, '{')
+	if brace < 0 {
+		return id, nil, nil
+	}
+	if !strings.HasSuffix(id, "}") {
+		return "", nil, fmt.Errorf("telemetry: series %q: unterminated label set", id)
+	}
+	name = id[:brace]
+	rest := id[brace+1 : len(id)-1]
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, fmt.Errorf("telemetry: series %q: malformed label pair", id)
+		}
+		key := rest[:eq]
+		rest = rest[eq+2:]
+		// Scan the quoted value respecting backslash escapes.
+		var b strings.Builder
+		i := 0
+		closed := false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case 'n':
+					b.WriteByte('\n')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return "", nil, fmt.Errorf("telemetry: series %q: bad escape \\%c", id, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return "", nil, fmt.Errorf("telemetry: series %q: unterminated label value", id)
+		}
+		labels = append(labels, Label{Key: key, Value: b.String()})
+		rest = rest[i:]
+		if len(rest) > 0 {
+			if rest[0] != ',' {
+				return "", nil, fmt.Errorf("telemetry: series %q: expected ',' between labels", id)
+			}
+			rest = rest[1:]
+		}
+	}
+	return name, labels, nil
+}
+
+// RenderSeriesID is the public inverse of ParseSeriesID: the canonical
+// exposition key for a name plus label set (labels sorted by key,
+// values escaped).
+func RenderSeriesID(name string, labels []Label) string {
+	return seriesID(name, sortedLabels(labels))
+}
+
+// InjectLabel returns id with key="value" added to its label set,
+// keeping labels in canonical sorted order. When the series already
+// carries the key, the id is returned unchanged — federation must not
+// overwrite a source's own identity labels (a master's per-worker
+// series keep their original worker attribution).
+func InjectLabel(id, key, value string) (string, error) {
+	name, labels, err := ParseSeriesID(id)
+	if err != nil {
+		return "", err
+	}
+	for _, l := range labels {
+		if l.Key == key {
+			return id, nil
+		}
+	}
+	return seriesID(name, sortedLabels(append(labels, Label{Key: key, Value: value}))), nil
 }
 
 // Snapshot runs the scrape hooks and copies every series.

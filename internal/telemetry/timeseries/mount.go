@@ -1,0 +1,89 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Path is where Mount serves the rings.
+const Path = "/debug/timeseries"
+
+// Doc is the /debug/timeseries JSON document.
+type Doc struct {
+	IntervalSeconds float64            `json:"interval_seconds"`
+	Retention       int                `json:"retention"`
+	Samples         int                `json:"samples"`
+	Series          map[string][]Point `json:"series"`
+}
+
+// Doc assembles the exposition document. series filters to ids equal to
+// or prefixed by any of the given names (all series when empty); window
+// bounds the returned history (everything retained when <= 0).
+func (s *Sampler) Doc(seriesFilter []string, window time.Duration) Doc {
+	doc := Doc{Series: map[string][]Point{}}
+	if s == nil {
+		return doc
+	}
+	doc.IntervalSeconds = s.cfg.Interval.Seconds()
+	doc.Retention = s.cfg.Retention
+	doc.Samples = s.Samples()
+	for _, id := range s.SeriesNames() {
+		if !matchSeries(id, seriesFilter) {
+			continue
+		}
+		if pts := s.Window(id, window); len(pts) > 0 {
+			doc.Series[id] = pts
+		}
+	}
+	return doc
+}
+
+// matchSeries reports whether id passes the filter: any filter entry
+// that is a prefix of the id matches, so "rpcmr_task" selects the whole
+// family and a full rendered id selects one series.
+func matchSeries(id string, filter []string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if strings.HasPrefix(id, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mount serves the sampler's rings as JSON at /debug/timeseries.
+// Query parameters: ?series=a,b filters to those ids or prefixes,
+// ?window=30s bounds the returned history.
+func Mount(mux *http.ServeMux, s *Sampler) {
+	mux.HandleFunc(Path, func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var filter []string
+		if raw := req.URL.Query().Get("series"); raw != "" {
+			for _, f := range strings.Split(raw, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					filter = append(filter, f)
+				}
+			}
+		}
+		var window time.Duration
+		if raw := req.URL.Query().Get("window"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Doc(filter, window))
+	})
+}

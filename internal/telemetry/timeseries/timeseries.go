@@ -1,0 +1,313 @@
+// Package timeseries gives the metrics registry a memory: a Sampler
+// periodically copies every scalar series of a telemetry.Registry into
+// bounded in-memory rings, turning the registry's instantaneous values
+// into short history that windowed queries — rate, min/max, quantile —
+// and the anomaly watchdog can reason about. A /debug/timeseries mount
+// serves the rings as JSON for dashboards (skytop draws its sparklines
+// from it).
+//
+// The sample path is allocation-free after warm-up: series ids are
+// cached inside the registry (telemetry.VisitSamples), ring slots are
+// pre-sized float64 arrays, and the per-tick work is one map lookup and
+// one store per series. New series allocate their ring exactly once,
+// on first sight.
+package timeseries
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config tunes a Sampler.
+type Config struct {
+	// Interval is the sampling cadence. Defaults to 1s.
+	Interval time.Duration
+	// Retention is how many samples each series ring keeps. Defaults to
+	// 300 (5 minutes at the default cadence).
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Retention < 2 {
+		c.Retention = 300
+	}
+	return c
+}
+
+// Point is one recorded sample of one series.
+type Point struct {
+	UnixNano int64   `json:"t"`
+	Value    float64 `json:"v"`
+}
+
+// ring is one series' bounded value history, aligned with the sampler's
+// shared timestamp ring: slot i holds the value recorded at tick t where
+// t % retention == i. Slots from before the series existed hold NaN.
+type ring struct {
+	vals []float64
+}
+
+// Sampler owns the rings and the background sampling loop. All methods
+// are safe for concurrent use; a nil *Sampler answers every query empty,
+// so call sites can hold a bare handle when sampling is off.
+type Sampler struct {
+	reg *telemetry.Registry
+	cfg Config
+	now func() time.Time // test hook
+
+	mu     sync.RWMutex
+	times  []int64 // shared timestamp ring, unix nanos; 0 = never written
+	tick   int     // total samples taken
+	series map[string]*ring
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// visit is the pre-bound VisitSamples callback, hoisted so the
+	// steady-state sample path closes over nothing per tick.
+	visit func(id string, v float64)
+	slot  int // ring slot the in-progress sample writes (mu held)
+}
+
+// NewSampler builds a sampler over reg. Call Start to begin the
+// periodic loop, or drive Sample directly (tests, final flushes).
+func NewSampler(reg *telemetry.Registry, cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	s := &Sampler{
+		reg:    reg,
+		cfg:    cfg,
+		now:    time.Now,
+		times:  make([]int64, cfg.Retention),
+		series: make(map[string]*ring),
+		stopc:  make(chan struct{}),
+	}
+	s.visit = func(id string, v float64) {
+		r := s.series[id]
+		if r == nil {
+			r = &ring{vals: make([]float64, cfg.Retention)}
+			for i := range r.vals {
+				r.vals[i] = math.NaN()
+			}
+			s.series[id] = r
+		}
+		r.vals[s.slot] = v
+	}
+	return s
+}
+
+// Interval reports the configured cadence.
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.Interval
+}
+
+// Retention reports the configured ring capacity.
+func (s *Sampler) Retention() int {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.Retention
+}
+
+// Start launches the background sampling loop. Safe to call once.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-ticker.C:
+				s.Sample()
+			}
+		}
+	}()
+}
+
+// Stop ends the background loop and takes one final sample, so the last
+// state of a draining process is retained (the graceful-shutdown flush
+// the binaries call before their debug server goes away).
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.stopc)
+		s.wg.Wait()
+		s.Sample()
+	})
+}
+
+// Sample takes one sample of every registry series right now. The
+// periodic loop calls it on cadence; binaries call it once more on the
+// drain path.
+func (s *Sampler) Sample() {
+	if s == nil {
+		return
+	}
+	now := s.now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slot = s.tick % s.cfg.Retention
+	s.times[s.slot] = now
+	s.reg.VisitSamples(s.visit)
+	s.tick++
+}
+
+// Samples reports how many samples have been taken (monotonic; the
+// rings retain min(Samples, Retention) of them).
+func (s *Sampler) Samples() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tick
+}
+
+// SeriesNames returns every sampled series id, sorted.
+func (s *Sampler) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for id := range s.series {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Window returns the samples of series id recorded within the trailing
+// window (all retained samples when window <= 0), oldest first. Slots
+// from before the series existed are omitted.
+func (s *Sampler) Window(id string, window time.Duration) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.windowLocked(id, window)
+}
+
+// windowLocked is Window with s.mu already held (read side).
+func (s *Sampler) windowLocked(id string, window time.Duration) []Point {
+	r := s.series[id]
+	if r == nil || s.tick == 0 {
+		return nil
+	}
+	n := s.tick
+	if n > s.cfg.Retention {
+		n = s.cfg.Retention
+	}
+	var cutoff int64
+	if window > 0 {
+		cutoff = s.now().Add(-window).UnixNano()
+	}
+	out := make([]Point, 0, n)
+	// Oldest retained tick first.
+	for t := s.tick - n; t < s.tick; t++ {
+		i := t % s.cfg.Retention
+		v := r.vals[i]
+		if math.IsNaN(v) || s.times[i] < cutoff {
+			continue
+		}
+		out = append(out, Point{UnixNano: s.times[i], Value: v})
+	}
+	return out
+}
+
+// Rate computes the per-second increase of a cumulative series over the
+// trailing window as the sum of positive step deltas divided by the
+// elapsed time. Negative steps — a counter reset after a process
+// restart — contribute zero instead of going negative, so restarting a
+// worker can never render negative throughput. ok is false with fewer
+// than two samples in the window.
+func (s *Sampler) Rate(id string, window time.Duration) (perSec float64, ok bool) {
+	pts := s.Window(id, window)
+	if len(pts) < 2 {
+		return 0, false
+	}
+	var rise float64
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Value - pts[i-1].Value; d > 0 {
+			rise += d
+		}
+	}
+	dt := float64(pts[len(pts)-1].UnixNano-pts[0].UnixNano) / 1e9
+	if dt <= 0 {
+		return 0, false
+	}
+	return rise / dt, true
+}
+
+// MinMax returns the smallest and largest sample in the window. ok is
+// false when the window holds no samples.
+func (s *Sampler) MinMax(id string, window time.Duration) (min, max float64, ok bool) {
+	pts := s.Window(id, window)
+	if len(pts) == 0 {
+		return 0, 0, false
+	}
+	min, max = pts[0].Value, pts[0].Value
+	for _, p := range pts[1:] {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return min, max, true
+}
+
+// Quantile returns the q-quantile (0..1, nearest-rank) of the window's
+// sample values. ok is false when the window holds no samples.
+func (s *Sampler) Quantile(id string, q float64, window time.Duration) (float64, bool) {
+	pts := s.Window(id, window)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Value
+	}
+	sort.Float64s(vals)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(math.Ceil(q*float64(len(vals)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return vals[i], true
+}
+
+// Last returns the most recent sample of series id.
+func (s *Sampler) Last(id string) (Point, bool) {
+	pts := s.Window(id, 0)
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}

@@ -1,0 +1,422 @@
+package timeseries
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The anomaly watchdog closes the observe→notice loop: a small rule
+// engine evaluated on cadence against the sampler's rings. A rule that
+// starts firing (the rising edge — a firing rule stays quiet until it
+// clears and fires again) emits one EventLog warning, increments
+// telemetry_anomalies_total{rule}, and can trigger capture-on-anomaly:
+// an on-disk CPU+heap pprof pair taken while the anomaly is still live,
+// rate-limited by a cooldown so a flapping rule cannot fill the disk.
+
+// Finding is one firing rule evaluation: which series tripped and why.
+type Finding struct {
+	// Series is the ring that tripped the rule (one finding per series).
+	Series string
+	// Detail is a short human explanation ("rate 0.0/s over 300ms").
+	Detail string
+	// Attrs are structured key/values for the anomaly event (e.g. the
+	// worker id extracted from the series labels).
+	Attrs []telemetry.Attr
+}
+
+// Rule is one anomaly detector. Eval inspects the sampler's rings and
+// returns the currently-firing findings (empty = healthy).
+type Rule struct {
+	Name string
+	Eval func(s *Sampler) []Finding
+}
+
+// WatchdogConfig tunes a Watchdog.
+type WatchdogConfig struct {
+	// Interval is the evaluation cadence. Defaults to the sampler's
+	// sampling interval.
+	Interval time.Duration
+	// Events receives one warning per anomaly rising edge (nil drops).
+	Events *telemetry.EventLog
+	// Metrics receives telemetry_anomalies_total{rule} and
+	// telemetry_anomaly_captures_total (nil drops).
+	Metrics *telemetry.Registry
+	// CaptureDir, when non-empty, enables capture-on-anomaly: a CPU and
+	// a heap profile written there on each captured anomaly.
+	CaptureDir string
+	// CaptureCooldown is the minimum spacing between captures (across
+	// all rules). Defaults to 5 minutes.
+	CaptureCooldown time.Duration
+	// CPUProfileDuration is how long the capture's CPU profile runs.
+	// Defaults to 1s.
+	CPUProfileDuration time.Duration
+}
+
+func (c WatchdogConfig) withDefaults(s *Sampler) WatchdogConfig {
+	if c.Interval <= 0 {
+		c.Interval = s.Interval()
+		if c.Interval <= 0 {
+			c.Interval = time.Second
+		}
+	}
+	if c.CaptureCooldown <= 0 {
+		c.CaptureCooldown = 5 * time.Minute
+	}
+	if c.CPUProfileDuration <= 0 {
+		c.CPUProfileDuration = time.Second
+	}
+	return c
+}
+
+// Capture records one on-disk profile pair.
+type Capture struct {
+	Rule     string    `json:"rule"`
+	Time     time.Time `json:"time"`
+	CPUFile  string    `json:"cpu_file"`
+	HeapFile string    `json:"heap_file"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Watchdog evaluates rules against a sampler on cadence.
+type Watchdog struct {
+	s     *Sampler
+	cfg   WatchdogConfig
+	rules []Rule
+
+	mu          sync.Mutex
+	firing      map[string]bool // rule name → was firing last tick
+	lastCapture time.Time
+	capturing   bool
+	captures    []Capture
+	seq         int
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewWatchdog builds a watchdog over s with the given rules.
+func NewWatchdog(s *Sampler, cfg WatchdogConfig, rules ...Rule) *Watchdog {
+	return &Watchdog{
+		s:      s,
+		cfg:    cfg.withDefaults(s),
+		rules:  rules,
+		firing: make(map[string]bool),
+		stopc:  make(chan struct{}),
+	}
+}
+
+// Start launches the background evaluation loop.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		ticker := time.NewTicker(w.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.stopc:
+				return
+			case <-ticker.C:
+				w.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop ends the evaluation loop (a capture in flight finishes on its
+// own goroutine).
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() {
+		close(w.stopc)
+		w.wg.Wait()
+	})
+}
+
+// Captures returns the captures recorded so far.
+func (w *Watchdog) Captures() []Capture {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Capture(nil), w.captures...)
+}
+
+// Evaluate runs every rule once. The background loop calls it on
+// cadence; tests call it directly.
+func (w *Watchdog) Evaluate() {
+	if w == nil {
+		return
+	}
+	for _, rule := range w.rules {
+		findings := rule.Eval(w.s)
+		w.mu.Lock()
+		was := w.firing[rule.Name]
+		w.firing[rule.Name] = len(findings) > 0
+		w.mu.Unlock()
+		if len(findings) == 0 || was {
+			continue // healthy, or still the same incident
+		}
+		// Rising edge: one event + counter per finding, one capture per
+		// incident (the cooldown arbitrates across rules).
+		for _, f := range findings {
+			attrs := append([]telemetry.Attr{
+				telemetry.A("rule", rule.Name),
+				telemetry.A("series", f.Series),
+				telemetry.A("detail", f.Detail),
+			}, f.Attrs...)
+			w.cfg.Events.Warn("anomaly detected", attrs...)
+		}
+		if reg := w.cfg.Metrics; reg != nil {
+			reg.Counter("telemetry_anomalies_total", telemetry.L("rule", rule.Name)).
+				Add(int64(len(findings)))
+		}
+		w.maybeCapture(rule.Name)
+	}
+}
+
+// maybeCapture starts an async CPU+heap capture unless disabled, inside
+// the cooldown, or already capturing.
+func (w *Watchdog) maybeCapture(rule string) {
+	if w.cfg.CaptureDir == "" {
+		return
+	}
+	w.mu.Lock()
+	now := time.Now()
+	if w.capturing || (!w.lastCapture.IsZero() && now.Sub(w.lastCapture) < w.cfg.CaptureCooldown) {
+		w.mu.Unlock()
+		return
+	}
+	w.capturing = true
+	w.lastCapture = now
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		cap := w.capture(rule, now, seq)
+		w.mu.Lock()
+		w.captures = append(w.captures, cap)
+		w.capturing = false
+		w.mu.Unlock()
+		if cap.Err != "" {
+			w.cfg.Events.Warn("anomaly capture failed",
+				telemetry.A("rule", rule), telemetry.A("err", cap.Err))
+			return
+		}
+		if reg := w.cfg.Metrics; reg != nil {
+			reg.Counter("telemetry_anomaly_captures_total").Inc()
+		}
+		w.cfg.Events.Info("anomaly profile captured",
+			telemetry.A("rule", rule),
+			telemetry.A("cpu_file", cap.CPUFile),
+			telemetry.A("heap_file", cap.HeapFile))
+	}()
+}
+
+// capture writes the CPU and heap profile pair.
+func (w *Watchdog) capture(rule string, at time.Time, seq int) Capture {
+	cap := Capture{Rule: rule, Time: at}
+	if err := os.MkdirAll(w.cfg.CaptureDir, 0o755); err != nil {
+		cap.Err = err.Error()
+		return cap
+	}
+	stamp := fmt.Sprintf("%s-%s-%03d", sanitizeRule(rule), at.Format("20060102T150405"), seq)
+	cap.CPUFile = filepath.Join(w.cfg.CaptureDir, "anomaly-"+stamp+".cpu.pprof")
+	cap.HeapFile = filepath.Join(w.cfg.CaptureDir, "anomaly-"+stamp+".heap.pprof")
+
+	cf, err := os.Create(cap.CPUFile)
+	if err != nil {
+		cap.Err = err.Error()
+		return cap
+	}
+	// StartCPUProfile fails when another CPU profile is already running
+	// (e.g. a /debug/pprof/profile scrape) — record and move on, the
+	// heap profile is still worth taking.
+	cpuErr := pprof.StartCPUProfile(cf)
+	if cpuErr == nil {
+		select {
+		case <-time.After(w.cfg.CPUProfileDuration):
+		case <-w.stopc:
+		}
+		pprof.StopCPUProfile()
+	}
+	if err := cf.Close(); err != nil && cpuErr == nil {
+		cpuErr = err
+	}
+	hf, err := os.Create(cap.HeapFile)
+	if err != nil {
+		cap.Err = err.Error()
+		return cap
+	}
+	heapErr := pprof.WriteHeapProfile(hf)
+	if err := hf.Close(); err != nil && heapErr == nil {
+		heapErr = err
+	}
+	switch {
+	case cpuErr != nil && heapErr != nil:
+		cap.Err = cpuErr.Error() + "; " + heapErr.Error()
+	case cpuErr != nil:
+		cap.Err = cpuErr.Error()
+	case heapErr != nil:
+		cap.Err = heapErr.Error()
+	}
+	return cap
+}
+
+// sanitizeRule makes a rule name filesystem-safe.
+func sanitizeRule(rule string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, rule)
+}
+
+// ---------------------------------------------------------------------------
+// Rule constructors
+
+// familySeries returns the sampled ids belonging to a metric family:
+// the bare name or name{...labels}.
+func familySeries(s *Sampler, name string) []string {
+	var out []string
+	for _, id := range s.SeriesNames() {
+		if id == name || strings.HasPrefix(id, name+"{") {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// labelOf extracts one label value from a rendered series id ("" when
+// absent).
+func labelOf(id, key string) string {
+	_, labels, err := telemetry.ParseSeriesID(id)
+	if err != nil {
+		return ""
+	}
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// PairedStallRule detects a stalled producer: for every series of the
+// progress family (a cumulative count, e.g. per-worker tasks done)
+// whose paired active series (same label set under activeName, e.g.
+// in-flight tasks) stayed >= minActive across the whole window, fire
+// when the progress series made no progress over that window. The
+// label key (e.g. "worker") names the stalled party in the finding.
+//
+// This is the throughput-stall detector the acceptance run exercises: a
+// worker holding an in-flight task for the whole window while its
+// tasks-done count stands still is stalled, and the finding attributes
+// the stall to exactly that worker.
+func PairedStallRule(name, progressName, activeName, labelKey string, window time.Duration, minActive float64) Rule {
+	return Rule{Name: name, Eval: func(s *Sampler) []Finding {
+		var findings []Finding
+		for _, id := range familySeries(s, progressName) {
+			_, labels, err := telemetry.ParseSeriesID(id)
+			if err != nil {
+				continue
+			}
+			activeID := telemetry.RenderSeriesID(activeName, labels)
+			act := s.Window(activeID, window)
+			if len(act) < 2 {
+				continue
+			}
+			active := true
+			for _, p := range act {
+				if p.Value < minActive {
+					active = false
+					break
+				}
+			}
+			if !active {
+				continue
+			}
+			rate, ok := s.Rate(id, window)
+			if !ok || rate > 0 {
+				continue
+			}
+			f := Finding{
+				Series: id,
+				Detail: fmt.Sprintf("active >= %g for %s with zero progress", minActive, window),
+			}
+			if who := labelOf(id, labelKey); who != "" {
+				f.Attrs = append(f.Attrs, telemetry.A(labelKey, who))
+			}
+			findings = append(findings, f)
+		}
+		return findings
+	}}
+}
+
+// GaugeAboveRule fires for every series of the family whose latest
+// sample is >= threshold — heartbeat gaps (worker state >= suspect) and
+// budget pressure (reducer peak >= fraction of the budget) are both
+// this shape.
+func GaugeAboveRule(name, family string, threshold float64, labelKey string) Rule {
+	return Rule{Name: name, Eval: func(s *Sampler) []Finding {
+		var findings []Finding
+		for _, id := range familySeries(s, family) {
+			last, ok := s.Last(id)
+			if !ok || last.Value < threshold {
+				continue
+			}
+			f := Finding{
+				Series: id,
+				Detail: fmt.Sprintf("value %g >= threshold %g", last.Value, threshold),
+			}
+			if labelKey != "" {
+				if who := labelOf(id, labelKey); who != "" {
+					f.Attrs = append(f.Attrs, telemetry.A(labelKey, who))
+				}
+			}
+			findings = append(findings, f)
+		}
+		return findings
+	}}
+}
+
+// RateAboveRule fires for every series of the family whose windowed
+// rate exceeds perSecond — the GC-pause-spike shape: the rate of
+// process_gc_pause_seconds_total is the fraction of wall time spent in
+// stop-the-world pause.
+func RateAboveRule(name, family string, perSecond float64, window time.Duration) Rule {
+	return Rule{Name: name, Eval: func(s *Sampler) []Finding {
+		var findings []Finding
+		for _, id := range familySeries(s, family) {
+			rate, ok := s.Rate(id, window)
+			if !ok || rate <= perSecond {
+				continue
+			}
+			findings = append(findings, Finding{
+				Series: id,
+				Detail: fmt.Sprintf("rate %.4g/s > %.4g/s over %s", rate, perSecond, window),
+			})
+		}
+		return findings
+	}}
+}
